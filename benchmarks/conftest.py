@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table/figure of the paper (see DESIGN.md
+for the experiment index), prints the rendered artifact, appends it to
+``results/benchmark_report.txt``, and asserts the paper's qualitative
+shape.  Resolution follows the ``REPRO_PROFILE`` env var (default
+``bench``; use ``paper`` for the full grids reported in EXPERIMENTS.md,
+``smoke`` for a fast pass).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.report import save_report
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_path():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "benchmark_report.txt"
+    if os.environ.get("REPRO_FRESH_REPORT", "1") == "1" and path.exists():
+        path.unlink()
+        os.environ["REPRO_FRESH_REPORT"] = "0"
+    return path
+
+
+@pytest.fixture
+def emit(results_path):
+    """Print a rendered block and persist it to the results file."""
+
+    def _emit(text):
+        print()
+        print(text)
+        save_report(results_path, text)
+        return text
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,107 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* contour cost ratio (Section 4.2 remark: doubling is near-optimal for
+  SB; ~1.8 marginally better in 2D);
+* anorexic-reduction threshold lambda (PB's bound knob);
+* ESS grid resolution (discretization stability);
+* bounded cost-model error (Section 7's (1+delta)^2 inflation);
+* the pipeline-based spill-node total order vs a naive policy.
+"""
+
+from benchmarks.conftest import once
+from repro.bench import harness
+from repro.bench.report import format_table
+
+
+def test_ablation_contour_ratio(benchmark, emit):
+    rows = once(benchmark,
+                lambda: harness.run_ablation_cost_ratio("4D_Q91"))
+    emit(format_table(
+        "Ablation: contour cost ratio (SpillBound, 4D_Q91)",
+        ["ratio", "contours", "SB MSOe", "SB ASO"],
+        [[r["ratio"], r["num_contours"], r["sb_msoe"], r["sb_aso"]]
+         for r in rows],
+    ))
+    # More aggressive spacing -> fewer contours.
+    contour_counts = [r["num_contours"] for r in rows]
+    assert contour_counts == sorted(contour_counts, reverse=True)
+    # Empirical MSO stays bounded across sensible ratios.
+    for row in rows:
+        assert row["sb_msoe"] <= 28.0 * row["ratio"]
+
+
+def test_ablation_lambda(benchmark, emit):
+    rows = once(benchmark, lambda: harness.run_ablation_lambda("4D_Q91"))
+    emit(format_table(
+        "Ablation: anorexic reduction threshold (PlanBouquet, 4D_Q91)",
+        ["lambda", "rho_red", "PB MSOg", "PB MSOe"],
+        [[r["lambda"], r["rho_red"], r["pb_msog"], r["pb_msoe"]]
+         for r in rows],
+    ))
+    rhos = [r["rho_red"] for r in rows]
+    assert rhos == sorted(rhos, reverse=True)  # reduction bites
+    for row in rows:
+        assert row["pb_msoe"] <= row["pb_msog"] * (1 + 1e-9)
+
+
+def test_ablation_resolution(benchmark, emit):
+    rows = once(benchmark, lambda: harness.run_ablation_resolution("3D_Q15"))
+    emit(format_table(
+        "Ablation: ESS grid resolution (SpillBound, 3D_Q15)",
+        ["per-dim resolution", "grid points", "SB MSOe", "SB ASO"],
+        [[r["resolution"], r["grid_points"], r["sb_msoe"], r["sb_aso"]]
+         for r in rows],
+    ))
+    # The empirical MSO is stable (within the guarantee) as the grid
+    # refines — discretization does not manufacture violations.
+    for row in rows:
+        assert row["sb_msoe"] <= 18.0 + 1e-9
+    finest, coarsest = rows[-1]["sb_msoe"], rows[0]["sb_msoe"]
+    assert finest <= coarsest * 2.5
+
+
+def test_ablation_cost_noise(benchmark, emit):
+    rows = once(benchmark, lambda: harness.run_ablation_cost_noise("4D_Q26"))
+    emit(format_table(
+        "Ablation: bounded cost-model error (SpillBound, 4D_Q26)",
+        ["delta", "SB MSOe vs true model", "(1+delta)^2-inflated bound"],
+        [[r["delta"], r["sb_msoe_vs_true"], r["bound_with_inflation"]]
+         for r in rows],
+    ))
+    for row in rows:
+        # Section 7: guarantees carry through modulo (1+delta)^2.
+        assert row["sb_msoe_vs_true"] <= row["bound_with_inflation"] * (
+            1 + 1e-9
+        )
+
+
+def test_ablation_search_space(benchmark, emit):
+    rows = once(benchmark, lambda: harness.run_ablation_search_space("4D_Q91"))
+    emit(format_table(
+        "Ablation: bushy vs left-deep optimizer search space (4D_Q91)",
+        ["space", "POSP", "rho", "origin cost", "SB MSOe", "SB ASO"],
+        [[r["space"], r["posp_size"], r["rho"], r["origin_cost"],
+          r["sb_msoe"], r["sb_aso"]] for r in rows],
+    ))
+    bushy, left_deep = rows
+    # The restricted space can only prune plans...
+    assert left_deep["posp_size"] <= bushy["posp_size"]
+    # ...and can never beat the bushy optimum anywhere.
+    assert left_deep["origin_cost"] >= bushy["origin_cost"] * (1 - 1e-9)
+    # The guarantee is structural: MSO stays bounded in both spaces.
+    for row in rows:
+        assert row["sb_msoe"] <= 28.0 + 1e-9
+
+
+def test_ablation_spill_order(benchmark, emit):
+    data = once(benchmark, lambda: harness.run_ablation_spill_order("4D_Q26"))
+    emit(format_table(
+        "Ablation: pipeline spill order vs naive first-dimension policy",
+        ["query", "POSP plans", "order differs", "naive unsound"],
+        [[data["query"], data["posp_size"], data["order_disagreements"],
+          data["naive_unsound"]]],
+    ))
+    # The naive policy frequently picks a spill node whose subtree still
+    # contains unlearned epps — voiding guaranteed learning (Lemma 3.1).
+    assert data["order_disagreements"] > 0
+    assert data["naive_unsound"] > 0

@@ -1,0 +1,25 @@
+"""Figure 11: average sub-optimality (ASO), PB vs SB.
+
+Paper finding: SB's worst-case gains are *not* bought with worse
+average-case behaviour — ASO improves too, especially at higher D.
+"""
+
+from benchmarks.conftest import once
+from repro.bench import harness
+from repro.bench.report import format_table
+
+
+def test_fig11_aso(benchmark, emit):
+    rows = once(benchmark, lambda: harness.run_fig11())
+    emit(format_table(
+        "Figure 11: ASO under a uniform qa prior",
+        ["query", "PB ASO", "SB ASO"],
+        [[r["query"], r["pb_aso"], r["sb_aso"]] for r in rows],
+    ))
+    for row in rows:
+        assert row["pb_aso"] >= 1.0 - 1e-9
+        assert row["sb_aso"] >= 1.0 - 1e-9
+        # SB's average case stays at or below PB's (small tolerance).
+        assert row["sb_aso"] <= row["pb_aso"] * 1.15
+    wins = sum(1 for r in rows if r["sb_aso"] <= r["pb_aso"])
+    assert wins >= len(rows) * 0.7

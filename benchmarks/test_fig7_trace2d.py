@@ -1,0 +1,34 @@
+"""Figure 7: the 2D-SpillBound execution trace on TPC-DS Q91.
+
+Paper artifact: with qa = (0.04, 0.1), the running location qrun climbs
+a Manhattan profile of axis-parallel moves toward qa, one move per
+spill execution, finishing within the 2-epp guarantee of 10.
+"""
+
+from benchmarks.conftest import once
+from repro.bench import harness
+from repro.bench.report import format_table
+
+
+def test_fig7_manhattan_trace(benchmark, emit):
+    data = once(benchmark, lambda: harness.run_fig7("2D_Q91", qa=(0.04, 0.1)))
+    emit(format_table(
+        f"Figure 7: 2D-SpillBound trace on Q91, "
+        f"qa=({data['qa'][0]:.4g}, {data['qa'][1]:.4g}) "
+        f"(sub-optimality {data['suboptimality']:.2f}, "
+        f"{data['num_contours']} contours)",
+        ["IC", "mode", "plan", "spill dim", "qrun.x", "qrun.y", "done"],
+        [[r["contour"], r["mode"], f"P{r['plan']}",
+          "-" if r["spill_dim"] is None else f"e{r['spill_dim'] + 1}",
+          r["qrun"][0], r["qrun"][1], "yes" if r["completed"] else "no"]
+         for r in data["rows"]],
+    ))
+    waypoints = data["waypoints"]
+    # Manhattan profile: qrun advances monotonically, never overshooting qa.
+    for earlier, later in zip(waypoints, waypoints[1:]):
+        assert all(b >= a - 1e-12 for a, b in zip(earlier, later))
+    for point in waypoints:
+        assert point[0] <= data["qa"][0] * (1 + 1e-9)
+        assert point[1] <= data["qa"][1] * (1 + 1e-9)
+    # Theorem 4.2: the 2-epp bound is 10.
+    assert data["suboptimality"] <= 10.0 + 1e-9

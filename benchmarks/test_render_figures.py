@@ -1,0 +1,22 @@
+"""Render the paper's figures as SVG files in ``results/figures/``.
+
+Runs after the figure benchmarks (alphabetical collection), so all the
+harness data is already cached within the session and rendering adds
+negligible time.  The SVGs complement the tables in
+``results/benchmark_report.txt`` (the table view).
+"""
+
+import xml.dom.minidom
+
+from benchmarks.conftest import RESULTS_DIR, once
+from repro.bench.figures import render_all_figures
+
+
+def test_render_all_figures(benchmark, emit):
+    outdir = RESULTS_DIR / "figures"
+    paths = once(benchmark, lambda: render_all_figures(outdir))
+    assert len(paths) == 7
+    for path in paths:
+        assert path.exists()
+        xml.dom.minidom.parse(str(path))  # well-formed
+    emit("== Figures rendered ==\n" + "\n".join(str(p) for p in paths))

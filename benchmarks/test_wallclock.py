@@ -1,0 +1,40 @@
+"""Section 6.3: the actual-execution (wall-clock) experiment.
+
+Paper numbers on their 100 GB testbed (4D Q91): oracle 44s, native
+628s (14.3x), SpillBound 246s (5.6x), AlignedBound 165s (3.8x).  At
+our generated scale the absolute costs differ, but the ordering — the
+native optimizer pays heavily for its correlated-selectivity blind
+spot, while budgeted discovery stays within a few multiples of the
+oracle — is the reproduced finding.  All strategies must return the
+same result rows.
+"""
+
+from benchmarks.conftest import once
+from repro.bench import harness
+from repro.bench.report import format_table
+
+
+def test_wallclock_actual_execution(benchmark, emit):
+    result = once(benchmark, lambda: harness.run_wallclock(row_budget=40_000))
+    emit(format_table(
+        "Section 6.3: engine-measured costs (Q91-shaped, generated data)",
+        ["strategy", "measured cost", "vs oracle", "executions"],
+        [
+            ["oracle", result["oracle_cost"], 1.0, 1],
+            ["native", result["native_cost"], result["native_subopt"], 1],
+            ["SpillBound", result["sb_cost"], result["sb_subopt"],
+             result["sb_steps"]],
+            ["AlignedBound", result["ab_cost"], result["ab_subopt"],
+             result["ab_steps"]],
+        ],
+    ))
+    # Correctness: every strategy returns the same result set.
+    assert result["rows_match"]
+    # The native optimizer's correlated-skew blind spot costs it a
+    # substantial factor over the oracle...
+    assert result["native_subopt"] >= 2.0
+    # ...while budgeted discovery stays within its guarantee regime and
+    # beats the native plan.
+    assert result["sb_subopt"] <= 28.0
+    assert result["sb_subopt"] < result["native_subopt"]
+    assert result["ab_subopt"] <= result["sb_subopt"] * 1.05

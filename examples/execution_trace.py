@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Execution traces: Figure 7's Manhattan profile and Table 3's drill-down.
+
+Part 1 replays 2D-SpillBound on TPC-DS Q91 with the paper's query
+location qa = (0.04, 0.1) and prints the Manhattan profile of the
+running location ``qrun`` as it chases ``qa``.
+
+Part 2 drills into the 4-epp variant, printing the contour-by-contour
+execution log (which epp each spill execution targeted, what was learnt,
+and the cumulative cost) in the style of the paper's Table 3.
+
+Run:  python examples/execution_trace.py
+"""
+
+from repro.bench.harness import run_fig7, run_table3
+
+
+def manhattan_profile():
+    data = run_fig7("2D_Q91", qa=(0.04, 0.1))
+    print("== Figure 7: 2D-SpillBound trace on TPC-DS Q91 ==")
+    print(f"qa (snapped to grid): ({data['qa'][0]:.3g}, {data['qa'][1]:.3g})"
+          f"   contours: {data['num_contours']}")
+    print(f"{'step':>4} {'IC':>3} {'mode':>7} {'plan':>5} "
+          f"{'qrun.x':>10} {'qrun.y':>10} {'done':>5}")
+    for i, row in enumerate(data["rows"], 1):
+        qx, qy = row["qrun"]
+        print(f"{i:>4} {row['contour']:>3} {row['mode']:>7} "
+              f"P{row['plan']:<4} {qx:>10.3g} {qy:>10.3g} "
+              f"{'yes' if row['completed'] else 'no':>5}")
+    print(f"sub-optimality: {data['suboptimality']:.2f} "
+          f"(2-epp guarantee is 10)\n")
+
+
+def drill_down():
+    data = run_table3("4D_Q91")
+    print("== Table 3: SpillBound execution on 4D TPC-DS Q91 ==")
+    print(f"qa grid coordinates: {data['qa']}")
+    print(f"{'IC':>3} {'mode':>7} {'epp':>4} {'plan':>5} "
+          f"{'learned sel':>12} {'cum. cost':>12}")
+    for row in data["rows"]:
+        learned = (f"{row['learned_sel'] * 100:.3g}%"
+                   if row["learned_sel"] == row["learned_sel"] else "-")
+        print(f"{row['contour']:>3} {row['mode']:>7} {row['epp']:>4} "
+              f"P{row['plan']:<4} {learned:>12} "
+              f"{row['cumulative_cost']:>12.4e}")
+    print(f"sub-optimality: {data['suboptimality']:.2f} "
+          f"(4-epp guarantee is 28)")
+
+
+if __name__ == "__main__":
+    manhattan_profile()
+    drill_down()

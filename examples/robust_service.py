@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A robust query-processing service over a mixed workload.
+
+Puts the whole Section 7 deployment story together with
+:class:`repro.RobustSession`:
+
+* canned queries get their ESS built once and persisted to disk;
+* each incoming instance is routed native-vs-robust by the advisor,
+  using an error radius sharpened by query-log feedback;
+* robust runs feed their *discovered* selectivities back into the log,
+  so the session gets smarter as the workload flows.
+
+The workload mixes a benign TPC-DS star (estimation errors barely
+matter) with JOB 1a (estimates off by orders of magnitude): the session
+keeps the first on the native optimizer and reroutes the second to
+SpillBound after its first burned estimate.
+
+Run:  python examples/robust_service.py
+"""
+
+import tempfile
+
+from repro import RobustSession, build_query, q1a
+
+
+def main():
+    workload = [
+        ("benign star", build_query("2D_Q3")),
+        ("JOB 1a", q1a(num_epps=2)),
+    ]
+    with tempfile.TemporaryDirectory() as cache:
+        session = RobustSession(cache_dir=cache, algorithm="sb",
+                                error_radius=1.5, resolution=10)
+        print("preparing canned queries (offline ESS construction)...")
+        for label, query in workload:
+            bundle = session.prepare(query)
+            print(f"  {label:<12} D={query.num_epps}  "
+                  f"POSP={bundle['ess'].posp_size}  "
+                  f"contours={bundle['contours'].num_contours}")
+
+        print("\nprocessing the query stream:")
+        stream = [workload[0], workload[1], workload[0], workload[1],
+                  workload[1]]
+        for round_number, (label, query) in enumerate(stream, 1):
+            decision = session.execute(query)
+            print(f"  #{round_number} {label:<12} -> {decision.route:<7} "
+                  f"sub-optimality {decision.suboptimality:6.2f}   "
+                  f"({decision.reason[:58]}...)")
+            if round_number == 2:
+                # The operations team notices the JOB estimate was badly
+                # off and records the incident in the query log.
+                pred = query.epps[0]
+                session.record_feedback(pred.name, pred.selectivity * 500)
+                print("     [query log] recorded a 500x estimation miss "
+                      f"for {pred.name}")
+
+        print("\nsession summary:")
+        for key, value in session.summary().items():
+            print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Robust processing vs the native optimizer on JOB (paper Section 6.5).
+
+The Join Order Benchmark was designed to break optimizers: its true
+selectivities are correlated and skewed, so uniformity estimates miss by
+orders of magnitude.  This example evaluates JOB Query 1a exhaustively
+over the ESS and contrasts:
+
+* the native optimizer's MSO (worst case over estimate/actual pairs) —
+  the paper reports "well above 6,000";
+* SpillBound's empirical MSO — the paper reports "only around 12";
+* AlignedBound's — "below 9".
+
+Absolute numbers depend on the cost model; the orders-of-magnitude gap
+is the reproducible finding.
+
+Run:  python examples/robust_vs_native.py
+"""
+
+from repro import (
+    AlignedBound,
+    ContourSet,
+    ESS,
+    ESSGrid,
+    NativeOptimizer,
+    SpillBound,
+    evaluate_algorithm,
+    q1a,
+)
+
+
+def main():
+    query = q1a(num_epps=3)
+    print(query.describe())
+
+    grid = ESSGrid(3, resolution=14,
+                   sel_min=[min(1e-5, p.selectivity / 3) for p in query.epps])
+    print(f"\nbuilding the ESS ({grid.num_points} locations)...")
+    ess = ESS.build(query, grid)
+    contours = ContourSet(ess)
+
+    native = NativeOptimizer(ess)
+    qe, qa, worst = native.worst_pair()
+    print(f"\nnative optimizer MSO over all (estimate, actual) pairs: "
+          f"{native.mso():,.0f}")
+    print(f"  worst pair: estimate at grid {qe}, actual at grid {qa} "
+          f"-> sub-optimality {worst:,.0f}")
+
+    sb = SpillBound(ess, contours)
+    sb_eval = evaluate_algorithm(sb)
+    print(f"\nSpillBound:   guarantee {sb.mso_guarantee():.0f}, "
+          f"empirical MSO {sb_eval.mso:.1f}, ASO {sb_eval.aso:.2f}")
+
+    ab = AlignedBound(ess, contours)
+    ab_eval = evaluate_algorithm(ab)
+    low, high = ab.mso_guarantee_range()
+    print(f"AlignedBound: guarantee [{low:.0f}, {high:.0f}], "
+          f"empirical MSO {ab_eval.mso:.1f}, ASO {ab_eval.aso:.2f}")
+
+    improvement = native.mso() / sb_eval.mso
+    print(f"\nrobust discovery collapses the worst case by a factor of "
+          f"{improvement:,.0f}x")
+
+
+if __name__ == "__main__":
+    main()

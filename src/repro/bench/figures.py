@@ -1,0 +1,140 @@
+"""Assemble the paper's figures as SVG files from harness data.
+
+``render_all_figures(outdir)`` regenerates Figures 7-13 (each figure's
+numeric table also lives in ``results/benchmark_report.txt``, which is
+the table view the charts reference).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import harness
+from repro.bench.svgfig import (
+    grouped_bar_chart,
+    histogram_chart,
+    line_chart,
+    save_svg,
+    step_trace_chart,
+)
+
+_TABLE_NOTE = "full data table: results/benchmark_report.txt"
+
+
+def render_fig7(outdir, profile=None):
+    data = harness.run_fig7(profile=profile)
+    svg = step_trace_chart(
+        "Figure 7 - 2D-SpillBound execution trace (TPC-DS Q91)",
+        waypoints=data["waypoints"],
+        qa=data["qa"],
+        subtitle=(f"sub-optimality {data['suboptimality']:.2f} "
+                  f"(guarantee 10) - {_TABLE_NOTE}"),
+    )
+    return save_svg(outdir / "fig07_trace.svg", svg)
+
+
+def render_fig8(outdir, profile=None):
+    rows = harness.run_fig8(profile=profile)
+    svg = grouped_bar_chart(
+        "Figure 8 - MSO guarantees, PlanBouquet vs SpillBound",
+        categories=[r["query"] for r in rows],
+        series=[
+            ("PlanBouquet 4(1+lambda)rho", [r["pb_msog"] for r in rows]),
+            ("SpillBound D^2+3D", [r["sb_msog"] for r in rows]),
+        ],
+        y_label="MSO guarantee",
+        subtitle=_TABLE_NOTE,
+    )
+    return save_svg(outdir / "fig08_msog.svg", svg)
+
+
+def render_fig9(outdir, profile=None):
+    rows = harness.run_fig9(profile=profile)
+    svg = line_chart(
+        "Figure 9 - guarantee vs dimensionality (Q91)",
+        x_values=[r["D"] for r in rows],
+        series=[
+            ("PlanBouquet", [r["pb_msog"] for r in rows]),
+            ("SpillBound", [r["sb_msog"] for r in rows]),
+        ],
+        x_label="number of error-prone predicates D",
+        y_label="MSO guarantee",
+        subtitle=_TABLE_NOTE,
+    )
+    return save_svg(outdir / "fig09_dimensionality.svg", svg)
+
+
+def render_fig10(outdir, profile=None):
+    rows = harness.run_fig10(profile=profile)
+    svg = grouped_bar_chart(
+        "Figure 10 - empirical MSO (exhaustive qa sweep)",
+        categories=[r["query"] for r in rows],
+        series=[
+            ("PlanBouquet", [r["pb_msoe"] for r in rows]),
+            ("SpillBound", [r["sb_msoe"] for r in rows]),
+        ],
+        y_label="empirical MSO",
+        subtitle=_TABLE_NOTE,
+    )
+    return save_svg(outdir / "fig10_msoe.svg", svg)
+
+
+def render_fig11(outdir, profile=None):
+    rows = harness.run_fig11(profile=profile)
+    svg = grouped_bar_chart(
+        "Figure 11 - average sub-optimality (ASO)",
+        categories=[r["query"] for r in rows],
+        series=[
+            ("PlanBouquet", [r["pb_aso"] for r in rows]),
+            ("SpillBound", [r["sb_aso"] for r in rows]),
+        ],
+        y_label="ASO",
+        subtitle=_TABLE_NOTE,
+    )
+    return save_svg(outdir / "fig11_aso.svg", svg)
+
+
+def render_fig12(outdir, profile=None):
+    data = harness.run_fig12(profile=profile)
+    edges, pb_fractions = data["pb"]
+    _, sb_fractions = data["sb"]
+    bins = min(len(pb_fractions), len(sb_fractions), 6)
+    svg = histogram_chart(
+        f"Figure 12 - sub-optimality distribution ({data['query']})",
+        edges=edges[: bins + 1],
+        series=[
+            ("PlanBouquet", list(pb_fractions[:bins])),
+            ("SpillBound", list(sb_fractions[:bins])),
+        ],
+        subtitle=_TABLE_NOTE,
+    )
+    return save_svg(outdir / "fig12_distribution.svg", svg)
+
+
+def render_fig13(outdir, profile=None):
+    rows = harness.run_fig13(profile=profile)
+    svg = grouped_bar_chart(
+        "Figure 13 - empirical MSO, SpillBound vs AlignedBound",
+        categories=[r["query"] for r in rows],
+        series=[
+            ("SpillBound", [r["sb_msoe"] for r in rows]),
+            ("AlignedBound", [r["ab_msoe"] for r in rows]),
+        ],
+        reference=("2D+2", [r["ab_low_bound"] for r in rows]),
+        y_label="empirical MSO",
+        subtitle=_TABLE_NOTE,
+    )
+    return save_svg(outdir / "fig13_ab_vs_sb.svg", svg)
+
+
+_RENDERERS = (
+    render_fig7, render_fig8, render_fig9, render_fig10, render_fig11,
+    render_fig12, render_fig13,
+)
+
+
+def render_all_figures(outdir="results/figures", profile=None):
+    """Render every figure; returns the list of written paths."""
+    outdir = pathlib.Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    return [render(outdir, profile=profile) for render in _RENDERERS]

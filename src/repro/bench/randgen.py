@@ -1,0 +1,98 @@
+"""Random workload generation for fuzz-testing the guarantees.
+
+The MSO guarantees are supposed to hold for *any* query on *any*
+platform — the whole point of a structural bound.  This module
+generates random-but-valid workloads (random tree-shaped join graphs
+over random schemas, random epp markings, random filter selectivities)
+so property tests can hammer the pipeline end-to-end: build the ESS,
+run the discovery algorithms everywhere, and check every invariant.
+
+Generation is deterministic in the seed and biased toward the shapes
+the paper evaluates (chains, stars, branches of 3-7 relations, 2-4
+epps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Column, Schema, Table, fk_column, key_column
+from repro.query.predicates import filter_pred, join
+from repro.query.query import SPJQuery
+
+
+def random_workload(seed, max_tables=6, max_epps=3):
+    """Generate a random SPJ query (with schema) from a seed.
+
+    Returns an :class:`~repro.query.query.SPJQuery` whose join graph is
+    a random tree, with ``2..max_epps`` joins marked error-prone and
+    plausible catalog statistics (fact tables of 10^5..10^8 rows,
+    dimensions of 10..10^6).
+    """
+    rng = np.random.default_rng(seed)
+    num_tables = int(rng.integers(3, max_tables + 1))
+
+    # One fact table plus dimensions; sizes span realistic magnitudes.
+    tables = []
+    fact_rows = int(10 ** rng.uniform(5, 8))
+    dim_rows = [int(10 ** rng.uniform(1, 6)) for _ in range(num_tables - 1)]
+
+    fact_columns = []
+    for k, rows in enumerate(dim_rows):
+        indexed = bool(rng.random() < 0.7)
+        fact_columns.append(fk_column(f"f_ref{k}", rows, indexed=indexed))
+    fact_columns.append(Column("f_attr", ndv=int(rng.integers(2, 1000)),
+                               indexed=bool(rng.random() < 0.3)))
+    tables.append(Table("fact", fact_rows, fact_columns))
+    for k, rows in enumerate(dim_rows):
+        tables.append(Table(f"dim{k}", rows, [
+            key_column(f"d{k}_id", rows),
+            Column(f"d{k}_attr", ndv=min(rows, int(rng.integers(2, 500))),
+                   indexed=bool(rng.random() < 0.5)),
+        ]))
+    schema = Schema(f"rand{seed}", tables=tables)
+
+    # Random tree: each dimension attaches to the fact table or to a
+    # previously attached dimension (via its reference column).  To keep
+    # the catalog simple, dimension-to-dimension edges reuse the fact
+    # reference columns' domains — join selectivity is what matters.
+    joins = []
+    attached = ["fact"]
+    for k in range(num_tables - 1):
+        parent = attached[int(rng.integers(0, len(attached)))]
+        if parent == "fact":
+            left, left_col = "fact", f"f_ref{k}"
+        else:
+            # Parent dimension joins via its id column (many-many edge).
+            left = parent
+            left_col = parent.replace("dim", "d") + "_id"
+        sel = 10.0 ** rng.uniform(-6, -1)
+        joins.append(join(left, left_col, f"dim{k}", f"d{k}_id",
+                          selectivity=sel, name=f"j{k}"))
+        attached.append(f"dim{k}")
+
+    num_epps = int(rng.integers(2, min(max_epps, len(joins)) + 1))
+    epp_indices = rng.choice(len(joins), size=num_epps, replace=False)
+    marked = []
+    for idx, pred in enumerate(joins):
+        kwargs = {field: getattr(pred, field)
+                  for field in pred.__dataclass_fields__}
+        kwargs["error_prone"] = idx in epp_indices
+        marked.append(type(pred)(**kwargs))
+
+    filters = []
+    if rng.random() < 0.8:
+        target = int(rng.integers(0, num_tables - 1))
+        filters.append(filter_pred(
+            f"dim{target}", f"d{target}_attr", "=",
+            int(rng.integers(0, 5)),
+            selectivity=float(10 ** rng.uniform(-3, -0.3)),
+        ))
+    if rng.random() < 0.5:
+        filters.append(filter_pred(
+            "fact", "f_attr", "<", int(rng.integers(1, 900)),
+            selectivity=float(10 ** rng.uniform(-2, -0.1)),
+        ))
+
+    return SPJQuery(f"rand{seed}", schema, [t.name for t in tables],
+                    joins=marked, filters=filters)

@@ -1,0 +1,57 @@
+"""Plain-text renderers for the experiment tables and figure series.
+
+The paper's figures are bar charts over the query suite; in a terminal
+reproduction the same information is a table of series values, which is
+what these helpers print.  Everything returns strings so benchmarks can
+both print and persist them.
+"""
+
+from __future__ import annotations
+
+
+def format_value(value):
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title, headers, rows):
+    """Render an ASCII table with a title rule."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(parts, pad=" "):
+        return " | ".join(str(p).rjust(w, pad) for p, w in zip(parts, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==", line(headers), rule]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def format_histogram(title, edges, fractions, bar_width=40):
+    """Render a sub-optimality histogram (paper Figure 12 style)."""
+    out = [f"== {title} =="]
+    for i, frac in enumerate(fractions):
+        lo, hi = edges[i], edges[i + 1]
+        bar = "#" * max(1 if frac > 0 else 0, int(round(frac * bar_width)))
+        out.append(f"[{lo:6.1f},{hi:6.1f})  {frac * 100:6.2f}%  {bar}")
+    return "\n".join(out)
+
+
+def save_report(path, text):
+    """Append a rendered block to a results file (and return the text)."""
+    with open(path, "a") as fh:
+        fh.write(text)
+        fh.write("\n\n")
+    return text

@@ -1,0 +1,387 @@
+"""Dependency-free SVG renderers for the paper's figures.
+
+Static SVG files (no JS) rendered to ``results/figures/``; every figure
+has its full data table in ``results/benchmark_report.txt`` (the table
+view), and the charts follow fixed mark specs:
+
+* bars ≤ 24px thick, 4px rounded data-end / square baseline, 2px
+  surface gaps between adjacent bars;
+* 2px lines with ≥8px markers ringed in the surface color;
+* hairline one-step-off-surface gridlines, one y axis, clean ticks;
+* categorical colors in fixed slot order (validated: worst adjacent
+  CVD ΔE 47.2 on the light surface); series identity also carried by a
+  legend, with selective direct labels on extremes only — values and
+  text always in ink, never in series color.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Validated categorical slots (light surface), fixed order.
+SERIES_COLORS = ("#2a78d6", "#1baf7a", "#eda100")
+SURFACE = "#fcfcfb"
+GRID = "#e7e6e2"
+AXIS = "#b8b7b2"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+FONT = ("font-family=\"-apple-system, 'Segoe UI', Helvetica, Arial, "
+        "sans-serif\"")
+
+BAR_MAX_THICKNESS = 24
+BAR_GAP = 2
+
+
+def _esc(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _fmt(value):
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+def _nice_ticks(top, count=5):
+    """Clean round tick values from 0 to at least ``top``."""
+    if top <= 0:
+        return [0.0, 1.0]
+    raw = top / count
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if step * count >= top:
+            break
+    ticks = []
+    value = 0.0
+    while value < top * (1 + 1e-9) or len(ticks) < 2:
+        ticks.append(round(value, 10))
+        value += step
+        if len(ticks) > 12:
+            break
+    return ticks
+
+
+class _Canvas:
+    """Minimal SVG assembly helper."""
+
+    def __init__(self, width, height, title):
+        self.width = width
+        self.height = height
+        self.parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'role="img" aria-label="{_esc(title)}">',
+            f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+        ]
+
+    def rect(self, x, y, w, h, fill, rounded_top=0):
+        if h <= 0 or w <= 0:
+            return
+        if rounded_top > 0 and h > rounded_top:
+            r = min(rounded_top, w / 2)
+            self.parts.append(
+                f'<path d="M{x:.1f},{y + h:.1f} V{y + r:.1f} '
+                f'Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} H{x + w - r:.1f} '
+                f'Q{x + w:.1f},{y:.1f} {x + w:.1f},{y + r:.1f} '
+                f'V{y + h:.1f} Z" fill="{fill}"/>'
+            )
+        else:
+            self.parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+                f'height="{h:.1f}" fill="{fill}"/>'
+            )
+
+    def line(self, x1, y1, x2, y2, stroke, width=1, dash=None):
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{stroke}" stroke-width="{width}"'
+            f"{dash_attr}/>"
+        )
+
+    def polyline(self, points, stroke, width=2):
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}" stroke-linejoin="round" '
+            f'stroke-linecap="round"/>'
+        )
+
+    def circle(self, x, y, r, fill, ring=True):
+        if ring:
+            self.parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r + 2:.1f}" '
+                f'fill="{SURFACE}"/>'
+            )
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}"/>'
+        )
+
+    def text(self, x, y, content, size=12, fill=TEXT_SECONDARY,
+             anchor="start", weight="normal"):
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{fill}" text-anchor="{anchor}" '
+            f'font-weight="{weight}" {FONT}>{_esc(content)}</text>'
+        )
+
+    def render(self):
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def _frame(canvas, left, top, right, bottom, ticks, y_of, y_label):
+    """Gridlines, baseline, tick labels, y-axis caption."""
+    for tick in ticks:
+        y = y_of(tick)
+        canvas.line(left, y, right, y, GRID, 1)
+        canvas.text(left - 8, y + 4, _fmt(tick), size=11, anchor="end")
+    canvas.line(left, bottom, right, bottom, AXIS, 1)
+    if y_label:
+        canvas.text(left, top - 10, y_label, size=11,
+                    fill=TEXT_SECONDARY)
+
+
+def _legend(canvas, x, y, series_names):
+    for k, name in enumerate(series_names):
+        color = SERIES_COLORS[k % len(SERIES_COLORS)]
+        canvas.rect(x, y - 9, 12, 12, color, rounded_top=3)
+        canvas.text(x + 18, y + 1, name, size=12, fill=TEXT_PRIMARY)
+        x += 28 + 7 * len(name)
+
+
+def grouped_bar_chart(title, categories, series, y_label="",
+                      reference=None, width=860, height=380,
+                      subtitle=""):
+    """Grouped bars: one group per category, one bar per series.
+
+    ``series`` is a list of ``(name, values)``; ``reference`` an
+    optional ``(label, values)`` overlay drawn as a per-group dashed
+    level (e.g. the 2D+2 line of Figure 13).
+    """
+    top = 76 if subtitle else 60
+    left, right, bottom = 64, width - 20, height - 56
+    canvas = _Canvas(width, height, title)
+    canvas.text(left, 26, title, size=15, fill=TEXT_PRIMARY, weight="600")
+    if subtitle:
+        canvas.text(left, 44, subtitle, size=12)
+
+    peak = max(max(values) for _, values in series)
+    if reference:
+        peak = max(peak, max(reference[1]))
+    ticks = _nice_ticks(peak)
+    span = ticks[-1]
+
+    def y_of(value):
+        return bottom - (value / span) * (bottom - top)
+
+    _frame(canvas, left, top, right, bottom, ticks, y_of, y_label)
+
+    num_groups = len(categories)
+    num_series = len(series)
+    slot = (right - left) / num_groups
+    thickness = min(BAR_MAX_THICKNESS,
+                    (slot * 0.72 - BAR_GAP * (num_series - 1)) / num_series)
+    # Direct labels only on each series' extreme (selective labelling).
+    extremes = [max(range(num_groups), key=lambda g: values[g])
+                for _, values in series]
+
+    for g, category in enumerate(categories):
+        group_width = num_series * thickness + (num_series - 1) * BAR_GAP
+        x0 = left + g * slot + (slot - group_width) / 2
+        for k, (name, values) in enumerate(series):
+            color = SERIES_COLORS[k % len(SERIES_COLORS)]
+            x = x0 + k * (thickness + BAR_GAP)
+            y = y_of(values[g])
+            canvas.rect(x, y, thickness, bottom - y, color, rounded_top=4)
+            if g == extremes[k]:
+                canvas.text(x + thickness / 2, y - 5, _fmt(values[g]),
+                            size=11, fill=TEXT_PRIMARY, anchor="middle")
+        if reference:
+            y = y_of(reference[1][g])
+            canvas.line(x0 - 4, y, x0 + group_width + 4, y,
+                        TEXT_SECONDARY, 1.5, dash="4,3")
+        canvas.text(left + g * slot + slot / 2, bottom + 18, category,
+                    size=11, anchor="middle")
+
+    names = [name for name, _ in series]
+    if reference:
+        names = names + [f"{reference[0]} (dashed)"]
+    _legend(canvas, left, height - 14, names[: len(series)])
+    if reference:
+        x = left + sum(28 + 7 * len(n) for n in names[: len(series)])
+        canvas.line(x, height - 18, x + 16, height - 18, TEXT_SECONDARY,
+                    1.5, dash="4,3")
+        canvas.text(x + 22, height - 13, reference[0], size=12,
+                    fill=TEXT_PRIMARY)
+    return canvas.render()
+
+
+def line_chart(title, x_values, series, x_label="", y_label="",
+               width=720, height=380, subtitle=""):
+    """Multi-series line chart with end markers and end labels."""
+    top = 76 if subtitle else 60
+    left, right, bottom = 64, width - 110, height - 56
+    canvas = _Canvas(width, height, title)
+    canvas.text(left, 26, title, size=15, fill=TEXT_PRIMARY, weight="600")
+    if subtitle:
+        canvas.text(left, 44, subtitle, size=12)
+
+    peak = max(max(values) for _, values in series)
+    ticks = _nice_ticks(peak)
+    span = ticks[-1]
+    xs = list(x_values)
+
+    def x_of(idx):
+        if len(xs) == 1:
+            return (left + right) / 2
+        return left + idx * (right - left) / (len(xs) - 1)
+
+    def y_of(value):
+        return bottom - (value / span) * (bottom - top)
+
+    _frame(canvas, left, top, right, bottom, ticks, y_of, y_label)
+    for idx, x_value in enumerate(xs):
+        canvas.text(x_of(idx), bottom + 18, _fmt(float(x_value)), size=11,
+                    anchor="middle")
+    if x_label:
+        canvas.text((left + right) / 2, bottom + 36, x_label, size=11,
+                    anchor="middle")
+
+    for k, (name, values) in enumerate(series):
+        color = SERIES_COLORS[k % len(SERIES_COLORS)]
+        points = [(x_of(i), y_of(v)) for i, v in enumerate(values)]
+        canvas.polyline(points, color, 2)
+        for x, y in points:
+            canvas.circle(x, y, 4, color)
+        end_x, end_y = points[-1]
+        canvas.text(end_x + 10, end_y + 4, name, size=12,
+                    fill=TEXT_PRIMARY)
+    _legend(canvas, left, height - 14, [name for name, _ in series])
+    return canvas.render()
+
+
+def histogram_chart(title, edges, series, width=720, height=340,
+                    subtitle=""):
+    """Side-by-side histogram bars over shared bins.
+
+    ``series`` is ``[(name, fractions), ...]`` with fractions per bin.
+    """
+    top = 76 if subtitle else 60
+    left, right, bottom = 64, width - 20, height - 56
+    canvas = _Canvas(width, height, title)
+    canvas.text(left, 26, title, size=15, fill=TEXT_PRIMARY, weight="600")
+    if subtitle:
+        canvas.text(left, 44, subtitle, size=12)
+
+    peak = max(max(f) for _, f in series)
+    ticks = [t for t in (0, 0.25, 0.5, 0.75, 1.0) if t <= max(peak, 0.25) * 1.3 or t <= 1]
+
+    def y_of(value):
+        return bottom - (value / 1.0) * (bottom - top)
+
+    for tick in ticks:
+        y = y_of(tick)
+        canvas.line(left, y, right, y, GRID, 1)
+        canvas.text(left - 8, y + 4, f"{tick * 100:.0f}%", size=11,
+                    anchor="end")
+    canvas.line(left, bottom, right, bottom, AXIS, 1)
+
+    bins = len(series[0][1])
+    slot = (right - left) / bins
+    num_series = len(series)
+    thickness = min(BAR_MAX_THICKNESS,
+                    (slot * 0.7 - BAR_GAP * (num_series - 1)) / num_series)
+    for b in range(bins):
+        group_width = num_series * thickness + (num_series - 1) * BAR_GAP
+        x0 = left + b * slot + (slot - group_width) / 2
+        for k, (name, fractions) in enumerate(series):
+            color = SERIES_COLORS[k % len(SERIES_COLORS)]
+            x = x0 + k * (thickness + BAR_GAP)
+            y = y_of(fractions[b])
+            canvas.rect(x, y, thickness, bottom - y, color, rounded_top=4)
+            if fractions[b] == max(fractions):
+                canvas.text(x + thickness / 2, y - 5,
+                            f"{fractions[b] * 100:.0f}%", size=11,
+                            fill=TEXT_PRIMARY, anchor="middle")
+        label = f"[{_fmt(float(edges[b]))},{_fmt(float(edges[b + 1]))})"
+        canvas.text(left + b * slot + slot / 2, bottom + 18, label,
+                    size=10, anchor="middle")
+    canvas.text((left + right) / 2, bottom + 34, "sub-optimality range",
+                size=11, anchor="middle")
+    _legend(canvas, left, height - 12, [name for name, _ in series])
+    return canvas.render()
+
+
+def step_trace_chart(title, waypoints, qa, width=560, height=520,
+                     subtitle=""):
+    """The Figure 7 Manhattan profile: qrun waypoints in log-log space."""
+    top = 76 if subtitle else 60
+    left, right, bottom = 76, width - 28, height - 64
+    canvas = _Canvas(width, height, title)
+    canvas.text(left, 26, title, size=15, fill=TEXT_PRIMARY, weight="600")
+    if subtitle:
+        canvas.text(left, 44, subtitle, size=12)
+
+    xs = [p[0] for p in waypoints] + [qa[0]]
+    ys = [p[1] for p in waypoints] + [qa[1]]
+    lo_x, lo_y = min(xs), min(ys)
+
+    def log_pos(value, lo, a, b):
+        span = math.log10(1.0) - math.log10(lo)
+        if span <= 0:
+            return (a + b) / 2
+        return a + (math.log10(max(value, lo)) - math.log10(lo)) / span * (b - a)
+
+    def x_of(value):
+        return log_pos(value, lo_x, left, right)
+
+    def y_of(value):
+        return log_pos(value, lo_y, bottom, top)
+
+    # Log gridlines at decades.
+    decade = 10 ** math.floor(math.log10(lo_x))
+    while decade <= 1.0:
+        if decade >= lo_x:
+            x = x_of(decade)
+            canvas.line(x, top, x, bottom, GRID, 1)
+            canvas.text(x, bottom + 16, f"1e{int(math.log10(decade))}",
+                        size=10, anchor="middle")
+        decade *= 10
+    decade = 10 ** math.floor(math.log10(lo_y))
+    while decade <= 1.0:
+        if decade >= lo_y:
+            y = y_of(decade)
+            canvas.line(left, y, right, y, GRID, 1)
+            canvas.text(left - 8, y + 4, f"1e{int(math.log10(decade))}",
+                        size=10, anchor="end")
+        decade *= 10
+    canvas.line(left, bottom, right, bottom, AXIS, 1)
+    canvas.line(left, top, left, bottom, AXIS, 1)
+    canvas.text((left + right) / 2, bottom + 34, "epp 1 selectivity",
+                size=11, anchor="middle")
+    canvas.text(18, (top + bottom) / 2, "epp 2 selectivity", size=11,
+                anchor="middle")
+
+    color = SERIES_COLORS[0]
+    points = [(x_of(px), y_of(py)) for px, py in waypoints]
+    # Manhattan profile: axis-parallel moves between waypoints.
+    for (x1, y1), (x2, y2) in zip(points, points[1:]):
+        canvas.line(x1, y1, x2, y1, color, 2)
+        canvas.line(x2, y1, x2, y2, color, 2)
+    for x, y in points:
+        canvas.circle(x, y, 4, color)
+    qa_x, qa_y = x_of(qa[0]), y_of(qa[1])
+    canvas.circle(qa_x, qa_y, 5, SERIES_COLORS[2])
+    canvas.text(qa_x + 10, qa_y + 4, "qa", size=12, fill=TEXT_PRIMARY)
+    canvas.text(points[0][0] + 8, points[0][1] - 8, "origin", size=11)
+    return canvas.render()
+
+
+def save_svg(path, svg_text):
+    with open(path, "w") as fh:
+        fh.write(svg_text)
+    return path

@@ -1,0 +1,123 @@
+"""Workload registry: cached ESS/contour instances for the experiments.
+
+Building an ESS (an optimizer sweep over the grid) is the expensive
+preprocessing step of the whole framework, so experiment runners share
+instances through :func:`load`.  Grid resolution follows a *profile*:
+
+* ``"paper"`` — the defaults of :mod:`repro.ess.grid` (exhaustive MSO
+  sweeps at laptop scale, the profile EXPERIMENTS.md reports);
+* ``"bench"`` — slightly coarser, keeping the full benchmark suite in
+  the minutes range;
+* ``"smoke"`` — tiny grids for unit tests.
+
+Set ``REPRO_PROFILE=paper`` (or ``bench``/``smoke``) to override the
+default ``bench`` profile used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.catalog.job import q1a
+from repro.catalog.tpcds import build_query, suite_names
+from repro.errors import QueryError
+from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
+from repro.ess.grid import ESSGrid
+from repro.ess.ocs import ESS
+from repro.optimizer.cost_model import DEFAULT_COST_MODEL
+
+#: Per-dimension grid resolutions by profile and ESS dimensionality.
+RESOLUTION_PROFILES = {
+    "paper": {2: 32, 3: 16, 4: 10, 5: 7, 6: 6},
+    "bench": {2: 24, 3: 12, 4: 8, 5: 6, 6: 5},
+    "smoke": {2: 10, 3: 7, 4: 5, 5: 4, 6: 4},
+}
+
+#: Floor applied below each epp's true selectivity so the actual query
+#: location always lies inside the grid.
+_SEL_MIN_CAP = 1e-5
+
+
+def active_profile():
+    """The resolution profile selected via ``REPRO_PROFILE``."""
+    profile = os.environ.get("REPRO_PROFILE", "bench")
+    if profile not in RESOLUTION_PROFILES:
+        raise QueryError(
+            f"unknown REPRO_PROFILE {profile!r}; "
+            f"choose from {sorted(RESOLUTION_PROFILES)}"
+        )
+    return profile
+
+
+@dataclass
+class WorkloadInstance:
+    """A query together with its built discovery machinery."""
+
+    name: str
+    query: object
+    ess: object
+    contours: object
+
+    @property
+    def num_epps(self):
+        return self.query.num_epps
+
+    def qa_coords(self):
+        """Grid coordinates of the query's true selectivity location."""
+        return self.ess.grid.snap(self.query.true_location())
+
+
+_CACHE = {}
+
+
+def _build_grid(query, resolution):
+    sel_min = [
+        min(_SEL_MIN_CAP, pred.selectivity / 3.0) for pred in query.epps
+    ]
+    return ESSGrid(query.num_epps, resolution=resolution, sel_min=sel_min)
+
+
+def _make_query(name):
+    if name.endswith("JOB1a"):
+        num_epps = int(name.split("D_", 1)[0])
+        return q1a(num_epps=num_epps)
+    return build_query(name)
+
+
+def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
+         cost_model=DEFAULT_COST_MODEL):
+    """Load (build or fetch cached) a workload instance by name.
+
+    Args:
+        name: ``xD_Qz`` (TPC-DS) or ``xD_JOB1a``.
+        profile: resolution profile; default from ``REPRO_PROFILE``.
+        resolution: explicit per-dimension resolution (overrides profile).
+        cost_ratio: contour spacing.
+        cost_model: optimizer cost model (ablations pass perturbed ones).
+    """
+    profile = profile or active_profile()
+    key = (name, profile, resolution, cost_ratio, id(cost_model))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    query = _make_query(name)
+    if resolution is None:
+        resolution = RESOLUTION_PROFILES[profile].get(query.num_epps, 4)
+    grid = _build_grid(query, resolution)
+    ess = ESS.build(query, grid, cost_model=cost_model)
+    contours = ContourSet(ess, cost_ratio)
+    instance = WorkloadInstance(name=name, query=query, ess=ess,
+                                contours=contours)
+    _CACHE[key] = instance
+    return instance
+
+
+def clear_cache():
+    """Drop all cached instances (tests that tweak globals call this)."""
+    _CACHE.clear()
+
+
+def evaluation_suite():
+    """Names of the paper's main TPC-DS evaluation suite (Fig. 8-13)."""
+    return suite_names()

@@ -1,0 +1,104 @@
+"""Join Order Benchmark (JOB) schema subset and Query 1a.
+
+Paper Section 6.5 evaluates on JOB [Leis et al., VLDB 2016], the
+benchmark "specifically designed to provide challenging workloads for
+current optimizers".  All JOB queries feature cyclic implicit join
+predicates which would nullify the selectivity-independence assumption;
+the paper's work-around — which we follow — is to shut those implicit
+predicates off, leaving a tree-shaped join graph.
+
+The IMDB cardinalities below are the real dataset's (May 2013 snapshot,
+as used by JOB).  JOB's notorious difficulty comes from correlated,
+highly skewed selectivities: the true epp selectivities sit far from any
+uniformity-based estimate, which is what drives the native optimizer's
+MSO above 6000 in the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Column, Schema, Table, fk_column, key_column
+from repro.query.predicates import filter_pred, join
+from repro.query.query import SPJQuery
+
+
+def job_schema():
+    """The IMDB subset schema used by JOB Query 1a."""
+    tables = [
+        Table("company_type", 4, [
+            key_column("ct_id", 4),
+            Column("ct_kind", ndv=4),
+        ]),
+        Table("movie_companies", 2_609_129, [
+            fk_column("mc_movie_id", 2_525_745, indexed=True),
+            fk_column("mc_company_type_id", 4, indexed=True),
+            Column("mc_note", ndv=133_000),
+        ]),
+        Table("title", 2_528_312, [
+            key_column("t_id", 2_528_312),
+            Column("t_production_year", ndv=133, indexed=True),
+        ]),
+        Table("movie_info_idx", 1_380_035, [
+            fk_column("mi_movie_id", 2_525_745, indexed=True),
+            fk_column("mi_info_type_id", 113, indexed=True),
+            Column("mi_info", ndv=115_000),
+        ]),
+        Table("info_type", 113, [
+            key_column("it_id", 113),
+            Column("it_info", ndv=113),
+        ]),
+    ]
+    return Schema("imdb_job", tables=tables)
+
+
+_SCHEMA = None
+
+
+def shared_schema():
+    global _SCHEMA
+    if _SCHEMA is None:
+        _SCHEMA = job_schema()
+    return _SCHEMA
+
+
+def q1a(schema=None, num_epps=3):
+    """JOB Query 1a (SPJ core, implicit cyclic predicates disabled).
+
+    The chain is ``company_type - movie_companies - title -
+    movie_info_idx - info_type``.  The true selectivities reflect JOB's
+    skew: the ``top 250 rank`` info-type filter makes the
+    title/movie_info_idx join orders of magnitude more selective than
+    the uniform estimate, while the production-company filter leaves the
+    company joins much *less* selective than estimated.
+    """
+    schema = schema or shared_schema()
+    epp_flags = [True] * num_epps + [False] * (4 - num_epps)
+    return SPJQuery(
+        f"{num_epps}D_JOB1a", schema,
+        ["company_type", "movie_companies", "title", "movie_info_idx",
+         "info_type"],
+        joins=[
+            join("movie_companies", "mc_movie_id", "title", "t_id",
+                 selectivity=4.0e-7, error_prone=epp_flags[0],
+                 name="j:mc-t"),
+            join("title", "t_id", "movie_info_idx", "mi_movie_id",
+                 selectivity=7.0e-7, error_prone=epp_flags[1],
+                 name="j:t-mi"),
+            join("company_type", "ct_id", "movie_companies",
+                 "mc_company_type_id", selectivity=0.36,
+                 error_prone=epp_flags[2], name="j:ct-mc"),
+            join("info_type", "it_id", "movie_info_idx", "mi_info_type_id",
+                 selectivity=8.8e-3, error_prone=epp_flags[3],
+                 name="j:it-mi"),
+        ],
+        filters=[
+            filter_pred("company_type", "ct_kind", "=",
+                        "production companies", selectivity=0.25),
+            filter_pred("info_type", "it_info", "=", "top 250 rank",
+                        selectivity=1.0 / 113),
+            filter_pred("movie_companies", "mc_note", "=",
+                        "(as Metro-Goldwyn-Mayer Pictures)",
+                        selectivity=0.05),
+            filter_pred("title", "t_production_year", ">", 1950,
+                        selectivity=0.85),
+        ],
+    )

@@ -1,0 +1,167 @@
+"""Relational schema model: columns, tables, foreign keys.
+
+The schema layer plays the role of the database catalog in a real engine.
+It records table cardinalities (the paper's experiments run at TPC-DS scale
+factor 100, which we represent through catalog row counts), column
+properties needed by the cost model (number of distinct values, whether an
+index exists), and the primary-key / foreign-key graph that the benchmark
+queries join along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a relational table.
+
+    Attributes:
+        name: column name, unique within its table.
+        ndv: number of distinct values (used for default join selectivity
+            estimates, ``1 / max(ndv_left, ndv_right)``).
+        indexed: whether a secondary index exists on this column.  Index
+            availability gates the index-scan and index-nested-loop
+            alternatives in the optimizer.
+        is_key: whether the column is the table's primary key.
+    """
+
+    name: str
+    ndv: int = 1
+    indexed: bool = False
+    is_key: bool = False
+
+    def __post_init__(self):
+        if self.ndv < 1:
+            raise SchemaError(f"column {self.name!r}: ndv must be >= 1")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge ``child.column -> parent.column``."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+
+class Table:
+    """A table definition together with its catalog statistics."""
+
+    def __init__(self, name, cardinality, columns, tuple_width=100):
+        """Create a table.
+
+        Args:
+            name: table name, unique within a schema.
+            cardinality: number of rows (catalog estimate; exact in our
+                synthetic setting).
+            columns: iterable of :class:`Column`.
+            tuple_width: average tuple width in bytes; feeds the I/O part
+                of the cost model.
+        """
+        if cardinality < 1:
+            raise SchemaError(f"table {name!r}: cardinality must be >= 1")
+        self.name = name
+        self.cardinality = int(cardinality)
+        self.tuple_width = tuple_width
+        self._columns = {}
+        for col in columns:
+            if col.name in self._columns:
+                raise SchemaError(f"table {name!r}: duplicate column {col.name!r}")
+            self._columns[col.name] = col
+
+    @property
+    def columns(self):
+        """Mapping of column name to :class:`Column`."""
+        return dict(self._columns)
+
+    def column(self, name):
+        """Return the named column, raising :class:`SchemaError` if absent."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name):
+        return name in self._columns
+
+    @property
+    def primary_key(self):
+        """The primary-key column, or ``None`` if the table has none."""
+        for col in self._columns.values():
+            if col.is_key:
+                return col
+        return None
+
+    def __repr__(self):
+        return f"Table({self.name!r}, |R|={self.cardinality})"
+
+
+class Schema:
+    """A set of tables plus the foreign-key graph connecting them."""
+
+    def __init__(self, name, tables=(), foreign_keys=()):
+        self.name = name
+        self._tables = {}
+        self._foreign_keys = []
+        for table in tables:
+            self.add_table(table)
+        for fk in foreign_keys:
+            self.add_foreign_key(fk)
+
+    def add_table(self, table):
+        if table.name in self._tables:
+            raise SchemaError(f"duplicate table {table.name!r}")
+        self._tables[table.name] = table
+
+    def add_foreign_key(self, fk):
+        """Register a foreign key after validating both endpoints exist."""
+        child = self.table(fk.child_table)
+        parent = self.table(fk.parent_table)
+        child.column(fk.child_column)
+        parent.column(fk.parent_column)
+        self._foreign_keys.append(fk)
+
+    @property
+    def tables(self):
+        return dict(self._tables)
+
+    @property
+    def foreign_keys(self):
+        return list(self._foreign_keys)
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no table {name!r}") from None
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def join_ndv(self, left_table, left_column, right_table, right_column):
+        """Default join selectivity denominator, ``max(ndv_l, ndv_r)``.
+
+        This mirrors the textbook (and PostgreSQL) estimate for an
+        equi-join: ``sel = 1 / max(ndv(l), ndv(r))``.
+        """
+        left = self.table(left_table).column(left_column)
+        right = self.table(right_table).column(right_column)
+        return max(left.ndv, right.ndv)
+
+    def __repr__(self):
+        return f"Schema({self.name!r}, {len(self._tables)} tables)"
+
+
+def key_column(name, ndv, indexed=True):
+    """Shorthand for a primary-key column (indexed, all values distinct)."""
+    return Column(name=name, ndv=ndv, indexed=indexed, is_key=True)
+
+
+def fk_column(name, ndv, indexed=False):
+    """Shorthand for a foreign-key column referencing ``ndv`` parents."""
+    return Column(name=name, ndv=ndv, indexed=indexed)

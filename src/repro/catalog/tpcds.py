@@ -1,0 +1,607 @@
+"""TPC-DS-shaped schema and the paper's benchmark query skeletons.
+
+The paper's workload is "representative SPJ queries from the TPC-DS
+benchmark, operating at the base size of 100 GB", with 4-10 relations,
+chain/star/branch join geometries, and 2-6 error-prone join predicates
+(Section 6.1).  We model that workload with:
+
+* a TPC-DS subset schema whose catalog cardinalities follow the official
+  scaling at SF=100;
+* per-query SPJ skeletons for Q7, Q15, Q18, Q19, Q26, Q27, Q29, Q84,
+  Q91 and Q96, keeping each query's relations, join structure and epp
+  count (queries are simplified to their SPJ cores, as in the paper);
+* the ``xD_Qz`` naming convention — ``build_query("4D_Q91")`` returns
+  TPC-DS Q91 with four join predicates marked error-prone.
+
+True selectivities on the predicates define the default ``qa`` for the
+trace/wall-clock experiments; the MSO evaluations sweep the entire ESS
+and do not depend on them.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Column, Schema, Table, fk_column, key_column
+from repro.errors import QueryError
+from repro.query.predicates import filter_pred, join
+from repro.query.query import SPJQuery
+
+#: TPC-DS scale factor the catalog cardinalities follow.
+SCALE_FACTOR = 100
+
+
+def tpcds_schema():
+    """The TPC-DS subset schema at SF=100 (catalog cardinalities only)."""
+    tables = [
+        Table("store_sales", 288_000_000, [
+            fk_column("ss_sold_date_sk", 73_049, indexed=True),
+            fk_column("ss_sold_time_sk", 86_400, indexed=True),
+            fk_column("ss_item_sk", 204_000, indexed=True),
+            fk_column("ss_customer_sk", 2_000_000, indexed=True),
+            fk_column("ss_cdemo_sk", 1_920_800, indexed=True),
+            fk_column("ss_hdemo_sk", 7_200, indexed=True),
+            fk_column("ss_store_sk", 402, indexed=True),
+            fk_column("ss_promo_sk", 1_000, indexed=True),
+            fk_column("ss_ticket_number", 24_000_000, indexed=True),
+            Column("ss_quantity", ndv=100),
+        ]),
+        Table("store_returns", 28_800_000, [
+            fk_column("sr_item_sk", 204_000, indexed=True),
+            fk_column("sr_customer_sk", 2_000_000, indexed=True),
+            fk_column("sr_cdemo_sk", 1_920_800, indexed=True),
+            fk_column("sr_ticket_number", 24_000_000, indexed=True),
+            fk_column("sr_returned_date_sk", 73_049, indexed=True),
+            Column("sr_return_quantity", ndv=100),
+        ]),
+        Table("catalog_sales", 144_000_000, [
+            fk_column("cs_sold_date_sk", 73_049, indexed=True),
+            fk_column("cs_item_sk", 204_000, indexed=True),
+            fk_column("cs_bill_customer_sk", 2_000_000, indexed=True),
+            fk_column("cs_bill_cdemo_sk", 1_920_800, indexed=True),
+            fk_column("cs_promo_sk", 1_000, indexed=True),
+            Column("cs_quantity", ndv=100),
+        ]),
+        Table("catalog_returns", 14_400_000, [
+            fk_column("cr_returned_date_sk", 73_049, indexed=True),
+            fk_column("cr_returning_customer_sk", 2_000_000, indexed=True),
+            fk_column("cr_call_center_sk", 30, indexed=True),
+            fk_column("cr_item_sk", 204_000, indexed=True),
+            Column("cr_return_amount", ndv=100_000),
+        ]),
+        Table("customer", 2_000_000, [
+            key_column("c_customer_sk", 2_000_000),
+            fk_column("c_current_cdemo_sk", 1_920_800, indexed=True),
+            fk_column("c_current_hdemo_sk", 7_200, indexed=True),
+            fk_column("c_current_addr_sk", 1_000_000, indexed=True),
+            Column("c_birth_year", ndv=70),
+        ]),
+        Table("customer_address", 1_000_000, [
+            key_column("ca_address_sk", 1_000_000),
+            Column("ca_state", ndv=51, indexed=True),
+            Column("ca_gmt_offset", ndv=6),
+        ]),
+        Table("customer_demographics", 1_920_800, [
+            key_column("cd_demo_sk", 1_920_800),
+            Column("cd_gender", ndv=2),
+            Column("cd_marital_status", ndv=5),
+            Column("cd_education_status", ndv=7),
+        ]),
+        # Second alias of customer_demographics (Q18 joins it twice).
+        Table("customer_demographics_2", 1_920_800, [
+            key_column("cd2_demo_sk", 1_920_800),
+            Column("cd2_marital_status", ndv=5),
+        ]),
+        Table("household_demographics", 7_200, [
+            key_column("hd_demo_sk", 7_200),
+            fk_column("hd_income_band_sk", 20, indexed=True),
+            Column("hd_buy_potential", ndv=6),
+            Column("hd_dep_count", ndv=10),
+        ]),
+        Table("income_band", 20, [
+            key_column("ib_income_band_sk", 20),
+            Column("ib_lower_bound", ndv=20),
+        ]),
+        Table("date_dim", 73_049, [
+            key_column("d_date_sk", 73_049),
+            Column("d_year", ndv=200, indexed=True),
+            Column("d_moy", ndv=12),
+            Column("d_dom", ndv=31),
+        ]),
+        Table("time_dim", 86_400, [
+            key_column("t_time_sk", 86_400),
+            Column("t_hour", ndv=24, indexed=True),
+        ]),
+        Table("item", 204_000, [
+            key_column("i_item_sk", 204_000),
+            Column("i_category", ndv=10, indexed=True),
+            Column("i_manufact_id", ndv=1_000),
+        ]),
+        Table("store", 402, [
+            key_column("s_store_sk", 402),
+            Column("s_state", ndv=9),
+            Column("s_number_employees", ndv=100),
+        ]),
+        Table("call_center", 30, [
+            key_column("cc_call_center_sk", 30),
+            Column("cc_class", ndv=3),
+        ]),
+        Table("promotion", 1_000, [
+            key_column("p_promo_sk", 1_000),
+            Column("p_channel_email", ndv=2),
+        ]),
+    ]
+    return Schema("tpcds_sf100", tables=tables)
+
+
+_SCHEMA = None
+
+
+def shared_schema():
+    """Process-wide shared schema instance (schemas are read-only)."""
+    global _SCHEMA
+    if _SCHEMA is None:
+        _SCHEMA = tpcds_schema()
+    return _SCHEMA
+
+
+# ----------------------------------------------------------------------
+# Query skeletons.  Each builder returns the query with *all* its join
+# predicates marked error-prone; `build_query("xD_Qz")` re-marks the
+# paper's epp subset for the requested dimensionality.
+# ----------------------------------------------------------------------
+
+def q7(schema=None):
+    """TPC-DS Q7: store_sales star over demographics/date/item/promo."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q7", schema,
+        ["store_sales", "customer_demographics", "date_dim", "item", "promotion"],
+        joins=[
+            join("store_sales", "ss_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:ss-cd"),
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=7.0e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+            join("store_sales", "ss_promo_sk", "promotion", "p_promo_sk",
+                 selectivity=1.0e-3, error_prone=True, name="j:ss-p"),
+        ],
+        filters=[
+            filter_pred("customer_demographics", "cd_gender", "=", "M",
+                        selectivity=0.5),
+            filter_pred("date_dim", "d_year", "=", 2000, selectivity=0.005),
+            filter_pred("promotion", "p_channel_email", "=", "N",
+                        selectivity=0.5),
+        ],
+    )
+
+
+def q15(schema=None):
+    """TPC-DS Q15: catalog_sales -> customer -> address, plus date."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q15", schema,
+        ["catalog_sales", "customer", "customer_address", "date_dim"],
+        joins=[
+            join("catalog_sales", "cs_bill_customer_sk", "customer",
+                 "c_customer_sk", selectivity=5.0e-7, error_prone=True,
+                 name="j:cs-c"),
+            join("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk", selectivity=1.0e-6, error_prone=True,
+                 name="j:c-ca"),
+            join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:cs-d"),
+        ],
+        filters=[
+            filter_pred("customer_address", "ca_state", "=", "CA",
+                        selectivity=0.02),
+            filter_pred("date_dim", "d_year", "=", 2001, selectivity=0.005),
+        ],
+    )
+
+
+def q18(schema=None):
+    """TPC-DS Q18: catalog_sales branch over two demographics aliases."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q18", schema,
+        ["catalog_sales", "customer_demographics", "customer",
+         "customer_demographics_2", "customer_address", "date_dim", "item"],
+        joins=[
+            join("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:cs-cd1"),
+            join("catalog_sales", "cs_bill_customer_sk", "customer",
+                 "c_customer_sk", selectivity=5.0e-7, error_prone=True,
+                 name="j:cs-c"),
+            join("customer", "c_current_cdemo_sk", "customer_demographics_2",
+                 "cd2_demo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:c-cd2"),
+            join("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk", selectivity=1.0e-6, error_prone=True,
+                 name="j:c-ca"),
+            join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:cs-d"),
+            join("catalog_sales", "cs_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:cs-i"),
+        ],
+        filters=[
+            filter_pred("customer_demographics", "cd_gender", "=", "F",
+                        selectivity=0.5),
+            filter_pred("customer_demographics", "cd_education_status", "=",
+                        "College", selectivity=0.14),
+            filter_pred("date_dim", "d_year", "=", 1998, selectivity=0.005),
+            filter_pred("item", "i_category", "=", "Home", selectivity=0.1),
+        ],
+    )
+
+
+def q19(schema=None):
+    """TPC-DS Q19: store_sales branch over date/item/customer/address/store."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q19", schema,
+        ["store_sales", "date_dim", "item", "customer", "customer_address",
+         "store"],
+        joins=[
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+            join("store_sales", "ss_customer_sk", "customer", "c_customer_sk",
+                 selectivity=5.0e-7, error_prone=True, name="j:ss-c"),
+            join("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk", selectivity=1.0e-6, error_prone=True,
+                 name="j:c-ca"),
+            join("store_sales", "ss_store_sk", "store", "s_store_sk",
+                 selectivity=2.5e-3, error_prone=True, name="j:ss-s"),
+        ],
+        filters=[
+            filter_pred("item", "i_manufact_id", "=", 436, selectivity=0.001),
+            filter_pred("date_dim", "d_moy", "=", 11, selectivity=0.083),
+        ],
+    )
+
+
+def q26(schema=None):
+    """TPC-DS Q26: catalog_sales star (the paper's Figure 4 plan)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q26", schema,
+        ["catalog_sales", "customer_demographics", "date_dim", "item",
+         "promotion"],
+        joins=[
+            join("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:cs-cd"),
+            join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:cs-d"),
+            join("catalog_sales", "cs_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:cs-i"),
+            join("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk",
+                 selectivity=1.0e-3, error_prone=True, name="j:cs-p"),
+        ],
+        filters=[
+            filter_pred("customer_demographics", "cd_marital_status", "=",
+                        "S", selectivity=0.2),
+            filter_pred("date_dim", "d_year", "=", 2000, selectivity=0.005),
+        ],
+    )
+
+
+def q27(schema=None):
+    """TPC-DS Q27: store_sales star over demographics/date/store/item."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q27", schema,
+        ["store_sales", "customer_demographics", "date_dim", "store", "item"],
+        joins=[
+            join("store_sales", "ss_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:ss-cd"),
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_store_sk", "store", "s_store_sk",
+                 selectivity=2.5e-3, error_prone=True, name="j:ss-s"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+        ],
+        filters=[
+            filter_pred("customer_demographics", "cd_gender", "=", "F",
+                        selectivity=0.5),
+            filter_pred("date_dim", "d_year", "=", 1999, selectivity=0.005),
+            filter_pred("store", "s_state", "=", "TN", selectivity=0.25),
+        ],
+    )
+
+
+def q29(schema=None):
+    """TPC-DS Q29: sales/returns chain across channels (branch graph)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q29", schema,
+        ["store_sales", "store_returns", "catalog_sales", "date_dim", "item",
+         "store"],
+        joins=[
+            join("store_sales", "ss_ticket_number", "store_returns",
+                 "sr_ticket_number", selectivity=4.2e-8, error_prone=True,
+                 name="j:ss-sr"),
+            join("store_returns", "sr_customer_sk", "catalog_sales",
+                 "cs_bill_customer_sk", selectivity=5.0e-7, error_prone=True,
+                 name="j:sr-cs"),
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+            join("store_sales", "ss_store_sk", "store", "s_store_sk",
+                 selectivity=2.5e-3, error_prone=True, name="j:ss-s"),
+        ],
+        filters=[
+            filter_pred("date_dim", "d_moy", "=", 4, selectivity=0.083),
+            filter_pred("item", "i_category", "=", "Books", selectivity=0.1),
+        ],
+    )
+
+
+def q84(schema=None):
+    """TPC-DS Q84: customer chain into income_band plus store_returns."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q84", schema,
+        ["customer", "customer_address", "customer_demographics",
+         "household_demographics", "income_band", "store_returns"],
+        joins=[
+            join("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk", selectivity=1.0e-6, error_prone=True,
+                 name="j:c-ca"),
+            join("customer", "c_current_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:c-cd"),
+            join("customer", "c_current_hdemo_sk", "household_demographics",
+                 "hd_demo_sk", selectivity=1.4e-4, error_prone=True,
+                 name="j:c-hd"),
+            join("household_demographics", "hd_income_band_sk", "income_band",
+                 "ib_income_band_sk", selectivity=0.05, error_prone=True,
+                 name="j:hd-ib"),
+            join("customer_demographics", "cd_demo_sk", "store_returns",
+                 "sr_cdemo_sk", selectivity=5.2e-7, error_prone=True,
+                 name="j:cd-sr"),
+        ],
+        filters=[
+            filter_pred("customer_address", "ca_state", "=", "IL",
+                        selectivity=0.02),
+            filter_pred("income_band", "ib_lower_bound", ">=", 30_000,
+                        selectivity=0.5),
+        ],
+    )
+
+
+def q91(schema=None):
+    """TPC-DS Q91: the paper's running example (Figure 7, Table 3, Fig 9).
+
+    A branch join graph over catalog_returns and customer, with six join
+    predicates that can all be marked error-prone (D = 2..6 variants).
+    """
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q91", schema,
+        ["call_center", "catalog_returns", "date_dim", "customer",
+         "customer_demographics", "household_demographics",
+         "customer_address"],
+        joins=[
+            join("catalog_returns", "cr_returned_date_sk", "date_dim",
+                 "d_date_sk", selectivity=0.04, error_prone=True,
+                 name="j:cr-d"),
+            join("catalog_returns", "cr_returning_customer_sk", "customer",
+                 "c_customer_sk", selectivity=1.0e-5, error_prone=True,
+                 name="j:cr-c"),
+            join("customer", "c_current_cdemo_sk", "customer_demographics",
+                 "cd_demo_sk", selectivity=2.0e-4, error_prone=True,
+                 name="j:c-cd"),
+            join("customer", "c_current_hdemo_sk", "household_demographics",
+                 "hd_demo_sk", selectivity=3.0e-3, error_prone=True,
+                 name="j:c-hd"),
+            join("customer", "c_current_addr_sk", "customer_address",
+                 "ca_address_sk", selectivity=0.1, error_prone=True,
+                 name="j:c-ca"),
+            join("catalog_returns", "cr_call_center_sk", "call_center",
+                 "cc_call_center_sk", selectivity=0.03, error_prone=True,
+                 name="j:cr-cc"),
+        ],
+        filters=[
+            filter_pred("date_dim", "d_year", "=", 1998, selectivity=0.005),
+            filter_pred("date_dim", "d_moy", "=", 11, selectivity=0.083),
+            filter_pred("customer_demographics", "cd_marital_status", "=",
+                        "M", selectivity=0.2),
+            filter_pred("household_demographics", "hd_buy_potential", "=",
+                        "Unknown", selectivity=0.17),
+        ],
+    )
+
+
+def q96(schema=None):
+    """TPC-DS Q96: store_sales star over household/time/store."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q96", schema,
+        ["store_sales", "household_demographics", "time_dim", "store"],
+        joins=[
+            join("store_sales", "ss_hdemo_sk", "household_demographics",
+                 "hd_demo_sk", selectivity=1.4e-4, error_prone=True,
+                 name="j:ss-hd"),
+            join("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk",
+                 selectivity=1.2e-5, error_prone=True, name="j:ss-td"),
+            join("store_sales", "ss_store_sk", "store", "s_store_sk",
+                 selectivity=2.5e-3, error_prone=True, name="j:ss-s"),
+        ],
+        filters=[
+            filter_pred("household_demographics", "hd_dep_count", "=", 7,
+                        selectivity=0.1),
+            filter_pred("time_dim", "t_hour", "=", 20, selectivity=0.042),
+        ],
+    )
+
+
+def q3(schema=None):
+    """TPC-DS Q3: the classic 3-relation star (extended workload)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q3", schema, ["store_sales", "date_dim", "item"],
+        joins=[
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+        ],
+        filters=[
+            filter_pred("date_dim", "d_moy", "=", 11, selectivity=0.083),
+            filter_pred("item", "i_manufact_id", "=", 128,
+                        selectivity=0.001),
+        ],
+    )
+
+
+def q42(schema=None):
+    """TPC-DS Q42: store_sales with date and item (extended workload)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q42", schema, ["store_sales", "date_dim", "item"],
+        joins=[
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+        ],
+        filters=[
+            filter_pred("date_dim", "d_year", "=", 2000, selectivity=0.005),
+            filter_pred("item", "i_category", "=", "Music",
+                        selectivity=0.1),
+        ],
+    )
+
+
+def q52(schema=None):
+    """TPC-DS Q52 (same SPJ core shape as Q42, different constants)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q52", schema, ["store_sales", "date_dim", "item"],
+        joins=[
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+        ],
+        filters=[
+            filter_pred("date_dim", "d_moy", "=", 12, selectivity=0.083),
+            filter_pred("item", "i_manufact_id", "=", 436,
+                        selectivity=0.001),
+        ],
+    )
+
+
+def q12(schema=None):
+    """TPC-DS Q12 adapted to the store channel (extended workload)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q12", schema, ["catalog_sales", "item", "date_dim"],
+        joins=[
+            join("catalog_sales", "cs_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:cs-i"),
+            join("catalog_sales", "cs_sold_date_sk", "date_dim",
+                 "d_date_sk", selectivity=1.4e-5, error_prone=True,
+                 name="j:cs-d"),
+        ],
+        filters=[
+            filter_pred("item", "i_category", "=", "Books",
+                        selectivity=0.1),
+            filter_pred("date_dim", "d_year", "=", 1999,
+                        selectivity=0.005),
+        ],
+    )
+
+
+def q55(schema=None):
+    """TPC-DS Q55: brand revenue star (extended workload)."""
+    schema = schema or shared_schema()
+    return SPJQuery(
+        "Q55", schema, ["store_sales", "date_dim", "item", "store"],
+        joins=[
+            join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
+                 selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
+            join("store_sales", "ss_item_sk", "item", "i_item_sk",
+                 selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+            join("store_sales", "ss_store_sk", "store", "s_store_sk",
+                 selectivity=2.5e-3, error_prone=True, name="j:ss-s"),
+        ],
+        filters=[
+            filter_pred("date_dim", "d_moy", "=", 11, selectivity=0.083),
+            filter_pred("item", "i_manufact_id", "=", 28,
+                        selectivity=0.001),
+        ],
+    )
+
+
+#: Builders keyed by base query number.
+QUERY_BUILDERS = {
+    "Q7": q7, "Q15": q15, "Q18": q18, "Q19": q19, "Q26": q26,
+    "Q27": q27, "Q29": q29, "Q84": q84, "Q91": q91, "Q96": q96,
+    # Extended workload (beyond the paper's evaluation suite).
+    "Q3": q3, "Q12": q12, "Q42": q42, "Q52": q52, "Q55": q55,
+}
+
+#: The epp subset (join-predicate names, in ESS-dimension order) for each
+#: ``xD_Qz`` instance of the paper's evaluation suite.
+EPP_SELECTIONS = {
+    "3D_Q15": ["j:cs-c", "j:c-ca", "j:cs-d"],
+    "3D_Q96": ["j:ss-hd", "j:ss-td", "j:ss-s"],
+    "4D_Q7": ["j:ss-cd", "j:ss-d", "j:ss-i", "j:ss-p"],
+    "4D_Q26": ["j:cs-cd", "j:cs-d", "j:cs-i", "j:cs-p"],
+    "4D_Q27": ["j:ss-cd", "j:ss-d", "j:ss-s", "j:ss-i"],
+    "4D_Q91": ["j:cr-d", "j:cr-c", "j:c-cd", "j:c-ca"],
+    "5D_Q19": ["j:ss-d", "j:ss-i", "j:ss-c", "j:c-ca", "j:ss-s"],
+    "5D_Q29": ["j:ss-sr", "j:sr-cs", "j:ss-d", "j:ss-i", "j:ss-s"],
+    "5D_Q84": ["j:c-ca", "j:c-cd", "j:c-hd", "j:hd-ib", "j:cd-sr"],
+    "6D_Q18": ["j:cs-cd1", "j:cs-c", "j:c-cd2", "j:c-ca", "j:cs-d", "j:cs-i"],
+    "6D_Q91": ["j:cr-d", "j:cr-c", "j:c-cd", "j:c-hd", "j:c-ca", "j:cr-cc"],
+    # The Figure 7 / Figure 9 dimensionality variants of Q91.
+    "2D_Q91": ["j:cr-d", "j:c-ca"],
+    # Extended workload instances.
+    "2D_Q3": ["j:ss-d", "j:ss-i"],
+    "2D_Q12": ["j:cs-i", "j:cs-d"],
+    "2D_Q42": ["j:ss-d", "j:ss-i"],
+    "2D_Q52": ["j:ss-d", "j:ss-i"],
+    "3D_Q55": ["j:ss-d", "j:ss-i", "j:ss-s"],
+    "3D_Q91": ["j:cr-d", "j:cr-c", "j:c-ca"],
+    "5D_Q91": ["j:cr-d", "j:cr-c", "j:c-cd", "j:c-hd", "j:c-ca"],
+}
+
+
+def build_query(name, schema=None):
+    """Build an ``xD_Qz`` workload query (e.g. ``"4D_Q91"``).
+
+    Also accepts a bare ``Qz`` name, which keeps every join error-prone.
+    """
+    if name in QUERY_BUILDERS:
+        return QUERY_BUILDERS[name](schema)
+    if name not in EPP_SELECTIONS:
+        raise QueryError(f"unknown workload query {name!r}")
+    base = name.split("_", 1)[1]
+    query = QUERY_BUILDERS[base](schema)
+    reduced = query.with_epps(EPP_SELECTIONS[name])
+    # with_epps derives the canonical name; keep the requested label.
+    reduced.name = name
+    return reduced
+
+
+def suite_names():
+    """The paper's main evaluation suite, in figure order."""
+    return [
+        "3D_Q15", "3D_Q96", "4D_Q7", "4D_Q26", "4D_Q27", "4D_Q91",
+        "5D_Q19", "5D_Q29", "5D_Q84", "6D_Q18", "6D_Q91",
+    ]
+
+
+def extended_suite_names():
+    """Extra TPC-DS instances beyond the paper's figures — available to
+    library users for broader studies."""
+    return ["2D_Q3", "2D_Q12", "2D_Q42", "2D_Q52", "3D_Q55"]

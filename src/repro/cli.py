@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main flows a no-code entry point:
+
+* ``list`` / ``describe`` — browse the benchmark workloads;
+* ``guarantees`` — the closed-form bound table (any contour ratio);
+* ``build`` — offline ESS construction, optionally persisted to .npz;
+* ``run`` — one traced discovery run (pb / sb / ab / native);
+* ``evaluate`` — exhaustive MSO/ASO over the ESS;
+* ``experiment`` — regenerate a specific paper table/figure;
+* ``wallclock`` — the Section 6.3 actual-execution experiment;
+* ``advise`` — the native-vs-robust deployment advisor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import harness, workloads
+from repro.bench.report import format_histogram, format_table, format_value
+from repro.core import bounds
+from repro.core.aligned_bound import AlignedBound
+from repro.core.mso import evaluate_algorithm
+from repro.core.native import NativeOptimizer
+from repro.core.plan_bouquet import PlanBouquet
+from repro.core.spill_bound import SpillBound
+
+_ALGORITHMS = {
+    "pb": lambda inst: PlanBouquet(inst.ess, inst.contours),
+    "sb": lambda inst: SpillBound(inst.ess, inst.contours),
+    "ab": lambda inst: AlignedBound(inst.ess, inst.contours),
+}
+
+_EXPERIMENTS = (
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "table2", "table3", "table4", "job", "lower-bound",
+)
+
+
+def _parse_qa(text):
+    return tuple(float(part) for part in text.split(","))
+
+
+def cmd_list(args):
+    print("TPC-DS evaluation suite:")
+    for name in workloads.evaluation_suite():
+        print(f"  {name}")
+    print("Q91 dimensionality variants: 2D_Q91 3D_Q91 5D_Q91")
+    print("JOB: 2D_JOB1a 3D_JOB1a 4D_JOB1a")
+    return 0
+
+
+def cmd_describe(args):
+    instance = workloads.load(args.query, profile=args.profile)
+    print(instance.query.describe())
+    ess, contours = instance.ess, instance.contours
+    print(f"\nESS grid {ess.grid.shape} ({ess.grid.num_points} locations)")
+    print(f"POSP size {ess.posp_size}, cost span "
+          f"[{ess.min_cost:.4g}, {ess.max_cost:.4g}]")
+    print(f"{contours.num_contours} contours at ratio "
+          f"{contours.cost_ratio}, max density rho = {contours.max_density}")
+    return 0
+
+
+def cmd_guarantees(args):
+    rows = bounds.guarantee_table(ratio=args.ratio)
+    print(format_table(
+        f"MSO guarantees at contour ratio {args.ratio}",
+        ["D", "PB (rho=3)", "SB", "SB @ ideal ratio", "ideal ratio",
+         "AB aligned", "lower bound"],
+        [[r["D"], r["pb"], r["sb"], r["sb_at_ideal_ratio"],
+          r["ideal_ratio"], r["ab_aligned"], r["lower_bound"]]
+         for r in rows],
+    ))
+    return 0
+
+
+def cmd_build(args):
+    instance = workloads.load(args.query, profile=args.profile)
+    print(f"built ESS for {args.query}: {instance.ess}")
+    if args.save:
+        from repro.ess.persistence import save_ess
+
+        save_ess(instance.ess, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def cmd_run(args):
+    instance = workloads.load(args.query, profile=args.profile)
+    qa = _parse_qa(args.qa) if args.qa else instance.query.true_location()
+    if args.algorithm == "native":
+        result = NativeOptimizer(instance.ess).run(qa, trace=True)
+    else:
+        result = _ALGORITHMS[args.algorithm](instance).run(qa, trace=True)
+    print(f"{args.algorithm} on {args.query} at qa={qa}")
+    rows = []
+    for record in result.executions:
+        rows.append([
+            record.contour, record.mode,
+            "-" if record.spill_dim is None else f"e{record.spill_dim + 1}",
+            record.plan_id, format_value(record.budget),
+            format_value(record.charged),
+            "yes" if record.completed else "no",
+        ])
+    print(format_table(
+        "execution sequence",
+        ["IC", "mode", "epp", "plan", "budget", "charged", "done"],
+        rows,
+    ))
+    print(f"sub-optimality: {result.suboptimality:.2f}")
+    return 0
+
+
+def cmd_evaluate(args):
+    instance = workloads.load(args.query, profile=args.profile)
+    rows = []
+    for key in args.algorithms.split(","):
+        algorithm = _ALGORITHMS[key.strip()](instance)
+        evaluation = evaluate_algorithm(algorithm)
+        guarantee = algorithm.mso_guarantee()
+        rows.append([key.strip(), evaluation.mso, evaluation.aso, guarantee])
+    print(format_table(
+        f"exhaustive evaluation of {args.query} "
+        f"({instance.ess.grid.num_points} locations)",
+        ["algorithm", "MSOe", "ASO", "guarantee"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_experiment(args):
+    name = args.name
+    if name == "fig7":
+        data = harness.run_fig7(profile=args.profile)
+        print(format_table(
+            f"Figure 7 trace (sub-optimality {data['suboptimality']:.2f})",
+            ["IC", "mode", "plan", "qrun"],
+            [[r["contour"], r["mode"], r["plan"], str(r["qrun"])]
+             for r in data["rows"]],
+        ))
+    elif name == "fig8":
+        rows = harness.run_fig8(profile=args.profile)
+        print(format_table("Figure 8", ["query", "D", "PB MSOg", "SB MSOg"],
+                           [[r["query"], r["D"], r["pb_msog"], r["sb_msog"]]
+                            for r in rows]))
+    elif name == "fig9":
+        rows = harness.run_fig9(profile=args.profile)
+        print(format_table("Figure 9", ["D", "PB MSOg", "SB MSOg"],
+                           [[r["D"], r["pb_msog"], r["sb_msog"]]
+                            for r in rows]))
+    elif name == "fig10":
+        rows = harness.run_fig10(profile=args.profile)
+        print(format_table("Figure 10", ["query", "PB MSOe", "SB MSOe"],
+                           [[r["query"], r["pb_msoe"], r["sb_msoe"]]
+                            for r in rows]))
+    elif name == "fig11":
+        rows = harness.run_fig11(profile=args.profile)
+        print(format_table("Figure 11", ["query", "PB ASO", "SB ASO"],
+                           [[r["query"], r["pb_aso"], r["sb_aso"]]
+                            for r in rows]))
+    elif name == "fig12":
+        data = harness.run_fig12(profile=args.profile)
+        for key in ("pb", "sb"):
+            edges, fractions = data[key]
+            print(format_histogram(f"Figure 12 ({key})", edges, fractions))
+    elif name == "fig13":
+        rows = harness.run_fig13(profile=args.profile)
+        print(format_table("Figure 13", ["query", "SB MSOe", "AB MSOe"],
+                           [[r["query"], r["sb_msoe"], r["ab_msoe"]]
+                            for r in rows]))
+    elif name == "table2":
+        rows = harness.run_table2(profile=args.profile)
+        print(format_table(
+            "Table 2",
+            ["query", "original %", "<=1.2", "<=1.5", "<=2.0", "max"],
+            [[r["query"], r["original_pct"], r["pct_at_1.2"],
+              r["pct_at_1.5"], r["pct_at_2.0"], r["max_penalty"]]
+             for r in rows]))
+    elif name == "table3":
+        data = harness.run_table3(profile=args.profile)
+        print(format_table(
+            f"Table 3 (sub-optimality {data['suboptimality']:.2f})",
+            ["IC", "epp", "plan", "learned", "cumulative"],
+            [[r["contour"], r["epp"], r["plan"], r["learned_sel"],
+              r["cumulative_cost"]] for r in data["rows"]]))
+    elif name == "table4":
+        rows = harness.run_table4(profile=args.profile)
+        print(format_table("Table 4", ["query", "max penalty"],
+                           [[r["query"], r["max_penalty"]] for r in rows]))
+    elif name == "job":
+        data = harness.run_job(profile=args.profile)
+        print(format_table("JOB 1a", ["metric", "value"],
+                           [[k, v] for k, v in data.items() if k != "query"]))
+    elif name == "lower-bound":
+        rows = harness.run_lower_bound()
+        print(format_table("Theorem 4.6", ["D", "measured MSO"],
+                           [[r["D"], r["measured_mso"]] for r in rows]))
+    return 0
+
+
+def cmd_wallclock(args):
+    result = harness.run_wallclock(row_budget=args.rows, seed=args.seed)
+    print(format_table(
+        "Section 6.3: engine-measured costs",
+        ["strategy", "cost", "vs oracle"],
+        [["oracle", result["oracle_cost"], 1.0],
+         ["native", result["native_cost"], result["native_subopt"]],
+         ["SpillBound", result["sb_cost"], result["sb_subopt"]],
+         ["AlignedBound", result["ab_cost"], result["ab_subopt"]]],
+    ))
+    return 0
+
+
+def cmd_figures(args):
+    from repro.bench.figures import render_all_figures
+
+    paths = render_all_figures(args.outdir, profile=args.profile)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def cmd_advise(args):
+    from repro.core.advisor import RobustnessAdvisor
+
+    instance = workloads.load(args.query, profile=args.profile)
+    advisor = RobustnessAdvisor(instance.ess)
+    estimate = (_parse_qa(args.estimate) if args.estimate
+                else instance.ess.grid.origin)
+    advice = advisor.advise(estimate, args.radius)
+    verdict = "robust discovery" if advice.use_robust else "native optimizer"
+    print(f"recommendation for {args.query}: {verdict}")
+    print(f"  {advice.reason}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Platform-independent robust query processing",
+    )
+    parser.add_argument("--profile", default=None,
+                        choices=[None, "smoke", "bench", "paper"],
+                        help="grid-resolution profile")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workload queries")
+
+    p = sub.add_parser("describe", help="describe a workload query")
+    p.add_argument("query")
+
+    p = sub.add_parser("guarantees", help="closed-form bound table")
+    p.add_argument("--ratio", type=float, default=2.0)
+
+    p = sub.add_parser("build", help="build (and optionally save) an ESS")
+    p.add_argument("query")
+    p.add_argument("--save", default=None, help="write the ESS to a .npz")
+
+    p = sub.add_parser("run", help="one traced discovery run")
+    p.add_argument("query")
+    p.add_argument("--algorithm", default="sb",
+                   choices=["pb", "sb", "ab", "native"])
+    p.add_argument("--qa", default=None,
+                   help="comma-separated actual selectivities")
+
+    p = sub.add_parser("evaluate", help="exhaustive MSO/ASO evaluation")
+    p.add_argument("query")
+    p.add_argument("--algorithms", default="pb,sb,ab")
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("name", choices=_EXPERIMENTS)
+
+    p = sub.add_parser("wallclock", help="the actual-execution experiment")
+    p.add_argument("--rows", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser("figures", help="render all figures as SVG")
+    p.add_argument("--outdir", default="results/figures")
+
+    p = sub.add_parser("advise", help="native vs robust recommendation")
+    p.add_argument("query")
+    p.add_argument("--radius", type=float, default=10.0,
+                   help="anticipated multiplicative estimation error")
+    p.add_argument("--estimate", default=None,
+                   help="comma-separated estimated selectivities")
+    return parser
+
+
+_HANDLERS = {
+    "list": cmd_list,
+    "describe": cmd_describe,
+    "guarantees": cmd_guarantees,
+    "build": cmd_build,
+    "run": cmd_run,
+    "evaluate": cmd_evaluate,
+    "experiment": cmd_experiment,
+    "wallclock": cmd_wallclock,
+    "figures": cmd_figures,
+    "advise": cmd_advise,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Deployment aids (paper Section 7 and the stated future work).
+
+Two pragmatic questions precede any deployment of the discovery
+algorithms, and this module answers both:
+
+1. **Which predicates are the epps?**  Section 7 suggests leveraging
+   domain knowledge and query logs, "or simply be conservative".
+   :func:`recommend_epps` ranks a query's join predicates by estimation
+   *risk* — combining the coarseness of the ``1/max(ndv)`` rule, column
+   skew visible in analyzed histograms, and (when available) query-log
+   feedback of past estimate-vs-actual errors.
+2. **Native optimizer or robust discovery?**  The conclusion lists an
+   "automated assistant for guiding users in deciding whether to use
+   the native query optimizer or our algorithms" as future work.
+   :class:`RobustnessAdvisor` implements it over a built ESS: given an
+   anticipated estimation-error radius, it compares the native
+   optimizer's worst case within that radius against SpillBound's
+   structural guarantee and recommends the safer choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spill_bound import SpillBound
+from repro.query.predicates import JoinPredicate
+
+
+@dataclass(frozen=True)
+class EppRecommendation:
+    """One join predicate's estimation-risk assessment."""
+
+    name: str
+    risk: float
+    reasons: tuple
+
+    def __str__(self):
+        return f"{self.name}: risk {self.risk:.2f} ({'; '.join(self.reasons)})"
+
+
+def _skew_risk(catalog, table, column):
+    """Risk contribution from visible column skew.
+
+    An analyzed histogram whose hottest equality estimate exceeds the
+    uniform ``1/ndv`` baseline reveals skew the ``1/max(ndv)`` join rule
+    ignores.
+    """
+    stats = catalog.column_stats(table, column)
+    if stats is None:
+        return 0.0, None
+    hist = stats.histogram
+    if hist.ndv <= 1:
+        return 0.0, None
+    # Quantile boundaries repeat where mass concentrates: count repeats.
+    boundaries = hist.boundaries
+    repeats = len(boundaries) - len(np.unique(boundaries))
+    if repeats == 0:
+        return 0.0, None
+    skew = repeats / max(len(boundaries) - 1, 1)
+    return skew, f"{table}.{column} histogram shows skew ({skew:.0%})"
+
+
+def recommend_epps(query, catalog, observed=None, max_epps=None,
+                   min_risk=0.0):
+    """Rank a query's join predicates by selectivity-estimation risk.
+
+    Args:
+        query: the :class:`~repro.query.query.SPJQuery`.
+        catalog: a :class:`~repro.catalog.statistics.StatisticsCatalog`.
+        observed: optional query-log feedback — mapping predicate name to
+            the actually-observed selectivity of a past execution.
+        max_epps: keep at most this many predicates (highest risk first).
+        min_risk: drop predicates below this risk.
+
+    Returns:
+        list of :class:`EppRecommendation`, highest risk first.  Feed
+        the names into :meth:`SPJQuery.with_epps` to derive the marked
+        query.
+    """
+    observed = observed or {}
+    recommendations = []
+    for pred in query.joins:
+        if not isinstance(pred, JoinPredicate):
+            continue
+        reasons = []
+        risk = 0.0
+        estimate = catalog.estimate_join(
+            pred.left_table, pred.left_column,
+            pred.right_table, pred.right_column,
+        )
+        # Baseline: every AVI/uniformity join estimate carries risk that
+        # grows with the size of the joined relations (error compounds).
+        big_side = max(
+            query.schema.table(t).cardinality for t in pred.tables
+        )
+        risk += 0.2 * np.log10(max(big_side, 10)) / 9.0
+        reasons.append("uniformity join estimate")
+
+        for table in pred.tables:
+            skew, reason = _skew_risk(catalog, table, pred.column_for(table))
+            if reason:
+                risk += skew
+                reasons.append(reason)
+            # Filters on the same table correlate with the join column in
+            # the hard cases; flag them as compounding.
+            if query.filters_on(table):
+                risk += 0.15
+                reasons.append(f"filtered relation {table}")
+
+        if pred.name in observed:
+            error = abs(np.log10(max(observed[pred.name], 1e-12))
+                        - np.log10(max(estimate, 1e-12)))
+            risk += error
+            reasons.append(
+                f"query log: past estimate off by 10^{error:.1f}"
+            )
+        recommendations.append(EppRecommendation(
+            name=pred.name, risk=float(risk), reasons=tuple(reasons),
+        ))
+    recommendations.sort(key=lambda r: (-r.risk, r.name))
+    recommendations = [r for r in recommendations if r.risk >= min_risk]
+    if max_epps is not None:
+        recommendations = recommendations[:max_epps]
+    return recommendations
+
+
+@dataclass
+class Advice:
+    """The advisor's verdict for one anticipated error radius."""
+
+    error_radius: float
+    native_worst_case: float
+    spillbound_guarantee: float
+    use_robust: bool
+    reason: str = ""
+
+
+class RobustnessAdvisor:
+    """Decide between the native optimizer and robust discovery.
+
+    The decision model of Section 1.4.1: if anticipated estimation
+    errors are small, the native plan's worst case within the error
+    neighbourhood may undercut SpillBound's guarantee; with larger
+    anticipated errors, the discovery algorithms win.  "Error radius"
+    is multiplicative: the actual selectivity of each epp is assumed to
+    lie within a factor ``radius`` of the estimate.
+    """
+
+    def __init__(self, ess):
+        self.ess = ess
+
+    def native_worst_case(self, estimate_coords, error_radius):
+        """Worst sub-optimality of the native plan if qa stays within a
+        multiplicative ``error_radius`` of the estimate."""
+        grid = self.ess.grid
+        pid = int(self.ess.plan_ids[grid.flat_index(estimate_coords)])
+        surface = self.ess.suboptimality_surface(pid)
+        mask = np.ones(grid.num_points, dtype=bool)
+        for dim in range(grid.num_dims):
+            est = grid.selectivity(dim, estimate_coords[dim])
+            sels = grid.sel_array(dim)
+            mask &= (sels >= est / error_radius) & (sels <= est * error_radius)
+        if not mask.any():
+            return 1.0
+        return float(surface[mask].max())
+
+    def advise(self, estimate, error_radius):
+        """Recommend native vs robust for one estimate and radius.
+
+        Args:
+            estimate: the optimizer's estimated epp selectivities
+                (vector or grid coords).
+            error_radius: anticipated multiplicative estimation error
+                (e.g. 10 means "could be 10x off either way").
+        """
+        grid = self.ess.grid
+        if all(isinstance(c, (int, np.integer)) for c in estimate):
+            coords = tuple(int(c) for c in estimate)
+        else:
+            coords = grid.snap(estimate)
+        native = self.native_worst_case(coords, error_radius)
+        guarantee = SpillBound.mso_guarantee_for(grid.num_dims)
+        use_robust = native > guarantee
+        reason = (
+            f"native worst case {native:.1f} "
+            f"{'exceeds' if use_robust else 'stays below'} the "
+            f"SpillBound guarantee {guarantee:.0f} within a "
+            f"{error_radius:g}x error radius"
+        )
+        return Advice(
+            error_radius=float(error_radius),
+            native_worst_case=native,
+            spillbound_guarantee=guarantee,
+            use_robust=use_robust,
+            reason=reason,
+        )
+
+    def crossover_radius(self, estimate, radii=(2, 5, 10, 100, 1e4, 1e6)):
+        """The smallest tested radius at which robust processing wins."""
+        for radius in radii:
+            advice = self.advise(estimate, radius)
+            if advice.use_robust:
+                return radius
+        return None

@@ -1,0 +1,494 @@
+"""The AlignedBound algorithm (paper Section 5).
+
+AlignedBound narrows SpillBound's quadratic-to-linear MSO gap by
+exploiting *alignment*:
+
+* **Contour alignment** — a contour is aligned along dimension ``j``
+  when an extreme-``j`` location's optimal plan spills on ``j``; then a
+  *single* spill execution makes quantum progress (Lemma 3.3).
+* **Induced alignment** — when alignment does not hold natively, the
+  optimal plan at an extreme location may be *replaced* by the cheapest
+  plan that spills on the wanted dimension, at a penalty
+  ``Cost(replacement)/CC_i``.
+* **Predicate-set alignment (PSA)** — the finer-grained version: a set
+  ``T`` of epps satisfies PSA with leader ``j`` when every contour
+  location spilling on a dimension in ``T`` has its ``j`` coordinate
+  bounded by the leader location's.  A partition of the unlearned epps
+  into PSA parts crosses the contour with one execution per part
+  (Lemma 5.3), and the paper shows it suffices to search *partition*
+  covers (Section 5.2.2).
+
+Per contour, AlignedBound picks the partition with the minimum total
+penalty ``pi*`` and executes one (possibly replacement) plan per part.
+Its guarantee is ``MSO in [2D + 2, D^2 + 3D]``.
+
+Replacement-plan pool: the paper adds an engine feature returning "a
+least cost plan from optimizer which spills on a user-specified epp";
+our simulation searches the POSP plan pool for the cheapest plan whose
+spill order leads with the wanted dimension — the same plans the
+bouquet machinery can execute (documented substitution, DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.discovery import (
+    NORMAL,
+    SPILL,
+    DiscoveryResult,
+    ExecutionRecord,
+    normalize_location,
+)
+from repro.core.spill_bound import SpillBound, learnable_index
+from repro.errors import DiscoveryError
+from repro.ess.contours import DEFAULT_COST_RATIO
+
+_EPS = 1e-9
+
+
+def set_partitions(items):
+    """Yield all set partitions of ``items`` (each a list of tuples).
+
+    Standard recursive enumeration (Bell(6) = 203, so exhaustive search
+    is cheap at the paper's dimensionalities).
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in set_partitions(rest):
+        # first joins an existing part...
+        for k, part in enumerate(partial):
+            yield partial[:k] + [(first,) + part] + partial[k + 1:]
+        # ...or starts its own.
+        yield [(first,)] + partial
+
+
+@dataclass(frozen=True)
+class PartStep:
+    """One part of the chosen partition: a single spill execution.
+
+    ``dims`` is the part ``T``; ``leader`` its leader dimension; the
+    remaining fields mirror :class:`~repro.core.spill_bound.SpillStep`.
+    ``native`` records whether PSA held without a plan replacement.
+    """
+
+    dims: tuple
+    leader: int
+    plan_id: int
+    location: tuple
+    budget: float
+    learn_idx: int
+    curve: np.ndarray
+    penalty: float
+    native: bool
+
+
+class AlignedBound(SpillBound):
+    """AlignedBound executor/simulator (Algorithm 2).
+
+    Shares SpillBound's state-cached contour machinery and 1-D tail;
+    overrides the per-contour crossing strategy with the partition-cover
+    search.
+    """
+
+    def __init__(self, ess, contour_set=None, cost_ratio=DEFAULT_COST_RATIO):
+        super().__init__(ess, contour_set, cost_ratio)
+        self._part_cache = {}
+        self._partition_cache = {}
+        self._spiller_pool_cache = {}
+        #: Largest replacement penalty seen across all runs (Table 4).
+        self.observed_max_penalty = 1.0
+
+    # ------------------------------------------------------------------
+    # Guarantees
+    # ------------------------------------------------------------------
+
+    def mso_guarantee(self):
+        """Upper end of the AlignedBound range (``D^2 + 3D``)."""
+        return SpillBound.mso_guarantee(self)
+
+    def mso_guarantee_range(self):
+        """The platform-independent range ``[2D + 2, D^2 + 3D]``
+        (generalized to the contour ratio in use)."""
+        from repro.core.bounds import ab_mso_bound_range
+
+        return ab_mso_bound_range(self.num_dims, self.contours.cost_ratio)
+
+    # ------------------------------------------------------------------
+    # Replacement plan pool
+    # ------------------------------------------------------------------
+
+    def _local_plans(self, contour_index):
+        """Plan ids optimal in the contour's cost neighbourhood.
+
+        Replacement candidates are drawn from plans optimal in bands
+        ``i-1 .. i+1``: a plan whose optimality region sits at this cost
+        scale is the only kind whose replacement penalty can be small,
+        and restricting the pool keeps the search tractable on large
+        POSPs (the engine feature this simulates — "least cost plan that
+        spills on a chosen epp" — is likewise a local re-optimization).
+        """
+        cached = self._spiller_pool_cache.get(("local", contour_index))
+        if cached is None:
+            ids = []
+            lo = max(1, contour_index - 1)
+            hi = min(self.contours.num_contours, contour_index + 1)
+            for index in range(lo, hi + 1):
+                for pid in self.contours.contour(index).unique_plan_ids():
+                    if pid not in ids:
+                        ids.append(pid)
+            cached = ids
+            self._spiller_pool_cache[("local", contour_index)] = cached
+        return cached
+
+    def _spiller_pool(self, dim, remaining_key, contour_index):
+        """Contour-local plans whose spill order (under ``remaining``)
+        leads with ``dim`` — the candidate replacements ``P_dim``."""
+        key = (dim, remaining_key, contour_index)
+        cached = self._spiller_pool_cache.get(key)
+        if cached is None:
+            remaining = list(remaining_key)
+            cached = [
+                pid for pid in self._local_plans(contour_index)
+                if self.ess.spill_dimension(pid, remaining) == dim
+            ]
+            self._spiller_pool_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # PSA per part
+    # ------------------------------------------------------------------
+
+    def _evaluate_part(self, contour_index, learned_key, part, context):
+        """Best (leader, plan, penalty) for one candidate part ``T``.
+
+        Returns a :class:`PartStep`, or ``None`` when no dimension of the
+        part can act as leader (no native PSA and no replacement plan).
+        """
+        cache_key = (contour_index, learned_key, part)
+        if cache_key in self._part_cache:
+            return self._part_cache[cache_key]
+
+        coords, plan_ids, point_spill, remaining_key = context
+        budget = self.contours.budget(contour_index)
+        in_part = np.isin(point_spill, part)
+        best = None
+        if in_part.any():
+            part_points = np.flatnonzero(in_part)
+            for leader in part:
+                step = self._leader_step(
+                    leader, part, part_points, coords, plan_ids, point_spill,
+                    budget, remaining_key, contour_index,
+                )
+                if step is None:
+                    continue
+                if best is None or step.penalty < best.penalty - 1e-12 or (
+                    abs(step.penalty - best.penalty) <= 1e-12
+                    and step.leader < best.leader
+                ):
+                    best = step
+        self._part_cache[cache_key] = best
+        return best
+
+    def _leader_step(self, leader, part, part_points, coords, plan_ids,
+                     point_spill, budget, remaining_key, contour_index):
+        """PSA for part ``T`` with a specific leader dimension."""
+        lead_coords = coords[part_points, leader]
+        max_j = int(lead_coords.max())
+        at_max = part_points[lead_coords == max_j]
+        native = at_max[point_spill[at_max] == leader]
+        if len(native):
+            # PSA holds natively: the extreme location's plan already
+            # spills on the leader.
+            row = int(native[0])
+            pid = int(plan_ids[row])
+            location = tuple(int(c) for c in coords[row])
+            curve = self.ess.spill_cost_curve(pid, leader, location)
+            return PartStep(
+                dims=part,
+                leader=leader,
+                plan_id=pid,
+                location=location,
+                budget=budget,
+                learn_idx=learnable_index(curve, budget, max_j),
+                curve=curve,
+                penalty=1.0,
+                native=True,
+            )
+        # Induce PSA: cheapest (plan in P_leader, location in S) pair,
+        # where S is every contour location with the extreme leader
+        # coordinate (Section 5.2.1).
+        pool = self._spiller_pool(leader, remaining_key, contour_index)
+        if not pool:
+            return None
+        s_rows = np.flatnonzero(coords[:, leader] == max_j)
+        if len(s_rows) == 0:
+            return None
+        s_flat = np.fromiter(
+            (self.ess.grid.flat_index(tuple(int(c) for c in coords[r]))
+             for r in s_rows),
+            dtype=np.int64,
+            count=len(s_rows),
+        )
+        best_cost = np.inf
+        best_pid = None
+        best_row = None
+        for pid in pool:
+            costs = self.ess.plan_cost_at_points(pid, s_flat)
+            k = int(np.argmin(costs))
+            if costs[k] < best_cost:
+                best_cost = float(costs[k])
+                best_pid = pid
+                best_row = int(s_rows[k])
+        exec_budget = max(budget, best_cost)
+        location = tuple(int(c) for c in coords[best_row])
+        curve = self.ess.spill_cost_curve(best_pid, leader, location)
+        return PartStep(
+            dims=part,
+            leader=leader,
+            plan_id=best_pid,
+            location=location,
+            budget=exec_budget,
+            learn_idx=learnable_index(curve, exec_budget, max_j),
+            curve=curve,
+            penalty=exec_budget / budget,
+            native=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Partition-cover search (steps S0-S2 of Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _plan_partition(self, contour_index, learned):
+        """The minimum-penalty partition's steps for a state (cached)."""
+        learned_key = tuple(sorted(learned.items()))
+        key = (contour_index, learned_key)
+        cached = self._partition_cache.get(key)
+        if cached is not None:
+            return cached
+
+        coords, plan_ids = self._effective_contour(contour_index, learned)
+        steps = []
+        if len(coords):
+            remaining = [d for d in range(self.num_dims) if d not in learned]
+            remaining_key = tuple(remaining)
+            spill_of_plan = {
+                int(pid): self.ess.spill_dimension(int(pid), remaining)
+                for pid in np.unique(plan_ids)
+            }
+            point_spill = np.fromiter(
+                (spill_of_plan[int(pid)] if spill_of_plan[int(pid)] is not None
+                 else -1 for pid in plan_ids),
+                dtype=np.int64,
+                count=len(plan_ids),
+            )
+            active = sorted(int(d) for d in np.unique(point_spill) if d >= 0)
+            context = (coords, plan_ids, point_spill, remaining_key)
+            best_steps = None
+            best_cost = np.inf
+            for partition in set_partitions(active):
+                parts = []
+                cost = 0.0
+                feasible = True
+                for part in partition:
+                    step = self._evaluate_part(
+                        contour_index, learned_key, tuple(sorted(part)), context
+                    )
+                    if step is None:
+                        feasible = False
+                        break
+                    parts.append(step)
+                    cost += step.penalty
+                if not feasible:
+                    continue
+                better = cost < best_cost - 1e-12 or (
+                    abs(cost - best_cost) <= 1e-12
+                    and best_steps is not None
+                    and len(parts) < len(best_steps)
+                )
+                if best_steps is None or better:
+                    best_cost = cost
+                    best_steps = sorted(parts, key=lambda s: s.leader)
+            # The all-singletons partition is always feasible (it is
+            # SpillBound's own choice), so best_steps is never None here.
+            if best_steps is None:
+                raise DiscoveryError(
+                    f"no feasible partition on contour {contour_index}"
+                )
+            steps = best_steps
+        self._partition_cache[key] = steps
+        return steps
+
+    # ------------------------------------------------------------------
+    # Discovery (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _run_impl(self, qa, trace=False):
+        grid = self.ess.grid
+        coords, flat = normalize_location(grid, qa)
+        optimal = float(self.ess.optimal_cost[flat])
+        learned = {}
+        executions = [] if trace else None
+        total = 0.0
+        num_exec = 0
+        num_repeat = 0
+        executed_on_contour = set()
+        max_penalty = 1.0
+        contour_index = 1
+
+        while True:
+            remaining = [d for d in range(self.num_dims) if d not in learned]
+            if len(remaining) <= 1:
+                if not remaining:
+                    raise DiscoveryError("all epps learnt before the 1-D phase")
+                tail_total, tail_exec, contour_index, plan_key = self._run_1d(
+                    remaining[0], learned, contour_index, coords, flat,
+                    trace, executions,
+                )
+                total += tail_total
+                num_exec += tail_exec
+                return DiscoveryResult(
+                    qa_coords=coords,
+                    total_cost=total,
+                    optimal_cost=optimal,
+                    executions=executions,
+                    num_executions=num_exec,
+                    num_repeat_executions=num_repeat,
+                    contours_visited=contour_index,
+                    completed_plan_key=plan_key,
+                    max_penalty=max_penalty,
+                )
+            if contour_index > self.contours.num_contours:
+                raise DiscoveryError(
+                    f"AlignedBound ascended past the last contour at {coords}"
+                )
+
+            steps = self._plan_partition(contour_index, learned)
+            learnt_this_pass = False
+            for step in steps:
+                dim = step.leader
+                fresh = (contour_index, dim) not in executed_on_contour
+                executed_on_contour.add((contour_index, dim))
+                if not fresh:
+                    num_repeat += 1
+                max_penalty = max(max_penalty, step.penalty)
+                qa_idx = coords[dim]
+                completed = qa_idx <= step.learn_idx
+                charged = float(step.curve[qa_idx]) if completed else step.budget
+                total += charged
+                num_exec += 1
+                if trace:
+                    learnt_sel = grid.selectivity(
+                        dim, qa_idx if completed else step.learn_idx
+                    )
+                    executions.append(ExecutionRecord(
+                        contour=contour_index,
+                        plan_id=step.plan_id,
+                        plan_key=self.ess.plan_keys[step.plan_id],
+                        mode=SPILL,
+                        spill_dim=dim,
+                        budget=step.budget,
+                        charged=charged,
+                        completed=completed,
+                        learned_selectivity=learnt_sel,
+                        fresh=fresh,
+                        penalty=step.penalty,
+                    ))
+                if completed:
+                    learned[dim] = qa_idx
+                    learnt_this_pass = True
+                    break
+            if not learnt_this_pass:
+                contour_index += 1
+
+    def run(self, qa, trace=False):  # noqa: F811 - see _run_impl note
+        result = self._run_impl(qa, trace)
+        self.observed_max_penalty = max(self.observed_max_penalty,
+                                        result.max_penalty)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Contour-alignment statistics (paper Table 2)
+# ----------------------------------------------------------------------
+
+@dataclass
+class AlignmentStats:
+    """Alignment profile of one query's contour set.
+
+    ``fraction_aligned(threshold)`` gives the fraction of contours that
+    are aligned when replacement penalties up to ``threshold`` are
+    allowed (``threshold=1`` means natively aligned).  ``max_penalty`` is
+    the smallest threshold making *every* contour aligned (``inf`` when
+    some contour cannot be aligned at any price).
+    """
+
+    contour_penalties: list
+
+    def fraction_aligned(self, threshold=1.0):
+        if not self.contour_penalties:
+            return 0.0
+        hits = sum(1 for p in self.contour_penalties if p <= threshold + 1e-9)
+        return hits / len(self.contour_penalties)
+
+    @property
+    def max_penalty(self):
+        worst = max(self.contour_penalties, default=float("inf"))
+        return worst
+
+
+def contour_alignment_stats(ess, contour_set):
+    """Per-contour minimum alignment penalty (Section 5.1 / Table 2).
+
+    For each contour, over each dimension ``j``: if an extreme-``j``
+    location's plan spills on ``j`` the contour is natively aligned
+    (penalty 1); otherwise the cheapest replacement at an extreme-``j``
+    location by a ``j``-spilling POSP plan prices the induction.  The
+    contour's penalty is the minimum over dimensions.
+    """
+    num_dims = ess.grid.num_dims
+    all_dims = list(range(num_dims))
+    spillers = {
+        dim: [
+            pid for pid in range(ess.posp_size)
+            if ess.spill_dimension(pid, all_dims) == dim
+        ]
+        for dim in all_dims
+    }
+    penalties = []
+    for contour in contour_set:
+        if len(contour.points) == 0:
+            continue
+        coords = contour.coords
+        plan_ids = contour.plan_ids
+        point_spill = np.fromiter(
+            (ess.spill_dimension(int(pid), all_dims) for pid in plan_ids),
+            dtype=np.int64,
+            count=len(plan_ids),
+        )
+        best = np.inf
+        for dim in all_dims:
+            max_j = int(coords[:, dim].max())
+            extreme = np.flatnonzero(coords[:, dim] == max_j)
+            if (point_spill[extreme] == dim).any():
+                best = 1.0
+                break
+            pool = spillers[dim]
+            if not pool:
+                continue
+            ext_flat = np.fromiter(
+                (ess.grid.flat_index(tuple(int(c) for c in coords[r]))
+                 for r in extreme),
+                dtype=np.int64,
+                count=len(extreme),
+            )
+            for pid in pool:
+                cost = float(ess.plan_cost_at_points(pid, ext_flat).min())
+                best = min(best, max(1.0, cost / contour.budget))
+        penalties.append(best)
+    return AlignmentStats(contour_penalties=penalties)

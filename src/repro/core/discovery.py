@@ -1,0 +1,106 @@
+"""Shared machinery for selectivity-discovery algorithms.
+
+All three algorithms (PlanBouquet, SpillBound, AlignedBound) share the
+same outer structure: ascend the iso-cost contours, run cost-budgeted
+executions, account their charges, and stop when an execution completes
+the query (or fully learns the last unknown selectivity).  This module
+holds the common result/record types and the accounting conventions:
+
+* a *failed* budgeted execution is charged its full budget (the engine
+  kills it exactly at budget expiry);
+* a *completed* execution is charged its actual cost (at most the
+  budget).
+
+Sub-optimality of a run is ``total charged / Cost(P_qa, qa)`` — the
+paper's Equation (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Execution modes.
+SPILL = "spill"
+NORMAL = "normal"
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One budgeted (possibly spill-mode) plan execution.
+
+    Attributes:
+        contour: 1-based contour index the execution belongs to.
+        plan_id: POSP plan identifier (``-1`` for synthetic plans).
+        plan_key: canonical plan identity.
+        mode: ``"spill"`` or ``"normal"``.
+        spill_dim: ESS dimension spilled on (``None`` in normal mode).
+        budget: the cost budget granted.
+        charged: the cost actually accounted (budget if killed).
+        completed: whether the execution finished within budget.
+        learned_selectivity: selectivity value learnt for ``spill_dim``
+            (exact on completion, a lower bound otherwise).
+        fresh: paper Section 4.2 — first execution for this epp on this
+            contour (repeats happen after another epp is fully learnt).
+        penalty: AlignedBound's replacement penalty (1.0 when native).
+    """
+
+    contour: int
+    plan_id: int
+    plan_key: str
+    mode: str
+    spill_dim: object
+    budget: float
+    charged: float
+    completed: bool
+    learned_selectivity: float = float("nan")
+    fresh: bool = True
+    penalty: float = 1.0
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of one discovery run for a query located at ``qa``.
+
+    Attributes:
+        qa_coords: grid coordinates of the actual selectivity location.
+        total_cost: sum of all charges along the execution sequence.
+        optimal_cost: ``Cost(P_qa, qa)`` — the oracle cost.
+        executions: per-execution records (``None`` unless traced).
+        num_executions / num_repeat_executions: counters kept even in
+            untraced runs (they feed the Lemma 4.4 property tests).
+        contours_visited: how many contours the run ascended through.
+        completed_plan_key: the plan whose full execution produced the
+            query result.
+    """
+
+    qa_coords: tuple
+    total_cost: float
+    optimal_cost: float
+    executions: object = None
+    num_executions: int = 0
+    num_repeat_executions: int = 0
+    contours_visited: int = 0
+    completed_plan_key: str = ""
+    max_penalty: float = 1.0
+
+    @property
+    def suboptimality(self):
+        """The run's sub-optimality (paper Equation 3)."""
+        return self.total_cost / self.optimal_cost
+
+
+def normalize_location(grid, qa):
+    """Accept a flat index, an integer coords tuple, or a selectivity
+    vector (floats — snapped to the nearest grid point).
+
+    Returns ``(coords, flat)``.
+    """
+    if hasattr(qa, "__index__"):
+        flat = int(qa)
+        return grid.coords_of(flat), flat
+    qa = tuple(qa)
+    if qa and all(hasattr(c, "__index__") for c in qa):
+        coords = tuple(int(c) for c in qa)
+        return coords, grid.flat_index(coords)
+    coords = grid.snap(qa)
+    return coords, grid.flat_index(coords)

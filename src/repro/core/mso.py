@@ -1,0 +1,93 @@
+"""Robustness metrics: MSO, ASO, and sub-optimality distributions.
+
+Paper Section 2.3: the sub-optimality of a run is the ratio of its total
+cost to the oracle cost, MSO is the worst case over the whole ESS, and
+ASO (Equation 8) the average under a uniform prior over ``qa``.  The
+histogram characterization of Figure 12 (counts of locations per
+sub-optimality range) is also produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Evaluation:
+    """Exhaustive sub-optimality profile of an algorithm over the ESS.
+
+    Attributes:
+        suboptimality: ``(N,)`` array, one entry per grid location
+            (``qa`` candidate).
+        mso: empirical MSO (the array's max).
+        aso: empirical ASO (the array's mean).
+        worst_location: flat index achieving the MSO.
+    """
+
+    suboptimality: np.ndarray
+    mso: float
+    aso: float
+    worst_location: int
+
+    def percentile(self, pct):
+        return float(np.percentile(self.suboptimality, pct))
+
+    def histogram(self, bin_width=5.0, max_bins=20):
+        """Sub-optimality distribution (paper Figure 12).
+
+        Returns ``(edges, fractions)`` — bin edges of width ``bin_width``
+        starting at 0, with the final bin open-ended, and the fraction of
+        ESS locations falling in each bin.
+        """
+        sub = self.suboptimality
+        top = min(max_bins * bin_width, float(np.ceil(sub.max() / bin_width)) * bin_width)
+        edges = np.arange(0.0, top + bin_width, bin_width)
+        counts, _ = np.histogram(np.minimum(sub, top - 1e-9), bins=edges)
+        return edges, counts / sub.size
+
+    def fraction_below(self, threshold):
+        """Fraction of ESS locations with sub-optimality below a value."""
+        return float(np.mean(self.suboptimality < threshold))
+
+
+def evaluate_algorithm(algorithm, points=None):
+    """Exhaustively evaluate a discovery algorithm over the ESS.
+
+    Every grid location is treated in turn as the actual selectivity
+    location ``qa`` (the paper's "explicitly and exhaustively considering
+    each and every location", Section 6.2.3).
+
+    Args:
+        algorithm: object exposing either ``evaluate_all() -> (N,) array``
+            (fast vectorized path) or ``run(qa) -> DiscoveryResult``.
+        points: optional iterable of flat indices to restrict the sweep
+            (used by sampled ablations); default is the full grid.
+
+    Returns:
+        :class:`Evaluation`.
+    """
+    grid = algorithm.ess.grid
+    if points is None and hasattr(algorithm, "evaluate_all"):
+        sub = np.asarray(algorithm.evaluate_all(), dtype=float)
+    else:
+        candidates = range(grid.num_points) if points is None else points
+        flat_list = list(candidates)
+        sub = np.empty(len(flat_list), dtype=float)
+        for k, flat in enumerate(flat_list):
+            sub[k] = algorithm.run(flat).suboptimality
+        if points is not None:
+            worst = int(flat_list[int(np.argmax(sub))])
+            return Evaluation(
+                suboptimality=sub,
+                mso=float(sub.max()),
+                aso=float(sub.mean()),
+                worst_location=worst,
+            )
+    return Evaluation(
+        suboptimality=sub,
+        mso=float(sub.max()),
+        aso=float(sub.mean()),
+        worst_location=int(np.argmax(sub)),
+    )

@@ -1,0 +1,142 @@
+"""The PlanBouquet algorithm [Dutt & Haritsa, TODS 2016].
+
+The baseline the paper improves upon.  PlanBouquet ascends the iso-cost
+contours and, on each contour, executes *every* (anorexically reduced)
+contour plan in regular mode under the contour's (inflated) cost budget,
+until one completes.  Its guarantee is *behavioural*:
+``MSO <= 4 * (1 + lambda) * rho`` where ``rho`` is the densest reduced
+contour — a quantity that depends on the optimizer and platform, which
+is exactly the drawback SpillBound removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.discovery import (
+    NORMAL,
+    DiscoveryResult,
+    ExecutionRecord,
+    normalize_location,
+)
+from repro.errors import DiscoveryError
+from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
+from repro.ess.reduction import DEFAULT_LAMBDA, AnorexicReduction
+
+#: Relative slack for budget comparisons (floating point only).
+_EPS = 1e-9
+
+
+class PlanBouquet:
+    """Contour-wise trial-and-error execution of the plan bouquet.
+
+    Args:
+        ess: the built :class:`~repro.ess.ocs.ESS`.
+        contour_set: optional prebuilt contours (shared across algorithms).
+        lam: anorexic-reduction threshold (paper default 0.2).
+        cost_ratio: contour cost ratio (paper default 2 — optimal for
+            PlanBouquet per [Dutt & Haritsa]).
+    """
+
+    def __init__(self, ess, contour_set=None, lam=DEFAULT_LAMBDA,
+                 cost_ratio=DEFAULT_COST_RATIO):
+        self.ess = ess
+        self.contours = contour_set or ContourSet(ess, cost_ratio)
+        self.reduction = AnorexicReduction(ess, self.contours, lam)
+        self.lam = lam
+
+    # ------------------------------------------------------------------
+    # Guarantees
+    # ------------------------------------------------------------------
+
+    @property
+    def rho(self):
+        """Reduced maximum contour density (the bound parameter)."""
+        return self.reduction.rho
+
+    def mso_guarantee(self):
+        """The behavioural bound ``4 * (1 + lambda) * rho``."""
+        return self.reduction.mso_guarantee()
+
+    def bouquet_plan_ids(self):
+        """All plans in the (reduced) bouquet."""
+        ids = []
+        for rc in self.reduction.reduced:
+            for pid in rc.plan_ids:
+                if pid not in ids:
+                    ids.append(pid)
+        return ids
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def run(self, qa, trace=False):
+        """Process a query whose actual location is ``qa``.
+
+        Returns a :class:`~repro.core.discovery.DiscoveryResult`.
+        """
+        coords, flat = normalize_location(self.ess.grid, qa)
+        optimal = float(self.ess.optimal_cost[flat])
+        total = 0.0
+        executions = [] if trace else None
+        num_exec = 0
+        for rc in self.reduction.reduced:
+            budget = rc.inflated_budget
+            for pid in rc.plan_ids:
+                cost_here = self.ess.plan_cost_at(pid, flat)
+                completed = cost_here <= budget * (1.0 + _EPS)
+                charged = cost_here if completed else budget
+                total += charged
+                num_exec += 1
+                if trace:
+                    executions.append(ExecutionRecord(
+                        contour=rc.index,
+                        plan_id=pid,
+                        plan_key=self.ess.plan_keys[pid],
+                        mode=NORMAL,
+                        spill_dim=None,
+                        budget=budget,
+                        charged=charged,
+                        completed=completed,
+                    ))
+                if completed:
+                    return DiscoveryResult(
+                        qa_coords=coords,
+                        total_cost=total,
+                        optimal_cost=optimal,
+                        executions=executions,
+                        num_executions=num_exec,
+                        contours_visited=rc.index,
+                        completed_plan_key=self.ess.plan_keys[pid],
+                    )
+        raise DiscoveryError(
+            f"PlanBouquet failed to complete at {coords} — reduction cover "
+            "does not reach the query's contour (inconsistent state)"
+        )
+
+    def evaluate_all(self):
+        """Vectorized exhaustive sweep: sub-optimality for every ``qa``.
+
+        One pass per bouquet plan per contour, entirely in numpy — the
+        completion test for a plan is just an array comparison of its
+        (cached) cost surface against the contour budget.
+        """
+        n = self.ess.grid.num_points
+        total = np.zeros(n, dtype=float)
+        active = np.ones(n, dtype=bool)
+        for rc in self.reduction.reduced:
+            if not active.any():
+                break
+            budget = rc.inflated_budget
+            for pid in rc.plan_ids:
+                if not active.any():
+                    break
+                cost = self.ess.plan_cost_array(pid)
+                completes = active & (cost <= budget * (1.0 + _EPS))
+                total[completes] += cost[completes]
+                active &= ~completes
+                total[active] += budget
+        if active.any():
+            raise DiscoveryError("PlanBouquet sweep left unfinished locations")
+        return total / self.ess.optimal_cost

@@ -1,0 +1,373 @@
+"""The SpillBound algorithm (paper Sections 3 and 4).
+
+SpillBound keeps PlanBouquet's contour-wise discovery skeleton but
+crosses each contour with at most ``|EPP|`` *spill-mode* executions:
+
+1. For every unlearned epp ``j``, find — among the contour locations
+   whose optimal plan spills on ``j`` — the location ``q_max^j`` with
+   the largest ``j`` coordinate; its plan is ``P_max^j``
+   (Section 3.2, Figure 5).
+2. Execute each ``P_max^j`` in spill mode with the contour budget.  By
+   half-space pruning (Lemma 3.1) each execution either *fully learns*
+   the epp's selectivity or proves ``qa.j > q_max^j.j``; if all fail,
+   ``qa`` lies beyond the contour (Lemma 3.2 / 4.3) and the search jumps.
+3. When a single epp remains, the problem is 1-D and the classic
+   PlanBouquet takes over from the current contour (spilling weakens
+   the bound in 1-D, Section 4.1).
+
+The resulting guarantee is *structural*: ``MSO <= D^2 + 3D``,
+independent of optimizer and platform.
+
+Implementation notes
+--------------------
+The per-``qa`` simulation is driven by *discovery states*
+``(contour index, learned-coordinates)``.  Everything an execution's
+outcome depends on — the chosen plan, the budget, and the spill-subtree
+cost curve along the spilled dimension — is a function of the state
+alone, so states are computed once and cached; exhaustive MSO evaluation
+over the whole grid then reduces to cheap threshold comparisons per
+location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.discovery import (
+    NORMAL,
+    SPILL,
+    DiscoveryResult,
+    ExecutionRecord,
+    normalize_location,
+)
+from repro.errors import DiscoveryError
+from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SpillStep:
+    """A planned spill-mode execution for one epp on one contour.
+
+    Attributes:
+        dim: the ESS dimension to learn.
+        plan_id: the chosen ``P_max^dim``.
+        qstar_coords: the ``q_max^dim`` location (full coords tuple).
+        budget: execution budget (the contour cost, or more for
+            AlignedBound replacements).
+        learn_idx: the largest grid index along ``dim`` whose spill
+            subtree cost fits the budget — execution completes iff
+            ``qa``'s index is <= this (and then the epp is fully learnt).
+        curve: spill-subtree cost per grid index along ``dim`` (the
+            charge on completion).
+        penalty: replacement penalty (always 1.0 for SpillBound).
+    """
+
+    dim: int
+    plan_id: int
+    qstar_coords: tuple
+    budget: float
+    learn_idx: int
+    curve: np.ndarray
+    penalty: float = 1.0
+
+
+def learnable_index(curve, budget, floor_idx):
+    """Largest grid index whose spill cost fits ``budget``.
+
+    ``floor_idx`` enforces Lemma 3.1's guarantee: the spill cost at the
+    chosen contour location itself is within the budget by construction,
+    so learning reaches at least that coordinate (the clamp only absorbs
+    floating-point slack).
+    """
+    idx = int(np.searchsorted(curve, budget * (1.0 + _EPS), side="right")) - 1
+    return max(idx, int(floor_idx))
+
+
+class SpillBound:
+    """Per-query SpillBound executor/simulator.
+
+    Args:
+        ess: the built :class:`~repro.ess.ocs.ESS`.
+        contour_set: optional prebuilt :class:`ContourSet`.
+        cost_ratio: contour spacing when building contours here.
+    """
+
+    def __init__(self, ess, contour_set=None, cost_ratio=DEFAULT_COST_RATIO):
+        self.ess = ess
+        self.contours = contour_set or ContourSet(ess, cost_ratio)
+        self._step_cache = {}
+        self._line_cache = {}
+
+    # ------------------------------------------------------------------
+    # Guarantees
+    # ------------------------------------------------------------------
+
+    @property
+    def num_dims(self):
+        return self.ess.grid.num_dims
+
+    def mso_guarantee(self):
+        """The structural bound (Theorem 4.5), ratio-aware.
+
+        ``D^2 + 3D`` for the default cost-doubling contours; for other
+        ratios the generalized bound of :mod:`repro.core.bounds`.  Known
+        by query inspection alone — no ESS preprocessing needed.
+        """
+        from repro.core.bounds import sb_mso_bound
+
+        return sb_mso_bound(self.num_dims, self.contours.cost_ratio)
+
+    @staticmethod
+    def mso_guarantee_for(num_epps, cost_ratio=2.0):
+        """``D^2 + 3D`` (at doubling) for an epp count, no ESS required."""
+        from repro.core.bounds import sb_mso_bound
+
+        return sb_mso_bound(num_epps, cost_ratio)
+
+    # ------------------------------------------------------------------
+    # Contour step planning (cached per discovery state)
+    # ------------------------------------------------------------------
+
+    def _state_key(self, contour_index, learned):
+        return contour_index, tuple(sorted(learned.items()))
+
+    def _effective_contour(self, contour_index, learned):
+        """Contour locations matching the learnt coordinates exactly.
+
+        Returns ``(coords_matrix, plan_ids)`` of the effective search
+        space (paper Section 4.2), possibly empty.
+        """
+        contour = self.contours.contour(contour_index)
+        coords = contour.coords
+        plan_ids = contour.plan_ids
+        if learned and len(coords):
+            mask = np.ones(len(coords), dtype=bool)
+            for dim, idx in learned.items():
+                mask &= coords[:, dim] == idx
+            coords = coords[mask]
+            plan_ids = plan_ids[mask]
+        return coords, plan_ids
+
+    def _plan_steps(self, contour_index, learned):
+        """The ``{dim: SpillStep}`` map for a discovery state (cached)."""
+        key = self._state_key(contour_index, learned)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+
+        coords, plan_ids = self._effective_contour(contour_index, learned)
+        steps = {}
+        if len(coords):
+            remaining = [d for d in range(self.num_dims) if d not in learned]
+            spill_of_plan = {
+                int(pid): self.ess.spill_dimension(int(pid), remaining)
+                for pid in np.unique(plan_ids)
+            }
+            point_spill = np.fromiter(
+                (spill_of_plan[int(pid)] if spill_of_plan[int(pid)] is not None
+                 else -1 for pid in plan_ids),
+                dtype=np.int64,
+                count=len(plan_ids),
+            )
+            budget = self.contours.budget(contour_index)
+            for dim in remaining:
+                candidates = np.flatnonzero(point_spill == dim)
+                if len(candidates) == 0:
+                    continue  # no plan on this contour spills on dim: skip
+                best = candidates[int(np.argmax(coords[candidates, dim]))]
+                qstar = tuple(int(c) for c in coords[best])
+                pid = int(plan_ids[best])
+                curve = self.ess.spill_cost_curve(pid, dim, qstar)
+                steps[dim] = SpillStep(
+                    dim=dim,
+                    plan_id=pid,
+                    qstar_coords=qstar,
+                    budget=budget,
+                    learn_idx=learnable_index(curve, budget, qstar[dim]),
+                    curve=curve,
+                )
+        self._step_cache[key] = steps
+        return steps
+
+    # ------------------------------------------------------------------
+    # The 1-D PlanBouquet tail
+    # ------------------------------------------------------------------
+
+    def _line_plans(self, free_dim, learned):
+        """Per-contour plan lists along the 1-D effective line (cached).
+
+        Returns a list indexed by 0-based contour: each entry is the list
+        of plan ids optimal somewhere in that contour's slice of the
+        line, ordered by ascending position (origin-first, the bouquet's
+        ascending-cost execution order).
+        """
+        key = (free_dim, tuple(sorted(learned.items())))
+        cached = self._line_cache.get(key)
+        if cached is not None:
+            return cached
+        grid = self.ess.grid
+        line = grid.line_indices(learned, free_dim)
+        bands = self.contours.band[line]
+        plan_ids = self.ess.plan_ids[line]
+        per_contour = [[] for _ in range(self.contours.num_contours)]
+        for band, pid in zip(bands, plan_ids):
+            bucket = per_contour[int(band)]
+            if int(pid) not in bucket:
+                bucket.append(int(pid))
+        self._line_cache[key] = per_contour
+        return per_contour
+
+    def _run_1d(self, free_dim, learned, start_contour, coords, flat,
+                trace, executions):
+        """Classic PlanBouquet over the remaining single dimension.
+
+        Returns ``(total_cost, num_executions, last_contour, plan_key)``.
+        """
+        per_contour = self._line_plans(free_dim, learned)
+        total = 0.0
+        num_exec = 0
+        for index in range(start_contour, self.contours.num_contours + 1):
+            budget = self.contours.budget(index)
+            for pid in per_contour[index - 1]:
+                cost_here = self.ess.plan_cost_at(pid, flat)
+                completed = cost_here <= budget * (1.0 + _EPS)
+                charged = cost_here if completed else budget
+                total += charged
+                num_exec += 1
+                if trace:
+                    executions.append(ExecutionRecord(
+                        contour=index,
+                        plan_id=pid,
+                        plan_key=self.ess.plan_keys[pid],
+                        mode=NORMAL,
+                        spill_dim=None,
+                        budget=budget,
+                        charged=charged,
+                        completed=completed,
+                    ))
+                if completed:
+                    return total, num_exec, index, self.ess.plan_keys[pid]
+        raise DiscoveryError(
+            f"1-D bouquet failed to terminate (dim {free_dim}, qa {coords})"
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def run(self, qa, trace=False):
+        """Process a query located at ``qa`` (Algorithm 1).
+
+        Returns a :class:`~repro.core.discovery.DiscoveryResult`.
+        """
+        grid = self.ess.grid
+        coords, flat = normalize_location(grid, qa)
+        optimal = float(self.ess.optimal_cost[flat])
+        learned = {}
+        executions = [] if trace else None
+        total = 0.0
+        num_exec = 0
+        num_repeat = 0
+        executed_on_contour = set()  # (contour, dim) pairs, for repeats
+        contour_index = 1
+
+        while True:
+            remaining = [d for d in range(self.num_dims) if d not in learned]
+            if len(remaining) <= 1:
+                if not remaining:
+                    raise DiscoveryError("all epps learnt before the 1-D phase")
+                tail_total, tail_exec, contour_index, plan_key = self._run_1d(
+                    remaining[0], learned, contour_index, coords, flat,
+                    trace, executions,
+                )
+                total += tail_total
+                num_exec += tail_exec
+                return DiscoveryResult(
+                    qa_coords=coords,
+                    total_cost=total,
+                    optimal_cost=optimal,
+                    executions=executions,
+                    num_executions=num_exec,
+                    num_repeat_executions=num_repeat,
+                    contours_visited=contour_index,
+                    completed_plan_key=plan_key,
+                )
+            if contour_index > self.contours.num_contours:
+                # Unreachable under the SI analysis (the effective-slice
+                # terminus always completes by the top contour); the
+                # dependent-selectivity extension overrides this hook.
+                extra, plan_key = self._on_ladder_exhausted(coords, flat,
+                                                            learned)
+                total += extra
+                num_exec += 1
+                return DiscoveryResult(
+                    qa_coords=coords,
+                    total_cost=total,
+                    optimal_cost=optimal,
+                    executions=executions,
+                    num_executions=num_exec,
+                    num_repeat_executions=num_repeat,
+                    contours_visited=contour_index,
+                    completed_plan_key=plan_key,
+                )
+
+            steps = self._plan_steps(contour_index, learned)
+            learnt_this_pass = False
+            for key in sorted(steps):
+                step = steps[key]
+                dim = step.dim  # keys order execution; dims come from steps
+                fresh = (contour_index, dim) not in executed_on_contour
+                executed_on_contour.add((contour_index, dim))
+                if not fresh:
+                    num_repeat += 1
+                qa_idx = coords[dim]
+                completed = qa_idx <= step.learn_idx
+                charged = float(step.curve[qa_idx]) if completed else step.budget
+                total += charged
+                num_exec += 1
+                if trace:
+                    learnt_sel = grid.selectivity(
+                        dim, qa_idx if completed else step.learn_idx
+                    )
+                    executions.append(ExecutionRecord(
+                        contour=contour_index,
+                        plan_id=step.plan_id,
+                        plan_key=self.ess.plan_keys[step.plan_id],
+                        mode=SPILL,
+                        spill_dim=dim,
+                        budget=step.budget,
+                        charged=charged,
+                        completed=completed,
+                        learned_selectivity=learnt_sel,
+                        fresh=fresh,
+                    ))
+                if completed:
+                    learned[dim] = qa_idx
+                    learnt_this_pass = True
+                    break  # re-plan this contour with the smaller EPP set
+            if not learnt_this_pass:
+                contour_index += 1  # Lemma 4.3: qa lies beyond this contour
+
+    def _on_ladder_exhausted(self, coords, flat, learned):
+        """Hook invoked if discovery ascends past the last contour.
+
+        Under selectivity independence this cannot happen (Lemma 3.2 /
+        the slice-terminus argument), so the default raises; subclasses
+        modelling SI violations override it with a forced completion.
+        Returns ``(extra_charge, completed_plan_key)``.
+        """
+        raise DiscoveryError(
+            f"SpillBound ascended past the last contour at {coords}"
+        )
+
+    def evaluate_all(self):
+        """Exhaustive sweep: sub-optimality for every grid location."""
+        n = self.ess.grid.num_points
+        sub = np.empty(n, dtype=float)
+        for flat in range(n):
+            sub[flat] = self.run(flat).suboptimality
+        return sub

@@ -1,0 +1,88 @@
+"""Budgeted plan execution: the cost meter and outcome records.
+
+The paper's engine modifications (Section 6.1) are (1) time-limited
+execution of plans, (2) abstract-plan execution (run exactly the plan
+the discovery algorithm chose), (3) spilling, and (4) run-time
+selectivity monitoring.  Our engine mirrors them with *cost-limited*
+execution: every operator charges the shared :class:`CostMeter` in the
+same abstract units as the optimizer's cost model, and the meter kills
+the execution the moment the budget is exhausted — the discovery
+algorithms then account the full budget for the failed attempt, exactly
+as the simulators do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExhausted
+
+
+class CostMeter:
+    """Accumulates execution cost and enforces an optional budget."""
+
+    def __init__(self, budget=None):
+        self.budget = budget
+        self.spent = 0.0
+
+    def charge(self, amount):
+        """Charge ``amount`` cost units; raise on budget exhaustion.
+
+        On exhaustion the recorded spend is clamped to the budget — a
+        killed execution costs exactly what it was granted.
+        """
+        self.spent += amount
+        if self.budget is not None and self.spent > self.budget:
+            spent = self.spent
+            self.spent = self.budget
+            raise BudgetExhausted(self.budget, spent)
+
+
+@dataclass
+class OperatorStats:
+    """Run-time monitor counters for one plan operator.
+
+    The observed join selectivity ``rows_out / (rows_outer * rows_inner)``
+    is exact once the operator has consumed its inputs completely and
+    its output has been fully drained — the condition under which a
+    spilled epp is "fully learnt" (paper Section 3.1.3).
+    """
+
+    node_key: str
+    rows_outer: int = 0
+    rows_inner: int = 0
+    rows_out: int = 0
+    exhausted: bool = False
+
+    @property
+    def observed_selectivity(self):
+        denom = self.rows_outer * self.rows_inner
+        if denom == 0:
+            return 0.0
+        return self.rows_out / denom
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of one (possibly budgeted, possibly spilled) execution.
+
+    Attributes:
+        completed: whether the plan drained before the budget expired.
+        rows_out: result rows produced (spill-mode discards them but
+            still counts).
+        cost_spent: cost units actually charged.
+        budget: the granted budget (None = unbounded).
+        stats: per-operator monitors keyed by node key.
+        spilled_epp: the epp the execution spilled on, if any.
+    """
+
+    completed: bool
+    rows_out: int
+    cost_spent: float
+    budget: object
+    stats: dict = field(default_factory=dict)
+    spilled_epp: str = ""
+
+    def selectivity_of(self, node_key):
+        """Observed selectivity of a monitored operator."""
+        return self.stats[node_key].observed_selectivity

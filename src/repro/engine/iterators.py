@@ -1,0 +1,287 @@
+"""Demand-driven iterator operators over generated data.
+
+The classic Volcano execution model (paper Section 3.1.1): each operator
+is an iterator pulling rows from its children.  Rows are plain tuples;
+each operator knows its output column layout as a tuple of
+``(table, column)`` pairs.  Every operator charges the shared
+:class:`~repro.engine.executor.CostMeter` with the *same constants* the
+optimizer's cost model uses, so engine spend and plan cost estimates
+live on one scale — that is what lets contour budgets derived from the
+cost model bound real executions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.errors import ExecutionError
+
+
+def _filter_passes(op, value, constant):
+    if op == "=":
+        return value == constant
+    if op == "<":
+        return value < constant
+    if op == "<=":
+        return value <= constant
+    if op == ">":
+        return value > constant
+    if op == ">=":
+        return value >= constant
+    if op == "between":
+        low, high = constant
+        return low <= value <= high
+    raise ExecutionError(f"unsupported filter op {op!r}")
+
+
+class Operator:
+    """Base iterator operator.
+
+    Subclasses implement :meth:`rows` (a generator).  ``columns`` is the
+    output layout; :meth:`column_index` resolves a ``(table, column)``
+    reference to a tuple position.
+    """
+
+    def __init__(self, columns, stats, meter):
+        self.columns = columns
+        self.stats = stats
+        self.meter = meter
+
+    def column_index(self, table, column):
+        try:
+            return self.columns.index((table, column))
+        except ValueError:
+            raise ExecutionError(
+                f"operator {self.stats.node_key}: no column {table}.{column}"
+            ) from None
+
+    def rows(self):
+        raise NotImplementedError
+
+
+class SeqScan(Operator):
+    """Sequential scan with on-the-fly filtering."""
+
+    def __init__(self, table_name, table_data, filters, model, stats, meter):
+        columns = tuple((table_name, c) for c in table_data.columns)
+        super().__init__(columns, stats, meter)
+        self.table_name = table_name
+        self.table_data = table_data
+        self.filters = filters
+        self.model = model
+
+    def rows(self):
+        self.meter.charge(self.model.startup)
+        data = self.table_data
+        names = list(data.columns)
+        arrays = [data.column(n) for n in names]
+        filter_idx = [
+            (names.index(f.column), f.op, f.value) for f in self.filters
+        ]
+        for i in range(data.num_rows):
+            self.meter.charge(self.model.seq_tuple)
+            self.stats.rows_outer += 1
+            row = tuple(arr[i] for arr in arrays)
+            if all(_filter_passes(op, row[k], v) for k, op, v in filter_idx):
+                self.meter.charge(self.model.output_tuple)
+                self.stats.rows_out += 1
+                yield row
+
+
+class IndexScan(SeqScan):
+    """Index scan driven by the first indexed filter.
+
+    The index is modelled as a value -> row-ids map built outside the
+    metered execution (indexes pre-exist in a database).
+    """
+
+    def rows(self):
+        self.meter.charge(self.model.startup)
+        data = self.table_data
+        names = list(data.columns)
+        arrays = [data.column(n) for n in names]
+        indexed = [f for f in self.filters if f.op == "=" and f.column in names]
+        if not indexed:
+            yield from super().rows()
+            return
+        lead = indexed[0]
+        lead_idx = names.index(lead.column)
+        index = defaultdict(list)
+        for i, value in enumerate(arrays[lead_idx]):
+            index[value].append(i)
+        residual = [
+            (names.index(f.column), f.op, f.value)
+            for f in self.filters if f is not lead
+        ]
+        self.meter.charge(
+            self.model.index_lookup * math.log2(max(data.num_rows, 2))
+        )
+        for i in index.get(lead.value, ()):
+            self.meter.charge(self.model.index_fetch)
+            self.stats.rows_outer += 1
+            row = tuple(arr[i] for arr in arrays)
+            if all(_filter_passes(op, row[k], v) for k, op, v in residual):
+                self.meter.charge(self.model.output_tuple)
+                self.stats.rows_out += 1
+                yield row
+
+
+class HashJoin(Operator):
+    """Build on the inner child, probe with the outer child."""
+
+    def __init__(self, outer, inner, key_pairs, model, stats, meter):
+        super().__init__(outer.columns + inner.columns, stats, meter)
+        self.outer = outer
+        self.inner = inner
+        self.model = model
+        self.outer_keys = [outer.column_index(t, c) for t, c in key_pairs[0]]
+        self.inner_keys = [inner.column_index(t, c) for t, c in key_pairs[1]]
+
+    def rows(self):
+        self.meter.charge(self.model.startup)
+        table = defaultdict(list)
+        for row in self.inner.rows():
+            self.meter.charge(self.model.hash_build)
+            self.stats.rows_inner += 1
+            table[tuple(row[k] for k in self.inner_keys)].append(row)
+        for row in self.outer.rows():
+            self.meter.charge(self.model.hash_probe)
+            self.stats.rows_outer += 1
+            for match in table.get(tuple(row[k] for k in self.outer_keys), ()):
+                self.meter.charge(self.model.output_tuple)
+                self.stats.rows_out += 1
+                yield row + match
+
+
+class MergeJoin(Operator):
+    """Sort-merge join; both inputs materialized and sorted."""
+
+    def __init__(self, outer, inner, key_pairs, model, stats, meter):
+        super().__init__(outer.columns + inner.columns, stats, meter)
+        self.outer = outer
+        self.inner = inner
+        self.model = model
+        self.outer_keys = [outer.column_index(t, c) for t, c in key_pairs[0]]
+        self.inner_keys = [inner.column_index(t, c) for t, c in key_pairs[1]]
+
+    def _sorted_side(self, child, keys, inner_side):
+        rows = []
+        for row in child.rows():
+            if inner_side:
+                self.stats.rows_inner += 1
+            else:
+                self.stats.rows_outer += 1
+            rows.append(row)
+        per_row = self.model.sort_unit * math.log2(max(len(rows), 2))
+        self.meter.charge(per_row * len(rows))
+        rows.sort(key=lambda r: tuple(r[k] for k in keys))
+        return rows
+
+    def rows(self):
+        self.meter.charge(self.model.startup)
+        left = self._sorted_side(self.outer, self.outer_keys, False)
+        right = self._sorted_side(self.inner, self.inner_keys, True)
+        self.meter.charge(self.model.merge_unit * (len(left) + len(right)))
+        i = j = 0
+        while i < len(left) and j < len(right):
+            lk = tuple(left[i][k] for k in self.outer_keys)
+            rk = tuple(right[j][k] for k in self.inner_keys)
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                j_end = j
+                while j_end < len(right) and tuple(
+                    right[j_end][k] for k in self.inner_keys
+                ) == rk:
+                    j_end += 1
+                while i < len(left) and tuple(
+                    left[i][k] for k in self.outer_keys
+                ) == lk:
+                    for jj in range(j, j_end):
+                        self.meter.charge(self.model.output_tuple)
+                        self.stats.rows_out += 1
+                        yield left[i] + right[jj]
+                    i += 1
+                j = j_end
+
+
+class NestedLoopJoin(Operator):
+    """Tuple nested loops; the inner child is materialized once."""
+
+    def __init__(self, outer, inner, key_pairs, model, stats, meter):
+        super().__init__(outer.columns + inner.columns, stats, meter)
+        self.outer = outer
+        self.inner = inner
+        self.model = model
+        self.outer_keys = [outer.column_index(t, c) for t, c in key_pairs[0]]
+        self.inner_keys = [inner.column_index(t, c) for t, c in key_pairs[1]]
+
+    def rows(self):
+        self.meter.charge(self.model.startup)
+        inner_rows = []
+        for row in self.inner.rows():
+            self.stats.rows_inner += 1
+            inner_rows.append(row)
+        for row in self.outer.rows():
+            self.stats.rows_outer += 1
+            key = tuple(row[k] for k in self.outer_keys)
+            for match in inner_rows:
+                self.meter.charge(self.model.nl_pair)
+                if tuple(match[k] for k in self.inner_keys) == key:
+                    self.meter.charge(self.model.output_tuple)
+                    self.stats.rows_out += 1
+                    yield row + match
+
+
+class IndexNLJoin(Operator):
+    """Index nested loops into a base relation's (pre-built) index."""
+
+    def __init__(self, outer, inner_table, table_data, join_columns,
+                 inner_filters, model, stats, meter):
+        inner_names = list(table_data.columns)
+        columns = outer.columns + tuple((inner_table, c) for c in inner_names)
+        super().__init__(columns, stats, meter)
+        self.outer = outer
+        self.model = model
+        outer_cols, inner_col = join_columns
+        self.outer_keys = [outer.column_index(t, c) for t, c in outer_cols]
+        arrays = [table_data.column(n) for n in inner_names]
+        key_idx = inner_names.index(inner_col)
+        self._index = defaultdict(list)
+        for i, value in enumerate(arrays[key_idx]):
+            self._index[value].append(tuple(arr[i] for arr in arrays))
+        self._filters = [
+            (inner_names.index(f.column), f.op, f.value) for f in inner_filters
+        ]
+        self._descend = model.index_lookup * math.log2(
+            max(table_data.num_rows, 2)
+        ) * 0.25
+        # The selectivity denominator is the *filtered* inner cardinality
+        # (join selectivities are normalized over filtered inputs); count
+        # it once, unmetered, like the pre-built index itself.
+        self._inner_filtered = sum(
+            1
+            for rows in self._index.values()
+            for match in rows
+            if all(_filter_passes(op, match[k], v)
+                   for k, op, v in self._filters)
+        )
+
+    def rows(self):
+        self.meter.charge(self.model.startup)
+        self.stats.rows_inner = self._inner_filtered
+        for row in self.outer.rows():
+            self.stats.rows_outer += 1
+            self.meter.charge(self._descend)
+            key = row[self.outer_keys[0]] if len(self.outer_keys) == 1 else \
+                tuple(row[k] for k in self.outer_keys)
+            for match in self._index.get(key, ()):
+                self.meter.charge(self.model.index_fetch)
+                if all(_filter_passes(op, match[k], v)
+                       for k, op, v in self._filters):
+                    self.meter.charge(self.model.output_tuple)
+                    self.stats.rows_out += 1
+                    yield row + match

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent (unknown table/column, bad key)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (disconnected join graph, unknown predicate)."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure inside the execution engine."""
+
+
+class BudgetExhausted(ExecutionError):
+    """Raised by the budgeted executor when a plan exceeds its cost budget.
+
+    This is the mechanism behind the paper's "time-limited execution":
+    the partially-computed results are discarded and the discovery
+    algorithm moves on to its next budgeted execution.
+    """
+
+    def __init__(self, budget, spent):
+        super().__init__(f"cost budget {budget:.1f} exhausted (spent {spent:.1f})")
+        self.budget = budget
+        self.spent = spent
+
+
+class DiscoveryError(ReproError):
+    """A selectivity-discovery algorithm reached an inconsistent state."""

@@ -1,0 +1,130 @@
+"""Iso-cost contours over the Optimal Cost Surface.
+
+Paper Section 2.5: the OCS is sliced by ``m`` cost hyperplanes — the
+first at ``C_min``, each subsequent at ``ratio`` times the previous, the
+last capped at ``C_max``.  On the discretized grid a contour ``IC_i`` is
+the *band* of locations whose optimal cost lies in
+``(CC_{i-1}, CC_i]`` — the standard discretization used by the
+PlanBouquet implementation.  The plans optimal somewhere inside band
+``i`` are the contour's plan set ``PL_i``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DiscoveryError
+
+#: Cost-doubling is the paper's default ratio (footnote 3: it minimizes
+#: PlanBouquet's guarantee; Section 4.2 notes ~1.8 is marginally better
+#: for SpillBound — an ablation benchmark sweeps this).
+DEFAULT_COST_RATIO = 2.0
+
+
+class Contour:
+    """One iso-cost contour band.
+
+    Attributes:
+        index: 1-based contour number (``IC_index``).
+        budget: the contour cost ``CC_index`` — also the execution budget
+            granted to each plan executed while crossing this contour.
+        points: flat grid indices of the band's locations.
+        coords: ``(P, D)`` int matrix of the same locations.
+        plan_ids: ``(P,)`` POSP plan id per location.
+    """
+
+    def __init__(self, index, budget, points, coords, plan_ids):
+        self.index = index
+        self.budget = budget
+        self.points = points
+        self.coords = coords
+        self.plan_ids = plan_ids
+
+    @property
+    def density(self):
+        """Number of distinct plans on the contour (the paper's density)."""
+        return len(np.unique(self.plan_ids)) if len(self.plan_ids) else 0
+
+    def unique_plan_ids(self):
+        return [int(p) for p in np.unique(self.plan_ids)]
+
+    def __repr__(self):
+        return (
+            f"Contour(IC{self.index}, CC={self.budget:.3g}, "
+            f"|points|={len(self.points)}, density={self.density})"
+        )
+
+
+class ContourSet:
+    """All iso-cost contours of an ESS.
+
+    Args:
+        ess: the built :class:`~repro.ess.ocs.ESS`.
+        cost_ratio: geometric spacing between consecutive contour costs.
+    """
+
+    def __init__(self, ess, cost_ratio=DEFAULT_COST_RATIO):
+        if cost_ratio <= 1.0:
+            raise DiscoveryError("contour cost ratio must exceed 1")
+        self.ess = ess
+        self.cost_ratio = float(cost_ratio)
+        cmin, cmax = ess.min_cost, ess.max_cost
+        if cmax < cmin:
+            raise DiscoveryError("OCS violates PCM: max cost below min cost")
+        span = cmax / cmin
+        steps = max(0, math.ceil(math.log(span, cost_ratio) - 1e-12))
+        self.num_contours = steps + 1
+        budgets = [cmin * cost_ratio**i for i in range(self.num_contours)]
+        budgets[-1] = cmax  # cap the last contour at C_max (paper Sec 2.5)
+        self.budgets = np.asarray(budgets, dtype=float)
+
+        # Band assignment: first contour whose budget covers the cost.
+        costs = ess.optimal_cost
+        self.band = np.searchsorted(self.budgets, costs * (1.0 - 1e-12), side="left")
+        self.band = np.minimum(self.band, self.num_contours - 1).astype(np.int32)
+        self._contours = [None] * self.num_contours
+
+    def budget(self, index):
+        """The cost ``CC_index`` of a 1-based contour index."""
+        return float(self.budgets[index - 1])
+
+    def contour(self, index):
+        """The 1-based contour ``IC_index`` (built lazily)."""
+        if not 1 <= index <= self.num_contours:
+            raise DiscoveryError(
+                f"contour index {index} outside [1, {self.num_contours}]"
+            )
+        cached = self._contours[index - 1]
+        if cached is None:
+            points = np.flatnonzero(self.band == index - 1).astype(np.int64)
+            grid = self.ess.grid
+            coords = np.column_stack(
+                [grid.coord_array(d)[points] for d in range(grid.num_dims)]
+            ) if len(points) else np.empty((0, grid.num_dims), dtype=np.int32)
+            plan_ids = self.ess.plan_ids[points]
+            cached = Contour(index, self.budget(index), points, coords, plan_ids)
+            self._contours[index - 1] = cached
+        return cached
+
+    def __iter__(self):
+        return (self.contour(i) for i in range(1, self.num_contours + 1))
+
+    def band_of(self, flat):
+        """1-based contour index of a grid location's band."""
+        return int(self.band[flat]) + 1
+
+    @property
+    def max_density(self):
+        """The paper's rho: plan cardinality of the densest contour."""
+        return max(c.density for c in self)
+
+    def densities(self):
+        return [c.density for c in self]
+
+    def __repr__(self):
+        return (
+            f"ContourSet(m={self.num_contours}, ratio={self.cost_ratio}, "
+            f"rho={self.max_density})"
+        )

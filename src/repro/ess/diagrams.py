@@ -1,0 +1,89 @@
+"""Plan-diagram analysis.
+
+The plan diagram — the partition of the selectivity space by optimal
+plan — is the object the whole bouquet line of work is built on
+[Harish, Darera & Haritsa, VLDB 2007].  This module computes the
+standard diagnostics:
+
+* region statistics (per-plan areas, the Gini skew of areas — real
+  diagrams are dominated by a few large plans plus a fringe of slivers);
+* switching profiles (how often the optimal plan changes along an axis
+  — the source of contour plan density);
+* the anorexic reduction curve (reduced diagram cardinality as the
+  cost-bloat threshold grows — the "10% bloat suffices" observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ess.reduction import AnorexicReduction
+
+
+def gini_coefficient(values):
+    """Gini coefficient of a non-negative distribution (0 = uniform)."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0 or values.sum() == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * values).sum()) / (n * values.sum()) - (n + 1) / n)
+
+
+def plan_diagram_stats(ess):
+    """Region statistics of the POSP plan diagram.
+
+    Returns a dict with the plan count, per-plan region fractions, the
+    largest plan's share, the Gini skew of region areas, and the count
+    of "sliver" plans (< 1% of the space) — the population anorexic
+    reduction exists to swallow.
+    """
+    total = ess.grid.num_points
+    counts = np.bincount(ess.plan_ids, minlength=ess.posp_size)
+    fractions = counts / total
+    return {
+        "num_plans": int(ess.posp_size),
+        "fractions": fractions,
+        "largest_share": float(fractions.max()),
+        "gini": gini_coefficient(counts),
+        "sliver_plans": int(np.sum((fractions > 0) & (fractions < 0.01))),
+    }
+
+
+def switching_profile(ess):
+    """Plan switches along each axis of the diagram.
+
+    Returns, per dimension, the mean number of optimal-plan changes
+    encountered while sweeping that axis (all other coordinates fixed).
+    High switch counts along a dimension mean dense contours — and a
+    harder time for PlanBouquet's behavioural bound.
+    """
+    grid = ess.grid
+    ids = ess.plan_ids.reshape(grid.shape)
+    profile = []
+    for axis in range(grid.num_dims):
+        moved = np.moveaxis(ids, axis, -1)
+        switches = np.sum(moved[..., 1:] != moved[..., :-1], axis=-1)
+        profile.append(float(switches.mean()))
+    return profile
+
+
+def reduction_curve(ess, contour_set, lams=(0.0, 0.05, 0.1, 0.2, 0.5, 1.0)):
+    """Reduced max contour density as a function of the bloat threshold.
+
+    The anorexic-reduction observation: small cost-bloat allowances
+    collapse plan diagrams dramatically.  Returns a list of
+    ``{"lam": ..., "rho": ..., "bouquet_size": ...}`` rows.
+    """
+    rows = []
+    for lam in lams:
+        reduction = AnorexicReduction(ess, contour_set, lam=lam)
+        bouquet = set()
+        for reduced in reduction.reduced:
+            bouquet.update(reduced.plan_ids)
+        rows.append({
+            "lam": float(lam),
+            "rho": reduction.rho,
+            "bouquet_size": len(bouquet),
+        })
+    return rows

@@ -1,0 +1,175 @@
+"""The discretized Error-prone Selectivity Space (ESS).
+
+The ESS is the D-dimensional hypercube of epp selectivities
+(paper Section 2.1).  "In practice, an appropriately discretized grid
+version of [0,1]^D is considered as the ESS" — this module is that grid:
+geometrically (log) spaced selectivity values per dimension, mirroring
+the log-scaled axes of the paper's plan/contour diagrams.
+
+Locations are handled in three interchangeable forms:
+
+* *flat index* — an integer in ``[0, N)``; the canonical form for
+  vectorized sweeps.
+* *coords* — a tuple of per-dimension grid indices.
+* *selectivities* — the tuple of actual selectivity values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+
+#: Default per-dimension grid resolution, chosen so that exhaustive
+#: enumeration of the ESS stays laptop-friendly as D grows (the paper
+#: evaluates D = 2..6).
+DEFAULT_RESOLUTIONS = {1: 64, 2: 32, 3: 16, 4: 10, 5: 7, 6: 6}
+
+DEFAULT_MIN_SELECTIVITY = 1e-5
+
+
+def default_resolution(num_dims):
+    """Per-dimension resolution default for a ``num_dims``-D ESS."""
+    return DEFAULT_RESOLUTIONS.get(num_dims, 5)
+
+
+class ESSGrid:
+    """A log-spaced grid over ``[sel_min, 1]^D``.
+
+    Args:
+        num_dims: ESS dimensionality ``D``.
+        resolution: points per dimension — an int (same for every
+            dimension) or a sequence of per-dimension ints.
+        sel_min: smallest selectivity per dimension — a float or a
+            sequence.  The largest value is always 1.0 (the terminus has
+            all coordinates 1, paper Section 2.1).
+    """
+
+    def __init__(self, num_dims, resolution=None, sel_min=DEFAULT_MIN_SELECTIVITY):
+        if num_dims < 1:
+            raise QueryError("ESS needs at least one dimension")
+        self.num_dims = int(num_dims)
+        if resolution is None:
+            resolution = default_resolution(num_dims)
+        if np.isscalar(resolution):
+            resolution = [int(resolution)] * num_dims
+        if len(resolution) != num_dims:
+            raise QueryError("resolution list must have one entry per dimension")
+        if any(r < 2 for r in resolution):
+            raise QueryError("each dimension needs at least two grid points")
+        if np.isscalar(sel_min):
+            sel_min = [float(sel_min)] * num_dims
+        if len(sel_min) != num_dims:
+            raise QueryError("sel_min list must have one entry per dimension")
+
+        self.resolution = tuple(int(r) for r in resolution)
+        self.values = [
+            np.geomspace(lo, 1.0, num=r)
+            for lo, r in zip(sel_min, self.resolution)
+        ]
+        self.shape = tuple(self.resolution)
+        self.num_points = int(np.prod(self.shape))
+        # Row-major strides in points (dimension 0 varies slowest).
+        strides = []
+        acc = 1
+        for r in reversed(self.shape):
+            strides.append(acc)
+            acc *= r
+        self.strides = tuple(reversed(strides))
+        self._sel_arrays = None
+        self._coord_arrays = None
+
+    # ------------------------------------------------------------------
+    # Flat <-> coords <-> selectivities
+    # ------------------------------------------------------------------
+
+    def flat_index(self, coords):
+        """Flat index of a coords tuple."""
+        return int(sum(int(c) * s for c, s in zip(coords, self.strides)))
+
+    def coords_of(self, flat):
+        """Coords tuple of a flat index."""
+        return tuple(int(c) for c in np.unravel_index(int(flat), self.shape))
+
+    def selectivities_of(self, flat):
+        """Selectivity tuple at a flat index."""
+        coords = self.coords_of(flat)
+        return tuple(float(self.values[d][c]) for d, c in enumerate(coords))
+
+    def selectivity(self, dim, coord):
+        """Selectivity value of one grid index along one dimension."""
+        return float(self.values[dim][int(coord)])
+
+    def snap(self, selectivities):
+        """Coords of the grid point nearest (in log space) to a vector."""
+        if len(selectivities) != self.num_dims:
+            raise QueryError(
+                f"expected {self.num_dims} selectivities, got {len(selectivities)}"
+            )
+        coords = []
+        for dim, sel in enumerate(selectivities):
+            sel = min(max(float(sel), self.values[dim][0]), 1.0)
+            logs = np.log(self.values[dim])
+            coords.append(int(np.argmin(np.abs(logs - np.log(sel)))))
+        return tuple(coords)
+
+    # ------------------------------------------------------------------
+    # Vectorized views
+    # ------------------------------------------------------------------
+
+    def coord_array(self, dim):
+        """``(N,)`` int array: grid index along ``dim`` for every point."""
+        if self._coord_arrays is None:
+            indices = np.indices(self.shape).reshape(self.num_dims, -1)
+            self._coord_arrays = [indices[d].astype(np.int32) for d in range(self.num_dims)]
+        return self._coord_arrays[dim]
+
+    def sel_array(self, dim):
+        """``(N,)`` float array: selectivity along ``dim`` for every point."""
+        if self._sel_arrays is None:
+            self._sel_arrays = [
+                self.values[d][self.coord_array(d)] for d in range(self.num_dims)
+            ]
+        return self._sel_arrays[dim]
+
+    def environment(self):
+        """The full-grid selectivity environment for the optimizer."""
+        return {d: self.sel_array(d) for d in range(self.num_dims)}
+
+    def line_indices(self, fixed_coords, free_dim):
+        """Flat indices of the 1-D line varying ``free_dim``.
+
+        ``fixed_coords`` maps every other dimension to its grid index —
+        this is the 1-D effective search space left once all but one epp
+        have been learned.
+        """
+        base = 0
+        for dim in range(self.num_dims):
+            if dim == free_dim:
+                continue
+            base += int(fixed_coords[dim]) * self.strides[dim]
+        return base + self.strides[free_dim] * np.arange(
+            self.resolution[free_dim], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # Dominance (paper Section 2.1)
+    # ------------------------------------------------------------------
+
+    def dominates(self, coords_a, coords_b):
+        """Whether location a dominates b: ``a.j >= b.j`` for all j, a != b."""
+        if tuple(coords_a) == tuple(coords_b):
+            return False
+        return all(ca >= cb for ca, cb in zip(coords_a, coords_b))
+
+    @property
+    def origin(self):
+        return (0,) * self.num_dims
+
+    @property
+    def terminus(self):
+        """The all-ones corner of the ESS."""
+        return tuple(r - 1 for r in self.resolution)
+
+    def __repr__(self):
+        return f"ESSGrid(D={self.num_dims}, shape={self.shape})"

@@ -1,0 +1,223 @@
+"""The Optimal Cost Surface and the POSP plan pool.
+
+Building the ESS means calling the optimizer at every grid location and
+recording (a) the optimal cost — the OCS of paper Section 2.5 — and
+(b) the optimal plan's identity — whose union over the grid is the
+Parametric Optimal Set of Plans (POSP).  The :class:`ESS` object bundles
+that with lazily-cached per-plan cost arrays (``Cost(P, q)`` over the
+whole grid) and per-plan spill orderings, which every discovery
+algorithm consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ess.grid import ESSGrid
+from repro.optimizer.cost_model import DEFAULT_COST_MODEL
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import epp_total_order, plan_cost, spill_subtree_cost
+
+
+class ESS:
+    """The explored selectivity space for one query.
+
+    Attributes:
+        query: the :class:`~repro.query.query.SPJQuery`.
+        grid: the :class:`~repro.ess.grid.ESSGrid`.
+        optimal_cost: ``(N,)`` array, ``Cost(P_q, q)`` per location.
+        plan_ids: ``(N,)`` int array of POSP plan identifiers.
+        plans: list of plan trees; ``plans[i]`` has identifier ``i``.
+        plan_keys: canonical identity strings, parallel to ``plans``.
+    """
+
+    def __init__(self, query, grid, cost_model, optimal_cost, plan_ids, plans):
+        self.query = query
+        self.grid = grid
+        self.cost_model = cost_model
+        self.optimal_cost = optimal_cost
+        self.plan_ids = plan_ids
+        self.plans = plans
+        self.plan_keys = [p.key for p in plans]
+        self._cost_arrays = {}
+        self._point_costs = {}
+        self._spill_orders = {}
+        self._subtree_costs = {}
+
+    @classmethod
+    def build(cls, query, grid=None, cost_model=DEFAULT_COST_MODEL,
+              resolution=None, left_deep=False):
+        """Sweep the optimizer over the grid and assemble the surface.
+
+        ``left_deep=True`` restricts the plan search to the classical
+        left-deep space (search-space ablation).
+        """
+        if grid is None:
+            grid = ESSGrid(query.num_epps, resolution=resolution)
+        optimizer = Optimizer(query, cost_model, left_deep=left_deep)
+        result = optimizer.optimize(grid.environment(), num_points=grid.num_points)
+        keys, pool = result.plans()
+        plan_keys = sorted(pool)
+        index = {key: i for i, key in enumerate(plan_keys)}
+        plan_ids = np.fromiter((index[k] for k in keys), dtype=np.int32, count=len(keys))
+        plans = [pool[k] for k in plan_keys]
+        return cls(
+            query=query,
+            grid=grid,
+            cost_model=cost_model,
+            optimal_cost=np.asarray(result.optimal_cost, dtype=float),
+            plan_ids=plan_ids,
+            plans=plans,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived, cached per-plan data
+    # ------------------------------------------------------------------
+
+    @property
+    def posp_size(self):
+        """Number of distinct POSP plans over the grid."""
+        return len(self.plans)
+
+    @property
+    def min_cost(self):
+        """``C_min`` — the optimal cost at the origin (PCM minimum)."""
+        return float(self.optimal_cost.min())
+
+    @property
+    def max_cost(self):
+        """``C_max`` — the optimal cost at the terminus (PCM maximum)."""
+        return float(self.optimal_cost.max())
+
+    #: Cap on cached per-plan cost surfaces; recomputation is a cheap
+    #: vectorized tree walk, so a bounded cache trades a little CPU for
+    #: predictable memory on queries with large POSPs.
+    COST_CACHE_LIMIT = 512
+
+    def plan_cost_array(self, plan_id):
+        """``Cost(P, q)`` for a fixed plan, over the whole grid (cached)."""
+        cached = self._cost_arrays.get(plan_id)
+        if cached is None:
+            plan = self.plans[plan_id]
+            cached = np.broadcast_to(
+                np.asarray(
+                    plan_cost(plan, self.query, self.cost_model, self.grid.environment()),
+                    dtype=float,
+                ),
+                (self.grid.num_points,),
+            )
+            if len(self._cost_arrays) >= self.COST_CACHE_LIMIT:
+                self._cost_arrays.pop(next(iter(self._cost_arrays)))
+            self._cost_arrays[plan_id] = cached
+        return cached
+
+    def plan_cost_at(self, plan_id, flat):
+        """``Cost(P, q)`` for a plan at one grid location."""
+        return float(self.plan_cost_array(plan_id)[flat])
+
+    def plan_cost_at_points(self, plan_id, flat_indices):
+        """``Cost(P, q)`` at a restricted set of locations.
+
+        Evaluates the plan's cost expression over just those points —
+        O(len(flat_indices)) instead of a full-grid sweep — which keeps
+        large-POSP queries (6-D) tractable for AlignedBound's
+        replacement-plan searches.  Individual (plan, point) results are
+        memoized: the searches revisit heavily-overlapping point sets
+        across discovery states.
+        """
+        cached = self._cost_arrays.get(plan_id)
+        if cached is not None:
+            return np.asarray(cached[flat_indices], dtype=float)
+        flats = np.asarray(flat_indices, dtype=np.int64)
+        memo = self._point_costs.setdefault(plan_id, {})
+        missing = [int(f) for f in flats if int(f) not in memo]
+        if missing:
+            grid = self.grid
+            miss = np.asarray(missing, dtype=np.int64)
+            env = {d: grid.sel_array(d)[miss] for d in range(grid.num_dims)}
+            cost = plan_cost(self.plans[plan_id], self.query,
+                             self.cost_model, env)
+            cost = np.broadcast_to(
+                np.asarray(cost, dtype=float), (len(missing),)
+            )
+            for flat, value in zip(missing, cost):
+                memo[flat] = float(value)
+        return np.fromiter(
+            (memo[int(f)] for f in flats), dtype=float, count=len(flats)
+        )
+
+    def spill_order(self, plan_id):
+        """The plan's epp total order as a list of ESS dimensions."""
+        cached = self._spill_orders.get(plan_id)
+        if cached is None:
+            names = epp_total_order(self.plans[plan_id], self.query)
+            cached = [self.query.epp_dimension(n) for n in names]
+            self._spill_orders[plan_id] = cached
+        return cached
+
+    def spill_dimension(self, plan_id, remaining_dims):
+        """First unlearned dimension in the plan's spill order, or None."""
+        remaining = set(remaining_dims)
+        for dim in self.spill_order(plan_id):
+            if dim in remaining:
+                return dim
+        return None
+
+    def spill_cost_curve(self, plan_id, dim, fixed_coords):
+        """Spill-subtree cost of a plan as a function of one epp.
+
+        Returns the ``(resolution[dim],)`` array of the cost of executing
+        only the subtree rooted at the ``dim`` epp's node, as the epp's
+        selectivity sweeps its grid values with every *other* dimension
+        pinned at ``fixed_coords`` (a full coords tuple; the entry for
+        ``dim`` itself is ignored).  Cached on (plan, dim, relevant
+        coords): only coordinates of epps inside the spilled subtree can
+        influence the curve, so the cache key keeps just those.
+        """
+        plan = self.plans[plan_id]
+        query = self.query
+        epp_name = query.epps[dim].name
+        relevant = tuple(
+            (d, int(fixed_coords[d]))
+            for d in self._subtree_dims(plan_id, dim)
+            if d != dim
+        )
+        cache_key = (plan_id, dim, relevant)
+        cached = self._subtree_costs.get(cache_key)
+        if cached is None:
+            env = {
+                d: self.grid.selectivity(d, fixed_coords[d])
+                for d in range(self.grid.num_dims)
+            }
+            env[dim] = self.grid.values[dim]
+            cached = np.asarray(
+                spill_subtree_cost(plan, query, self.cost_model, env, epp_name),
+                dtype=float,
+            )
+            cached = np.broadcast_to(cached, (self.grid.resolution[dim],))
+            self._subtree_costs[cache_key] = cached
+        return cached
+
+    def _subtree_dims(self, plan_id, dim):
+        """ESS dimensions of the epps inside the spilled subtree."""
+        from repro.optimizer.plans import find_epp_node  # local to avoid cycle
+
+        plan = self.plans[plan_id]
+        epp_name = self.query.epps[dim].name
+        node = find_epp_node(plan, epp_name)
+        dims = set()
+        for sub in node.iter_nodes():
+            for pred in sub.applied_preds:
+                if pred.error_prone:
+                    dims.add(self.query.epp_dimension(pred.name))
+        return dims
+
+    def suboptimality_surface(self, plan_id):
+        """``Cost(P, q) / Cost(P_q, q)`` over the grid for a fixed plan."""
+        return self.plan_cost_array(plan_id) / self.optimal_cost
+
+    def __repr__(self):
+        return (
+            f"ESS({self.query.name!r}, grid={self.grid.shape}, "
+            f"|POSP|={self.posp_size})"
+        )

@@ -1,0 +1,153 @@
+"""Offline ESS persistence.
+
+Paper Section 7: "the construction of the contours in the ESS is
+certainly a computationally intensive task ... for canned queries, it
+may be feasible to carry out an offline enumeration".  This module is
+that offline path: a built ESS (the optimizer-sweep outputs — optimal
+costs, plan identities, grid geometry) is saved to a single ``.npz``
+archive and reloaded without re-invoking the optimizer.
+
+Plan *trees* are reconstructed from their canonical identity strings,
+so the archive stays plain arrays + strings; reconstruction is exact
+because the identity grammar is unambiguous.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+
+from repro.errors import OptimizerError, QueryError
+from repro.ess.grid import ESSGrid
+from repro.ess.ocs import ESS
+from repro.optimizer.plans import (
+    HASH_JOIN,
+    INDEX_NL_JOIN,
+    MERGE_JOIN,
+    NL_JOIN,
+    JoinNode,
+    ScanNode,
+)
+
+_FORMAT_VERSION = 1
+
+_JOIN_OPS = {HASH_JOIN, MERGE_JOIN, NL_JOIN, INDEX_NL_JOIN}
+_KEY_TOKEN = re.compile(r"([A-Z]+)\[([^\]]*)\]\(|([A-Z]+)\(([^()]*)\)|[(),]")
+
+
+def parse_plan_key(key, query):
+    """Rebuild a plan tree from its canonical identity string.
+
+    The grammar is the one :class:`~repro.optimizer.plans.PlanNode`
+    emits::
+
+        scan := METHOD(table)
+        join := OP[pred,...](node,node)
+    """
+    pos = 0
+
+    def parse_node():
+        nonlocal pos
+        match = re.match(r"([A-Z]+)\[([^\]]*)\]\(", key[pos:])
+        if match:
+            op, pred_names = match.group(1), match.group(2).split(",")
+            if op not in _JOIN_OPS:
+                raise OptimizerError(f"unknown join op {op!r} in {key!r}")
+            pos += match.end()
+            outer = parse_node()
+            if key[pos] != ",":
+                raise OptimizerError(f"malformed plan key {key!r}")
+            pos += 1
+            inner = parse_node()
+            if key[pos] != ")":
+                raise OptimizerError(f"malformed plan key {key!r}")
+            pos += 1
+            by_name = {p.name: p for p in query.joins}
+            try:
+                preds = [by_name[name] for name in pred_names]
+            except KeyError as missing:
+                raise QueryError(
+                    f"plan key references unknown predicate {missing}"
+                ) from None
+            return JoinNode(op, outer, inner, preds)
+        match = re.match(r"([A-Z]+)\(([^()]*)\)", key[pos:])
+        if match:
+            method, table = match.group(1), match.group(2)
+            pos += match.end()
+            return ScanNode(table, method, tuple(query.filters_on(table)))
+        raise OptimizerError(f"malformed plan key {key!r} at offset {pos}")
+
+    node = parse_node()
+    if pos != len(key):
+        raise OptimizerError(f"trailing garbage in plan key {key!r}")
+    if node.key != key:
+        raise OptimizerError(
+            f"plan key round-trip mismatch: {node.key!r} != {key!r}"
+        )
+    return node
+
+
+def save_ess(ess, path):
+    """Persist a built ESS to a ``.npz`` archive."""
+    grid = ess.grid
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "query_name": ess.query.name,
+        "num_dims": grid.num_dims,
+        "resolution": list(grid.resolution),
+    }
+    np.savez_compressed(
+        path,
+        meta=json.dumps(meta),
+        optimal_cost=ess.optimal_cost,
+        plan_ids=ess.plan_ids,
+        plan_keys=np.array(ess.plan_keys, dtype=object),
+        grid_values=np.array(
+            [grid.values[d] for d in range(grid.num_dims)], dtype=object
+        ),
+    )
+
+
+def load_ess(path, query, cost_model=None):
+    """Load a persisted ESS for the (identical) query it was built from.
+
+    Args:
+        path: the ``.npz`` archive.
+        query: the query object; its name must match the archive and
+            its predicates must resolve every stored plan key.
+        cost_model: cost model for re-costing; defaults to the library
+            default (must match the one used at build time for costs to
+            be coherent).
+    """
+    from repro.optimizer.cost_model import DEFAULT_COST_MODEL
+
+    with np.load(path, allow_pickle=True) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise OptimizerError(
+                f"unsupported ESS archive version {meta['format_version']}"
+            )
+        if meta["query_name"] != query.name:
+            raise QueryError(
+                f"archive was built for query {meta['query_name']!r}, "
+                f"not {query.name!r}"
+            )
+        if meta["num_dims"] != query.num_epps:
+            raise QueryError("archive dimensionality mismatch")
+        grid = ESSGrid(meta["num_dims"], resolution=meta["resolution"])
+        for dim, values in enumerate(archive["grid_values"]):
+            grid.values[dim] = np.asarray(values, dtype=float)
+        grid._sel_arrays = None  # rebuilt lazily from restored values
+        plans = [
+            parse_plan_key(str(key), query) for key in archive["plan_keys"]
+        ]
+        return ESS(
+            query=query,
+            grid=grid,
+            cost_model=cost_model or DEFAULT_COST_MODEL,
+            optimal_cost=np.asarray(archive["optimal_cost"], dtype=float),
+            plan_ids=np.asarray(archive["plan_ids"], dtype=np.int32),
+            plans=plans,
+        )

@@ -1,0 +1,148 @@
+"""The plan cost model.
+
+A standard disk + CPU cost model in abstract cost units, deliberately
+shaped so that physical-operator crossovers occur as selectivities move
+(index nested-loop wins at low outer cardinalities, hash join in the
+mid-range with a spill penalty past the memory budget, sort-merge for
+big-big joins that blow the hash memory, plain nested-loop only for tiny
+inputs).  Those crossovers are what give the Parametric Optimal Set of
+Plans (POSP) its structure, and with it the iso-cost contour geometry the
+discovery algorithms navigate.
+
+Every cost function accepts scalars or numpy arrays (the optimizer sweeps
+the whole ESS grid in one vectorized pass) and is monotonically
+non-decreasing in every input cardinality; output-cardinality terms are
+strictly increasing.  Plan Cost Monotonicity (PCM, paper Section 2.4)
+follows by construction: inflating any epp selectivity inflates the
+output cardinality of the node applying it and of every node above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _log2(card):
+    """``log2`` guarded against zero/sub-one cardinalities."""
+    return np.log2(np.maximum(card, 2.0))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost-model constants (abstract units; roughly "per tuple touched").
+
+    Attributes:
+        seq_tuple: sequential read+qualify cost per base tuple.
+        index_lookup: B-tree descend cost (multiplied by log2 of the
+            indexed relation size).
+        index_fetch: random-access fetch cost per matching tuple.
+        hash_build: per-tuple hash-table build cost.
+        hash_probe: per-tuple probe cost.
+        hash_mem_tuples: in-memory hash-table budget; bigger builds pay
+            the Grace-hash spill surcharge.
+        hash_spill: per-tuple partition write+read surcharge when the
+            build side exceeds memory.
+        sort_unit: per-tuple-per-comparison-level sort cost.
+        merge_unit: per-tuple merge-pass cost.
+        nl_pair: per-tuple-pair nested-loop cost.
+        output_tuple: per-result-tuple emission cost (strictly increasing
+            term that anchors PCM).
+        startup: fixed per-operator startup cost.
+    """
+
+    seq_tuple: float = 1.0
+    index_lookup: float = 4.0
+    index_fetch: float = 2.0
+    hash_build: float = 2.0
+    hash_probe: float = 1.2
+    hash_mem_tuples: float = 2.0e6
+    hash_spill: float = 1.6
+    sort_unit: float = 0.25
+    merge_unit: float = 0.4
+    nl_pair: float = 0.05
+    output_tuple: float = 0.5
+    startup: float = 10.0
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def scan_seq(self, base_card, out_card):
+        """Full sequential scan; filter applied on the fly."""
+        return self.startup + self.seq_tuple * base_card + self.output_tuple * out_card
+
+    def scan_index(self, base_card, out_card):
+        """Index scan driven by a filter on an indexed column.
+
+        Pays a B-tree descend plus a random fetch per qualifying tuple —
+        cheaper than a sequential scan only at low filter selectivities,
+        which is exactly the crossover a real optimizer exhibits.
+        """
+        descend = self.index_lookup * _log2(base_card)
+        fetch = self.index_fetch * out_card
+        return self.startup + descend + fetch + self.output_tuple * out_card
+
+    # ------------------------------------------------------------------
+    # Joins.  ``outer``/``probe`` is the left child's output cardinality,
+    # ``inner``/``build`` the right child's; ``out`` the join output.
+    # ------------------------------------------------------------------
+
+    def join_hash(self, probe_card, build_card, out_card):
+        """Classic hybrid hash join with a Grace-style spill surcharge."""
+        base = self.hash_build * build_card + self.hash_probe * probe_card
+        over = np.maximum(build_card - self.hash_mem_tuples, 0.0)
+        # Spilling repartitions both inputs proportionally to the overflow
+        # fraction of the build side.
+        frac = over / np.maximum(build_card, 1.0)
+        spill = self.hash_spill * frac * (build_card + probe_card)
+        return self.startup + base + spill + self.output_tuple * out_card
+
+    def join_merge(self, left_card, right_card, out_card):
+        """Sort-merge join; both inputs sorted from scratch."""
+        sort = self.sort_unit * (
+            left_card * _log2(left_card) + right_card * _log2(right_card)
+        )
+        merge = self.merge_unit * (left_card + right_card)
+        return self.startup + sort + merge + self.output_tuple * out_card
+
+    def join_nl(self, outer_card, inner_card, out_card):
+        """Tuple nested-loop join — only viable for tiny inputs."""
+        pairs = self.nl_pair * outer_card * inner_card
+        return self.startup + pairs + self.output_tuple * out_card
+
+    def join_inl(self, outer_card, inner_base_card, out_card):
+        """Index nested-loop join into a base relation's index.
+
+        Each outer tuple descends the inner index and fetches its
+        matches; total fetch volume is the join output cardinality.
+        """
+        descend = self.index_lookup * outer_card * _log2(inner_base_card) * 0.25
+        fetch = self.index_fetch * out_card
+        return self.startup + descend + fetch + self.output_tuple * out_card
+
+    def with_noise(self, delta, seed=0):
+        """A cost model whose constants are perturbed by up to ``delta``.
+
+        Models the bounded cost-model error of paper Section 7: every
+        constant is scaled by a factor in ``[1/(1+delta), (1+delta)]``.
+        Used by the ablation experiments; ``delta=0`` returns ``self``.
+        """
+        if delta <= 0:
+            return self
+        rng = np.random.default_rng(seed)
+        scaled = {}
+        for name in (
+            "seq_tuple", "index_lookup", "index_fetch", "hash_build",
+            "hash_probe", "hash_spill", "sort_unit", "merge_unit",
+            "nl_pair", "output_tuple",
+        ):
+            factor = (1.0 + delta) ** rng.uniform(-1.0, 1.0)
+            scaled[name] = getattr(self, name) * factor
+        return CostModel(
+            hash_mem_tuples=self.hash_mem_tuples, startup=self.startup, **scaled
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,396 @@
+"""A Selinger-style cost-based optimizer with selectivity injection.
+
+This is the substrate that plays the role of the paper's modified
+PostgreSQL optimizer.  Two capabilities matter to the discovery
+algorithms:
+
+* **Selectivity injection** — the optimizer plans a query *as if* the
+  error-prone predicates had caller-chosen selectivities.  Repeated
+  injection over the ESS grid yields the POSP and the Optimal Cost
+  Surface (paper Section 2.2).
+* **Vectorized grid sweeps** — rather than invoking the planner once per
+  grid location, the dynamic program is evaluated with numpy arrays over
+  *all* locations at once: each DP entry holds the best cost per
+  location plus the argmin alternative, and plans are reconstructed per
+  location from the choice arrays afterwards.
+
+The search space is bushy join trees over connected subgraphs (no cross
+products), with physical alternatives per join (hash, sort-merge,
+nested-loop, index nested-loop) and per scan (sequential, index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OptimizerError
+from repro.optimizer.cost_model import DEFAULT_COST_MODEL
+from repro.optimizer.plans import (
+    HASH_JOIN,
+    INDEX_NL_JOIN,
+    INDEX_SCAN,
+    MERGE_JOIN,
+    NL_JOIN,
+    SEQ_SCAN,
+    JoinNode,
+    ScanNode,
+    predicate_selectivity,
+)
+
+
+class _ScanAlt:
+    """A scan alternative for a singleton subset."""
+
+    __slots__ = ("method", "table", "filters")
+
+    def __init__(self, method, table, filters):
+        self.method = method
+        self.table = table
+        self.filters = filters
+
+
+class _JoinAlt:
+    """A join alternative: ``op`` over ``(outer_mask, inner_mask)``."""
+
+    __slots__ = ("op", "outer_mask", "inner_mask", "preds")
+
+    def __init__(self, op, outer_mask, inner_mask, preds):
+        self.op = op
+        self.outer_mask = outer_mask
+        self.inner_mask = inner_mask
+        self.preds = preds
+
+
+class OptimizationResult:
+    """The outcome of one (possibly grid-wide) optimization sweep.
+
+    Attributes:
+        optimal_cost: ndarray of shape ``(N,)`` — ``Cost(P_q, q)`` per
+            location.
+    """
+
+    def __init__(self, optimizer, best, choice, num_points):
+        self._optimizer = optimizer
+        self._best = best
+        self._choice = choice
+        self.num_points = num_points
+        self.optimal_cost = best[optimizer.full_mask]
+
+    def plan_at(self, point):
+        """Reconstruct the optimal :class:`PlanNode` tree at one location."""
+        cache = {}
+        return self._build(self._optimizer.full_mask, point, cache)
+
+    def plans(self):
+        """Reconstruct plans for every location.
+
+        Returns:
+            (keys, plan_pool): ``keys`` is a list of plan-identity strings
+            per location; ``plan_pool`` maps identity -> shared
+            :class:`PlanNode` tree.
+        """
+        cache = {}
+        keys = []
+        full = self._optimizer.full_mask
+        for point in range(self.num_points):
+            keys.append(self._build(full, point, cache).key)
+        pool = {}
+        for node in cache.values():
+            pool[node.key] = node
+        # The pool contains all subtrees; restrict to full plans.
+        full_tables = self._optimizer.all_tables
+        return keys, {
+            k: v for k, v in pool.items() if v.tables == full_tables
+        }
+
+    def _build(self, mask, point, cache):
+        optimizer = self._optimizer
+        alts = optimizer.alternatives[mask]
+        idx = int(self._choice[mask][point]) if len(alts) > 1 else 0
+        alt = alts[idx]
+        if isinstance(alt, _ScanAlt):
+            node = ScanNode(alt.table, alt.method, alt.filters)
+        else:
+            outer = self._build(alt.outer_mask, point, cache)
+            if alt.op == INDEX_NL_JOIN:
+                # The indexed inner side is accessed through its index,
+                # never scanned — pin its identity so plan keys do not
+                # vary with a cost-irrelevant scan choice.
+                table = optimizer._table_of(alt.inner_mask)
+                filters = tuple(optimizer.query.filters_on(table))
+                inner = ScanNode(table, INDEX_SCAN, filters)
+            else:
+                inner = self._build(alt.inner_mask, point, cache)
+            node = JoinNode(alt.op, outer, inner, alt.preds)
+        shared = cache.get(node.key)
+        if shared is not None:
+            return shared
+        cache[node.key] = node
+        return node
+
+
+class Optimizer:
+    """Dynamic-programming join-order optimizer for one query.
+
+    Construction precomputes the connected-subgraph structure; each call
+    to :meth:`optimize` performs a sweep for one selectivity environment
+    (a single point or the full grid).
+    """
+
+    def __init__(self, query, cost_model=DEFAULT_COST_MODEL, left_deep=False):
+        """Args:
+            query: the SPJ query to plan.
+            cost_model: cost constants.
+            left_deep: restrict the search to left-deep trees (inner
+                side always a base relation) — the classical Selinger
+                space; default searches bushy trees too.
+        """
+        self.query = query
+        self.cost_model = cost_model
+        self.left_deep = bool(left_deep)
+        self.tables = list(query.tables)
+        self.all_tables = frozenset(self.tables)
+        self._bit = {t: 1 << i for i, t in enumerate(self.tables)}
+        n = len(self.tables)
+        self.full_mask = (1 << n) - 1
+
+        # Adjacency bitmasks from the join graph.
+        self._adj = [0] * n
+        for i, t in enumerate(self.tables):
+            for neighbor in query.join_graph.neighbors(t):
+                self._adj[i] |= self._bit[neighbor]
+
+        # Per-predicate endpoint masks.
+        self._pred_masks = [
+            (self._bit[p.left_table] | self._bit[p.right_table], p)
+            for p in query.joins
+        ]
+
+        self._connected_masks = self._enumerate_connected()
+        self.alternatives = self._enumerate_alternatives()
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+
+    def _is_connected(self, mask):
+        """Connectivity of a subset mask via bit-parallel BFS."""
+        if mask == 0:
+            return False
+        start = mask & -mask
+        frontier = start
+        seen = start
+        while frontier:
+            reach = 0
+            m = frontier
+            while m:
+                bit = m & -m
+                m ^= bit
+                reach |= self._adj[bit.bit_length() - 1]
+            frontier = reach & mask & ~seen
+            seen |= frontier
+        return seen == mask
+
+    def _enumerate_connected(self):
+        masks = [
+            mask
+            for mask in range(1, self.full_mask + 1)
+            if self._is_connected(mask)
+        ]
+        masks.sort(key=lambda m: (bin(m).count("1"), m))
+        return masks
+
+    def _cross_preds(self, mask_a, mask_b):
+        found = []
+        for endpoint_mask, pred in self._pred_masks:
+            if (endpoint_mask & mask_a) and (endpoint_mask & mask_b) and (
+                endpoint_mask & ~(mask_a | mask_b)
+            ) == 0:
+                found.append(pred)
+        return tuple(found)
+
+    def _table_of(self, singleton_mask):
+        return self.tables[singleton_mask.bit_length() - 1]
+
+    def _enumerate_alternatives(self):
+        """Build the static alternative lists for every connected mask."""
+        query = self.query
+        alternatives = {}
+        connected = set(self._connected_masks)
+        for mask in self._connected_masks:
+            if mask & (mask - 1) == 0:  # singleton
+                table = self._table_of(mask)
+                filters = tuple(query.filters_on(table))
+                alts = [_ScanAlt(SEQ_SCAN, table, filters)]
+                indexed_filters = [
+                    f for f in filters
+                    if query.schema.table(table).column(f.column).indexed
+                ]
+                if indexed_filters:
+                    alts.append(_ScanAlt(INDEX_SCAN, table, filters))
+                alternatives[mask] = alts
+                continue
+
+            alts = []
+            sub = (mask - 1) & mask
+            while sub:
+                rest = mask ^ sub
+                if self.left_deep and rest & (rest - 1):
+                    sub = (sub - 1) & mask
+                    continue  # left-deep: inner must be a base relation
+                if sub in connected and rest in connected:
+                    preds = self._cross_preds(sub, rest)
+                    if preds:
+                        alts.append(_JoinAlt(HASH_JOIN, sub, rest, preds))
+                        alts.append(_JoinAlt(NL_JOIN, sub, rest, preds))
+                        # Merge join is symmetric: enumerate one
+                        # orientation (left-deep search only sees one
+                        # anyway, so it keeps every split).
+                        if self.left_deep or sub < rest:
+                            alts.append(_JoinAlt(MERGE_JOIN, sub, rest, preds))
+                        if rest & (rest - 1) == 0:
+                            inner_table = self._table_of(rest)
+                            if self._inl_applicable(inner_table, preds):
+                                alts.append(
+                                    _JoinAlt(INDEX_NL_JOIN, sub, rest, preds)
+                                )
+                sub = (sub - 1) & mask
+            if not alts:
+                raise OptimizerError(
+                    f"no join alternatives for subset {mask:b} of "
+                    f"query {query.name!r}"
+                )
+            alternatives[mask] = alts
+        return alternatives
+
+    def _inl_applicable(self, inner_table, preds):
+        """Index NL requires an index on the inner join column."""
+        table = self.query.schema.table(inner_table)
+        for pred in preds:
+            if inner_table in pred.tables:
+                if table.column(pred.column_for(inner_table)).indexed:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # The vectorized sweep
+    # ------------------------------------------------------------------
+
+    def optimize(self, env, num_points=None):
+        """Optimize under a selectivity environment.
+
+        Args:
+            env: mapping epp dimension -> selectivity, each a scalar or an
+                ndarray of shape ``(N,)``.
+            num_points: N; inferred from array-valued entries if omitted
+                (defaults to 1 when all entries are scalars).
+
+        Returns:
+            :class:`OptimizationResult`.
+        """
+        if num_points is None:
+            num_points = 1
+            for value in env.values():
+                if isinstance(value, np.ndarray):
+                    num_points = int(value.shape[0])
+                    break
+        cards = self._subset_cards(env)
+        best = {}
+        choice = {}
+        model = self.cost_model
+        query = self.query
+
+        for mask in self._connected_masks:
+            alts = self.alternatives[mask]
+            best_cost = None
+            best_idx = None
+            for idx, alt in enumerate(alts):
+                cost = self._alternative_cost(alt, mask, cards, best, env)
+                cost = np.broadcast_to(
+                    np.asarray(cost, dtype=float), (num_points,)
+                )
+                if best_cost is None:
+                    best_cost = np.array(cost, dtype=float)
+                    best_idx = np.zeros(num_points, dtype=np.int16)
+                else:
+                    better = cost < best_cost
+                    if better.any():
+                        best_cost = np.where(better, cost, best_cost)
+                        best_idx = np.where(better, np.int16(idx), best_idx)
+            best[mask] = best_cost
+            choice[mask] = best_idx
+
+        del model, query  # referenced via helpers
+        return OptimizationResult(self, best, choice, num_points)
+
+    def optimize_at(self, selectivities):
+        """Single-point convenience: plan for one epp selectivity vector.
+
+        Returns ``(plan, cost)``.
+        """
+        env = {dim: float(s) for dim, s in enumerate(selectivities)}
+        result = self.optimize(env, num_points=1)
+        return result.plan_at(0), float(result.optimal_cost[0])
+
+    def _subset_cards(self, env):
+        """Output cardinalities for every connected mask under ``env``."""
+        query = self.query
+        cards = {}
+        for mask in self._connected_masks:
+            if mask & (mask - 1) == 0:
+                table = self._table_of(mask)
+                card = float(query.schema.table(table).cardinality)
+                for f in query.filters_on(table):
+                    card = card * predicate_selectivity(f, query, env)
+                cards[mask] = card
+                continue
+            # Any connected split reproduces the subset cardinality
+            # (order-independence under selectivity independence).
+            sub = mask & -mask
+            # Grow `sub` into a connected component strictly inside mask.
+            alt = self.alternatives[mask][0]
+            card = cards[alt.outer_mask] * cards[alt.inner_mask]
+            for pred in alt.preds:
+                card = card * predicate_selectivity(pred, query, env)
+            cards[mask] = card
+            del sub
+        return cards
+
+    def _alternative_cost(self, alt, mask, cards, best, env):
+        model = self.cost_model
+        query = self.query
+        if isinstance(alt, _ScanAlt):
+            base = float(query.schema.table(alt.table).cardinality)
+            out = cards[mask]
+            if alt.method == INDEX_SCAN:
+                # Fetch volume: rows matched by the indexed filters only.
+                fetch = base
+                for f in alt.filters:
+                    if query.schema.table(alt.table).column(f.column).indexed:
+                        fetch = fetch * predicate_selectivity(f, query, env)
+                return model.scan_index(base, np.maximum(fetch, out))
+            return model.scan_seq(base, out)
+
+        outer_cost = best[alt.outer_mask]
+        inner_cost = best[alt.inner_mask]
+        outer_card = cards[alt.outer_mask]
+        inner_card = cards[alt.inner_mask]
+        out = cards[mask]
+        if alt.op == HASH_JOIN:
+            local = model.join_hash(outer_card, inner_card, out)
+            return outer_cost + inner_cost + local
+        if alt.op == MERGE_JOIN:
+            local = model.join_merge(outer_card, inner_card, out)
+            return outer_cost + inner_cost + local
+        if alt.op == NL_JOIN:
+            local = model.join_nl(outer_card, inner_card, out)
+            return outer_cost + inner_cost + local
+        if alt.op == INDEX_NL_JOIN:
+            inner_table = self._table_of(alt.inner_mask)
+            inner_base = float(query.schema.table(inner_table).cardinality)
+            # Index matches precede residual filters on the inner side.
+            ratio = inner_base / np.maximum(inner_card, 1e-12)
+            match_card = out * np.minimum(ratio, inner_base)
+            local = model.join_inl(outer_card, inner_base, match_card)
+            return outer_cost + local  # the inner side is never scanned
+        raise OptimizerError(f"unknown operator {alt.op!r}")

@@ -1,0 +1,129 @@
+"""Join-graph model and geometry classification.
+
+The benchmark queries model "a spectrum of join-graph geometries,
+including chain, star, branch" (paper Section 6.1).  This module gives the
+optimizer the connectivity structure it needs for connected-subgraph
+enumeration, and classifies the geometry for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.errors import QueryError
+
+
+class JoinGraph:
+    """Undirected multigraph over the query's relations.
+
+    Vertices are table names; edges are join predicates.  The optimizer
+    only enumerates connected sub-plans, so connectivity queries are the
+    hot path here.
+    """
+
+    def __init__(self, tables, join_predicates):
+        self.tables = tuple(tables)
+        self._index = {t: i for i, t in enumerate(self.tables)}
+        if len(self._index) != len(self.tables):
+            raise QueryError("duplicate table in join graph")
+        self.join_predicates = tuple(join_predicates)
+        self._adjacency = defaultdict(set)
+        self._edges_between = defaultdict(list)
+        for pred in self.join_predicates:
+            for t in pred.tables:
+                if t not in self._index:
+                    raise QueryError(f"join {pred.name} references unknown table {t!r}")
+            a, b = pred.tables
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+            self._edges_between[frozenset((a, b))].append(pred)
+
+    def neighbors(self, table):
+        return frozenset(self._adjacency[table])
+
+    def degree(self, table):
+        return len(self._adjacency[table])
+
+    def edges_between(self, table_a, table_b):
+        """Join predicates directly connecting two tables."""
+        return list(self._edges_between.get(frozenset((table_a, table_b)), ()))
+
+    def predicates_within(self, tables):
+        """Join predicates with both endpoints inside ``tables``."""
+        table_set = set(tables)
+        return [
+            p for p in self.join_predicates
+            if p.left_table in table_set and p.right_table in table_set
+        ]
+
+    def predicates_across(self, left_tables, right_tables):
+        """Join predicates with one endpoint in each set."""
+        left, right = set(left_tables), set(right_tables)
+        found = []
+        for p in self.join_predicates:
+            a, b = p.tables
+            if (a in left and b in right) or (a in right and b in left):
+                found.append(p)
+        return found
+
+    def is_connected(self, tables=None):
+        """BFS connectivity check over a subset (default: all tables)."""
+        nodes = set(self.tables if tables is None else tables)
+        if not nodes:
+            return False
+        start = next(iter(nodes))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor in nodes and neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen == nodes
+
+    def has_cycle(self):
+        """Whether the join graph contains a cycle (JOB-style queries)."""
+        # A connected simple graph is acyclic iff |E| = |V| - 1; account
+        # for parallel edges, which always form cycles.
+        simple_edges = set()
+        for p in self.join_predicates:
+            edge = frozenset(p.tables)
+            if edge in simple_edges:
+                return True
+            simple_edges.add(edge)
+        parent = {t: t for t in self.tables}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for edge in simple_edges:
+            a, b = tuple(edge)
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return True
+            parent[ra] = rb
+        return False
+
+    def geometry(self):
+        """Classify the join-graph shape: chain, star, branch, or cyclic.
+
+        * ``chain`` — a path (all degrees <= 2).
+        * ``star`` — one hub joined to all others (hub degree n-1, others 1).
+        * ``cyclic`` — contains a cycle.
+        * ``branch`` — any other tree shape.
+        """
+        if self.has_cycle():
+            return "cyclic"
+        degrees = [self.degree(t) for t in self.tables]
+        n = len(self.tables)
+        if n <= 2:
+            return "chain"
+        if max(degrees) <= 2:
+            return "chain"
+        if sorted(degrees) == [1] * (n - 1) + [n - 1]:
+            return "star"
+        return "branch"

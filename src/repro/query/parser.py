@@ -1,0 +1,183 @@
+"""A small SQL front-end for SPJ queries.
+
+Parses the select-project-join fragment the framework handles::
+
+    SELECT *
+    FROM part, lineitem, orders
+    WHERE part.p_partkey = lineitem.l_partkey    -- epp
+      AND orders.o_orderkey = lineitem.l_orderkey
+      AND part.p_retailprice < 1000 [0.05]
+
+Conventions:
+
+* equality between two column references is a join predicate;
+* a comparison against a literal is a filter predicate;
+* a trailing ``[x]`` annotation on a predicate sets its true
+  selectivity (filters default to the catalog estimate heuristics;
+  joins default to ``1/max(ndv)``);
+* a trailing ``-- epp`` comment (or an ``[x] epp`` annotation) marks the
+  predicate error-prone.
+
+The goal is ergonomic workload authoring, not SQL completeness: no
+subqueries, aggregation, or outer joins — the paper's algorithms target
+the SPJ core.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.query.predicates import filter_pred, join
+from repro.query.query import SPJQuery
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+(?P<select>.*?)\s+from\s+(?P<tables>.*?)"
+    r"(?:\s+where\s+(?P<where>.*?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_COLUMN_RE = re.compile(r"^(\w+)\.(\w+)$")
+_ANNOTATION_RE = re.compile(
+    r"\[\s*(?P<sel>[0-9.eE+-]+)\s*\]\s*(?P<epp>epp)?\s*$"
+)
+_OPS = ("<=", ">=", "=", "<", ">")
+
+
+def _strip_comments(sql):
+    """Remove ``--`` comments, converting ``-- epp`` into an annotation."""
+    lines = []
+    for line in sql.splitlines():
+        code, sep, comment = line.partition("--")
+        if sep and re.search(r"\bepp\b", comment, re.IGNORECASE):
+            code += " /*epp*/ "
+        lines.append(code)
+    return "\n".join(lines)
+
+
+def _split_conjuncts(where):
+    """Split the WHERE clause on top-level ANDs."""
+    parts = re.split(r"\band\b", where, flags=re.IGNORECASE)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_value(text):
+    text = text.strip().strip("'\"")
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+class SQLParser:
+    """Parse SPJ SQL text against a schema."""
+
+    def __init__(self, schema, catalog=None):
+        """Args:
+            schema: the :class:`~repro.catalog.schema.Schema`.
+            catalog: optional
+                :class:`~repro.catalog.statistics.StatisticsCatalog` used
+                for default selectivities; a throwaway catalog over the
+                schema is built when omitted.
+        """
+        from repro.catalog.statistics import StatisticsCatalog
+
+        self.schema = schema
+        self.catalog = catalog or StatisticsCatalog(schema)
+
+    def parse(self, sql, name="adhoc"):
+        """Parse SQL text into an :class:`SPJQuery`."""
+        text = _strip_comments(sql)
+        match = _SELECT_RE.match(text)
+        if not match:
+            raise QueryError("expected SELECT ... FROM ... [WHERE ...]")
+        tables = [t.strip() for t in match.group("tables").split(",")]
+        for table in tables:
+            if not re.fullmatch(r"\w+", table):
+                raise QueryError(f"bad table reference {table!r} "
+                                 "(aliases are not supported)")
+            self.schema.table(table)  # validates existence
+        joins = []
+        filters = []
+        where = match.group("where")
+        if where:
+            for conjunct in _split_conjuncts(where):
+                predicate = self._parse_conjunct(conjunct, set(tables))
+                if hasattr(predicate, "left_table"):
+                    joins.append(predicate)
+                else:
+                    filters.append(predicate)
+        return SPJQuery(name, self.schema, tables, joins=joins,
+                        filters=filters)
+
+    # ------------------------------------------------------------------
+
+    def _parse_conjunct(self, conjunct, tables):
+        error_prone = "/*epp*/" in conjunct
+        conjunct = conjunct.replace("/*epp*/", "").strip()
+        selectivity = None
+        annotation = _ANNOTATION_RE.search(conjunct)
+        if annotation:
+            selectivity = float(annotation.group("sel"))
+            if annotation.group("epp"):
+                error_prone = True
+            conjunct = conjunct[: annotation.start()].strip()
+
+        for op in _OPS:
+            lhs, sep, rhs = conjunct.partition(op)
+            if not sep:
+                continue
+            lhs, rhs = lhs.strip(), rhs.strip()
+            left_col = _COLUMN_RE.match(lhs)
+            right_col = _COLUMN_RE.match(rhs)
+            if left_col and right_col and op == "=":
+                return self._make_join(left_col, right_col, selectivity,
+                                       error_prone, tables)
+            if left_col and not right_col:
+                return self._make_filter(left_col, op, rhs, selectivity,
+                                         error_prone, tables)
+            if right_col and not left_col and op == "=":
+                return self._make_filter(right_col, op, lhs, selectivity,
+                                         error_prone, tables)
+            raise QueryError(f"unsupported predicate {conjunct!r}")
+        raise QueryError(f"no comparison operator in {conjunct!r}")
+
+    def _make_join(self, left, right, selectivity, error_prone, tables):
+        lt, lc = left.group(1), left.group(2)
+        rt, rc = right.group(1), right.group(2)
+        for table in (lt, rt):
+            if table not in tables:
+                raise QueryError(f"table {table!r} not in FROM clause")
+        if selectivity is None:
+            selectivity = self.catalog.estimate_join(lt, lc, rt, rc)
+        return join(lt, lc, rt, rc, selectivity=selectivity,
+                    error_prone=error_prone)
+
+    def _make_filter(self, column, op, literal, selectivity, error_prone,
+                     tables):
+        table, col = column.group(1), column.group(2)
+        if table not in tables:
+            raise QueryError(f"table {table!r} not in FROM clause")
+        value = _parse_value(literal)
+        if selectivity is None:
+            if op == "=":
+                selectivity = self.catalog.estimate_filter(
+                    table, col, value=value
+                )
+            elif op in ("<", "<="):
+                selectivity = self.catalog.estimate_filter(
+                    table, col, high=value if isinstance(value, (int, float))
+                    else None
+                )
+            else:
+                selectivity = 1.0 / 3.0
+            selectivity = min(max(selectivity, 1e-9), 1.0)
+        return filter_pred(table, col, op, value, selectivity=selectivity,
+                           error_prone=error_prone)
+
+
+def parse_sql(sql, schema, catalog=None, name="adhoc"):
+    """Convenience one-shot parse."""
+    return SQLParser(schema, catalog).parse(sql, name=name)

@@ -1,0 +1,147 @@
+"""Predicate model: filters, equi-joins, and error-prone marking.
+
+The paper partitions a query's predicates into those the optimizer can
+estimate reliably and the *error-prone predicates* (epps) whose
+selectivities span the Error-prone Selectivity Space (ESS).  In the
+benchmark workloads all epps are join predicates, but the model supports
+filter epps as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """A single-table predicate ``table.column <op> value``.
+
+    Attributes:
+        table / column: the filtered column.
+        op: one of ``"="``, ``"<"``, ``"<="``, ``">"``, ``">="``,
+            ``"between"``.
+        value: comparison constant (a ``(low, high)`` pair for between).
+        selectivity: the *true* selectivity of the predicate; non-epp
+            filters are assumed perfectly estimated (paper Section 1.1).
+        error_prone: whether this filter is an epp.
+        name: stable identifier used in plans and traces.
+    """
+
+    table: str
+    column: str
+    op: str
+    value: object
+    selectivity: float
+    error_prone: bool = False
+    name: str = ""
+
+    _VALID_OPS = ("=", "<", "<=", ">", ">=", "between")
+
+    def __post_init__(self):
+        if self.op not in self._VALID_OPS:
+            raise QueryError(f"unsupported filter op {self.op!r}")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise QueryError(
+                f"filter on {self.table}.{self.column}: selectivity "
+                f"{self.selectivity} outside (0, 1]"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"f:{self.table}.{self.column}")
+
+    @property
+    def tables(self):
+        return (self.table,)
+
+    def describe(self):
+        return f"{self.table}.{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left.column = right.column``.
+
+    Attributes:
+        left_table / left_column / right_table / right_column: endpoints.
+        selectivity: the true join selectivity, normalized as
+            ``|L JOIN R| / |L x R|`` — exactly the quantity the ESS axes
+            range over.
+        error_prone: whether this join is an epp (an ESS dimension).
+        name: stable identifier, e.g. ``"j:catalog_sales-date_dim"``.
+    """
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    selectivity: float
+    error_prone: bool = False
+    name: str = ""
+
+    def __post_init__(self):
+        if self.left_table == self.right_table:
+            raise QueryError("self-joins require distinct table aliases")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise QueryError(
+                f"join {self.left_table}-{self.right_table}: selectivity "
+                f"{self.selectivity} outside (0, 1]"
+            )
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"j:{self.left_table}-{self.right_table}"
+            )
+
+    @property
+    def tables(self):
+        return (self.left_table, self.right_table)
+
+    def other_table(self, table):
+        """The endpoint opposite ``table``."""
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise QueryError(f"{self.name}: table {table!r} is not an endpoint")
+
+    def column_for(self, table):
+        """The join column on the ``table`` side."""
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise QueryError(f"{self.name}: table {table!r} is not an endpoint")
+
+    def describe(self):
+        return (
+            f"{self.left_table}.{self.left_column} = "
+            f"{self.right_table}.{self.right_column}"
+        )
+
+
+def join(left_table, left_column, right_table, right_column,
+         selectivity, error_prone=False, name=""):
+    """Convenience constructor for :class:`JoinPredicate`."""
+    return JoinPredicate(
+        left_table=left_table,
+        left_column=left_column,
+        right_table=right_table,
+        right_column=right_column,
+        selectivity=selectivity,
+        error_prone=error_prone,
+        name=name,
+    )
+
+
+def filter_pred(table, column, op, value, selectivity,
+                error_prone=False, name=""):
+    """Convenience constructor for :class:`FilterPredicate`."""
+    return FilterPredicate(
+        table=table,
+        column=column,
+        op=op,
+        value=value,
+        selectivity=selectivity,
+        error_prone=error_prone,
+        name=name,
+    )

@@ -1,0 +1,155 @@
+"""The SPJ query model.
+
+An :class:`SPJQuery` bundles a schema, the joined tables, the join and
+filter predicates, and — crucially — the ordered list of error-prone
+predicates (epps) that span the ESS.  Epp order is significant: epp ``j``
+is the ``j``-th ESS dimension throughout the library.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.joingraph import JoinGraph
+from repro.query.predicates import FilterPredicate, JoinPredicate
+
+
+class SPJQuery:
+    """A select-project-join query over a schema.
+
+    Args:
+        name: query identifier (e.g. ``"4D_Q91"``).
+        schema: the :class:`~repro.catalog.schema.Schema` it runs against.
+        tables: tables joined by the query.
+        joins: :class:`JoinPredicate` list; their ``error_prone`` flags
+            select the ESS dimensions.
+        filters: :class:`FilterPredicate` list.
+
+    The query validates that every predicate references declared tables
+    and columns and that the join graph is connected (the optimizer never
+    considers cross products).
+    """
+
+    def __init__(self, name, schema, tables, joins, filters=()):
+        self.name = name
+        self.schema = schema
+        self.tables = tuple(tables)
+        self.joins = tuple(joins)
+        self.filters = tuple(filters)
+        self._validate()
+        self.join_graph = JoinGraph(self.tables, self.joins)
+        if len(self.tables) > 1 and not self.join_graph.is_connected():
+            raise QueryError(f"query {name!r}: join graph is disconnected")
+        self.epps = tuple(
+            p for p in list(self.joins) + list(self.filters) if p.error_prone
+        )
+        self._epp_index = {p.name: i for i, p in enumerate(self.epps)}
+
+    def _validate(self):
+        table_set = set(self.tables)
+        if len(table_set) != len(self.tables):
+            raise QueryError(f"query {self.name!r}: duplicate table")
+        for t in self.tables:
+            if not self.schema.has_table(t):
+                raise QueryError(f"query {self.name!r}: unknown table {t!r}")
+        names = set()
+        for pred in list(self.joins) + list(self.filters):
+            if pred.name in names:
+                raise QueryError(f"query {self.name!r}: duplicate predicate {pred.name!r}")
+            names.add(pred.name)
+            for t in pred.tables:
+                if t not in table_set:
+                    raise QueryError(
+                        f"query {self.name!r}: predicate {pred.name} references "
+                        f"table {t!r} outside the FROM list"
+                    )
+            if isinstance(pred, JoinPredicate):
+                self.schema.table(pred.left_table).column(pred.left_column)
+                self.schema.table(pred.right_table).column(pred.right_column)
+            elif isinstance(pred, FilterPredicate):
+                self.schema.table(pred.table).column(pred.column)
+
+    @property
+    def num_epps(self):
+        """The paper's ``D`` — the ESS dimensionality."""
+        return len(self.epps)
+
+    def epp(self, dim):
+        """The epp spanning ESS dimension ``dim`` (0-based)."""
+        return self.epps[dim]
+
+    def epp_dimension(self, predicate_name):
+        """The ESS dimension of a named epp."""
+        try:
+            return self._epp_index[predicate_name]
+        except KeyError:
+            raise QueryError(
+                f"query {self.name!r}: {predicate_name!r} is not an epp"
+            ) from None
+
+    def is_epp(self, predicate_name):
+        return predicate_name in self._epp_index
+
+    def filters_on(self, table):
+        """Filter predicates applying to one table."""
+        return [f for f in self.filters if f.table == table]
+
+    def base_selectivity(self, table):
+        """Combined selectivity of the non-epp filters on a table.
+
+        Uses the selectivity-independence assumption the paper adopts.
+        Epp filters are excluded: their contribution is an ESS coordinate.
+        """
+        sel = 1.0
+        for f in self.filters_on(table):
+            if not f.error_prone:
+                sel *= f.selectivity
+        return sel
+
+    def true_location(self):
+        """The actual selectivity vector ``qa`` of the epps (a tuple).
+
+        In the simulation framework the predicates carry their true
+        selectivities; discovery algorithms must *not* look at this —
+        it exists for evaluation (computing sub-optimality) only.
+        """
+        return tuple(p.selectivity for p in self.epps)
+
+    def with_epps(self, epp_names):
+        """Derive a query with a different epp marking (same predicates).
+
+        Used by the dimensionality-sweep experiment (paper Fig. 9), where
+        TPC-DS Q91 is evaluated with 2..6 of its joins marked error-prone.
+        """
+        target = set(epp_names)
+        known = {p.name for p in list(self.joins) + list(self.filters)}
+        missing = target - known
+        if missing:
+            raise QueryError(f"query {self.name!r}: unknown epps {sorted(missing)}")
+
+        def remark(pred):
+            flag = pred.name in target
+            if pred.error_prone == flag:
+                return pred
+            kwargs = {k: getattr(pred, k) for k in pred.__dataclass_fields__}
+            kwargs["error_prone"] = flag
+            return type(pred)(**kwargs)
+
+        joins = [remark(p) for p in self.joins]
+        filters = [remark(p) for p in self.filters]
+        name = f"{len(target)}D_{self.name.split('_', 1)[-1]}"
+        return SPJQuery(name, self.schema, self.tables, joins, filters)
+
+    def describe(self):
+        """Human-readable multi-line description."""
+        lines = [f"query {self.name}: {len(self.tables)} relations, "
+                 f"D={self.num_epps} ({self.join_graph.geometry()} join graph)"]
+        for p in self.joins:
+            marker = "  [epp]" if p.error_prone else ""
+            lines.append(f"  join   {p.describe()}{marker}")
+        for f in self.filters:
+            marker = "  [epp]" if f.error_prone else ""
+            lines.append(f"  filter {f.describe()}{marker}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"SPJQuery({self.name!r}, D={self.num_epps})"

@@ -1,0 +1,140 @@
+"""Shared fixtures: small schemas, queries, and built ESS instances.
+
+ESS construction is the expensive step, so anything reusable is
+session-scoped.  Tests that need mutation build their own copies.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Keep workload-registry resolution small for everything test-shaped.
+os.environ.setdefault("REPRO_PROFILE", "smoke")
+
+from repro import (  # noqa: E402  (env var must precede import)
+    AlignedBound,
+    Column,
+    ContourSet,
+    ESS,
+    ESSGrid,
+    ForeignKey,
+    PlanBouquet,
+    Schema,
+    SPJQuery,
+    SpillBound,
+    Table,
+    filter_pred,
+    fk_column,
+    join,
+    key_column,
+)
+
+
+def make_toy_schema():
+    """Three-table chain schema (part - lineitem - orders)."""
+    return Schema("toy", tables=[
+        Table("part", 2_000_000, [
+            key_column("p_partkey", 2_000_000),
+            Column("p_retailprice", ndv=30_000, indexed=True),
+        ]),
+        Table("lineitem", 60_000_000, [
+            fk_column("l_partkey", 2_000_000, indexed=True),
+            fk_column("l_orderkey", 15_000_000, indexed=True),
+        ]),
+        Table("orders", 15_000_000, [
+            key_column("o_orderkey", 15_000_000),
+        ]),
+    ], foreign_keys=[
+        ForeignKey("lineitem", "l_partkey", "part", "p_partkey"),
+        ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ])
+
+
+def make_toy_query(schema=None):
+    """The paper's Figure 1 example query with two epps."""
+    schema = schema or make_toy_schema()
+    return SPJQuery("EQ", schema, ["part", "lineitem", "orders"], joins=[
+        join("part", "p_partkey", "lineitem", "l_partkey",
+             selectivity=2e-5, error_prone=True),
+        join("orders", "o_orderkey", "lineitem", "l_orderkey",
+             selectivity=3e-4, error_prone=True),
+    ], filters=[
+        filter_pred("part", "p_retailprice", "<", 1000, selectivity=0.05),
+    ])
+
+
+def make_star_query(num_epps=3):
+    """A small star query with a configurable number of epp joins."""
+    dims = [
+        Table(f"dim{i}", 10_000 * (i + 1), [
+            key_column(f"d{i}_id", 10_000 * (i + 1)),
+            Column(f"d{i}_attr", ndv=50),
+        ])
+        for i in range(num_epps)
+    ]
+    fact_cols = [fk_column(f"f_d{i}", 10_000 * (i + 1), indexed=True)
+                 for i in range(num_epps)]
+    schema = Schema("star", tables=dims + [
+        Table("fact", 5_000_000, fact_cols + [Column("f_val", ndv=100)]),
+    ])
+    joins = [
+        join("fact", f"f_d{i}", f"dim{i}", f"d{i}_id",
+             selectivity=10.0 ** -(3 + i % 2), error_prone=True,
+             name=f"j:f-d{i}")
+        for i in range(num_epps)
+    ]
+    return SPJQuery(f"star{num_epps}", schema,
+                    ["fact"] + [f"dim{i}" for i in range(num_epps)],
+                    joins=joins,
+                    filters=[filter_pred("dim0", "d0_attr", "=", 7,
+                                         selectivity=0.02)])
+
+
+@pytest.fixture(scope="session")
+def toy_schema():
+    return make_toy_schema()
+
+
+@pytest.fixture(scope="session")
+def toy_query(toy_schema):
+    return make_toy_query(toy_schema)
+
+
+@pytest.fixture(scope="session")
+def toy_ess(toy_query):
+    grid = ESSGrid(2, resolution=20, sel_min=1e-7)
+    return ESS.build(toy_query, grid)
+
+
+@pytest.fixture(scope="session")
+def toy_contours(toy_ess):
+    return ContourSet(toy_ess)
+
+
+@pytest.fixture(scope="session")
+def toy_pb(toy_ess, toy_contours):
+    return PlanBouquet(toy_ess, toy_contours)
+
+
+@pytest.fixture(scope="session")
+def toy_sb(toy_ess, toy_contours):
+    return SpillBound(toy_ess, toy_contours)
+
+
+@pytest.fixture(scope="session")
+def toy_ab(toy_ess, toy_contours):
+    return AlignedBound(toy_ess, toy_contours)
+
+
+@pytest.fixture(scope="session")
+def star_ess():
+    query = make_star_query(3)
+    grid = ESSGrid(3, resolution=8, sel_min=1e-6)
+    return ESS.build(query, grid)
+
+
+@pytest.fixture(scope="session")
+def star_contours(star_ess):
+    return ContourSet(star_ess)

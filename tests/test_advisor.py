@@ -1,0 +1,109 @@
+"""Unit tests for the deployment aids: epp selection and the advisor."""
+
+import numpy as np
+import pytest
+
+from repro import StatisticsCatalog
+from repro.core.advisor import (
+    Advice,
+    EppRecommendation,
+    RobustnessAdvisor,
+    recommend_epps,
+)
+from tests.conftest import make_toy_query, make_toy_schema
+
+
+@pytest.fixture
+def catalog():
+    return StatisticsCatalog(make_toy_schema())
+
+
+class TestRecommendEpps:
+    def test_all_joins_assessed(self, catalog):
+        query = make_toy_query()
+        recs = recommend_epps(query, catalog)
+        assert {r.name for r in recs} == {p.name for p in query.joins}
+
+    def test_sorted_by_risk(self, catalog):
+        recs = recommend_epps(make_toy_query(), catalog)
+        risks = [r.risk for r in recs]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_query_log_feedback_raises_risk(self, catalog):
+        query = make_toy_query()
+        baseline = {r.name: r.risk for r in recommend_epps(query, catalog)}
+        informed = recommend_epps(
+            query, catalog,
+            observed={"j:part-lineitem": 0.05},  # 1/2M estimated: huge miss
+        )
+        by_name = {r.name: r for r in informed}
+        assert by_name["j:part-lineitem"].risk > baseline["j:part-lineitem"]
+        assert any("query log" in reason
+                   for reason in by_name["j:part-lineitem"].reasons)
+
+    def test_skewed_histogram_raises_risk(self, catalog):
+        query = make_toy_query()
+        baseline = {r.name: r.risk for r in recommend_epps(query, catalog)}
+        skewed = np.concatenate([np.zeros(9_000), np.arange(1_000)])
+        catalog.analyze("lineitem", "l_partkey", skewed, num_buckets=16)
+        informed = {r.name: r.risk
+                    for r in recommend_epps(query, catalog)}
+        assert informed["j:part-lineitem"] > baseline["j:part-lineitem"]
+
+    def test_max_epps_truncates(self, catalog):
+        recs = recommend_epps(make_toy_query(), catalog, max_epps=1)
+        assert len(recs) == 1
+
+    def test_min_risk_filters(self, catalog):
+        recs = recommend_epps(make_toy_query(), catalog, min_risk=1e9)
+        assert recs == []
+
+    def test_recommendations_feed_with_epps(self, catalog):
+        query = make_toy_query()
+        recs = recommend_epps(query, catalog, max_epps=1)
+        marked = query.with_epps([recs[0].name])
+        assert marked.num_epps == 1
+
+    def test_str_rendering(self, catalog):
+        rec = recommend_epps(make_toy_query(), catalog)[0]
+        assert "risk" in str(rec)
+        assert isinstance(rec, EppRecommendation)
+
+
+class TestRobustnessAdvisor:
+    def test_small_radius_prefers_native(self, toy_ess):
+        advisor = RobustnessAdvisor(toy_ess)
+        advice = advisor.advise(toy_ess.grid.terminus, error_radius=1.01)
+        assert isinstance(advice, Advice)
+        # With (almost) no anticipated error the native plan is optimal.
+        assert advice.native_worst_case == pytest.approx(1.0, abs=0.5)
+        assert not advice.use_robust
+
+    def test_huge_radius_prefers_robust(self, toy_ess):
+        advisor = RobustnessAdvisor(toy_ess)
+        advice = advisor.advise(toy_ess.grid.origin, error_radius=1e9)
+        assert advice.native_worst_case > advice.spillbound_guarantee
+        assert advice.use_robust
+
+    def test_worst_case_monotone_in_radius(self, toy_ess):
+        advisor = RobustnessAdvisor(toy_ess)
+        coords = toy_ess.grid.origin
+        values = [advisor.native_worst_case(coords, r) for r in (2, 10, 1e4)]
+        assert values == sorted(values)
+
+    def test_advise_accepts_selectivity_vector(self, toy_ess):
+        advisor = RobustnessAdvisor(toy_ess)
+        advice = advisor.advise((1e-5, 1e-5), error_radius=10)
+        assert advice.native_worst_case >= 1.0
+
+    def test_crossover_radius_found(self, toy_ess):
+        advisor = RobustnessAdvisor(toy_ess)
+        radius = advisor.crossover_radius(toy_ess.grid.origin)
+        assert radius is not None
+        # At the crossover the advisor indeed flips to robust.
+        assert advisor.advise(toy_ess.grid.origin, radius).use_robust
+
+    def test_reason_is_informative(self, toy_ess):
+        advisor = RobustnessAdvisor(toy_ess)
+        advice = advisor.advise(toy_ess.grid.origin, error_radius=3)
+        assert "SpillBound guarantee" in advice.reason

@@ -1,0 +1,142 @@
+"""Unit tests for AlignedBound: partitions, PSA, penalties, guarantees."""
+
+import pytest
+
+from repro import (
+    AlignedBound,
+    SpillBound,
+    contour_alignment_stats,
+    evaluate_algorithm,
+)
+from repro.core.aligned_bound import set_partitions
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n,bell", [(0, 1), (1, 1), (2, 2), (3, 5),
+                                        (4, 15), (5, 52), (6, 203)])
+    def test_bell_numbers(self, n, bell):
+        assert len(list(set_partitions(range(n)))) == bell
+
+    def test_partitions_cover_exactly(self):
+        for partition in set_partitions([0, 1, 2, 3]):
+            flat = [x for part in partition for x in part]
+            assert sorted(flat) == [0, 1, 2, 3]
+
+    def test_no_empty_parts(self):
+        for partition in set_partitions([0, 1, 2]):
+            assert all(len(part) > 0 for part in partition)
+
+    def test_partitions_distinct(self):
+        seen = {
+            frozenset(frozenset(p) for p in partition)
+            for partition in set_partitions(range(4))
+        }
+        assert len(seen) == 15
+
+
+class TestGuarantee:
+    def test_range_formula(self, toy_ab):
+        low, high = toy_ab.mso_guarantee_range()
+        assert low == 6.0 and high == 10.0  # D=2
+
+    def test_empirical_within_upper_bound(self, toy_ab):
+        evaluation = evaluate_algorithm(toy_ab)
+        assert evaluation.mso <= toy_ab.mso_guarantee() * (1 + 1e-9)
+
+    def test_3d_within_upper_bound(self, star_ess, star_contours):
+        ab = AlignedBound(star_ess, star_contours)
+        evaluation = evaluate_algorithm(ab)
+        assert evaluation.mso <= ab.mso_guarantee() * (1 + 1e-9)
+
+
+class TestExecutionSemantics:
+    def test_terminates_everywhere(self, toy_ab, toy_ess):
+        for flat in range(0, toy_ess.grid.num_points, 19):
+            result = toy_ab.run(flat)
+            assert result.completed_plan_key
+            assert result.suboptimality >= 1.0 - 1e-9
+
+    def test_never_slower_than_sb_by_much(self, toy_ab, toy_sb, toy_ess):
+        """AB may pay penalties but its MSO must stay comparable."""
+        ab_eval = evaluate_algorithm(toy_ab)
+        sb_eval = evaluate_algorithm(toy_sb)
+        assert ab_eval.mso <= max(sb_eval.mso * 1.5, toy_ab.mso_guarantee())
+
+    def test_max_penalty_recorded(self, toy_ab):
+        result = toy_ab.run(250)
+        assert result.max_penalty >= 1.0
+        assert toy_ab.observed_max_penalty >= result.max_penalty
+
+    def test_penalties_in_trace(self, toy_ab):
+        result = toy_ab.run(250, trace=True)
+        for record in result.executions:
+            assert record.penalty >= 1.0 - 1e-12
+
+    def test_at_most_one_execution_per_part(self, toy_ab, toy_ess):
+        """Each contour pass executes at most one plan per partition
+        part, hence no more than D spill executions per pass."""
+        d = toy_ess.grid.num_dims
+        result = toy_ab.run(333, trace=True)
+        passes = {}
+        for record in result.executions:
+            if record.mode == "spill":
+                passes.setdefault(record.contour, 0)
+                passes[record.contour] += 1
+        # With re-planning after each learning, a contour sees at most
+        # D + D-1 + ... executions, bounded by D passes of <= D parts.
+        assert all(v <= d * d for v in passes.values())
+
+    def test_learning_correctness(self, toy_ab, toy_ess):
+        grid = toy_ess.grid
+        coords = (grid.resolution[0] - 3, 4)
+        result = toy_ab.run(coords, trace=True)
+        for record in result.executions:
+            if record.mode == "spill" and record.completed:
+                dim = record.spill_dim
+                assert record.learned_selectivity == pytest.approx(
+                    grid.selectivity(dim, coords[dim])
+                )
+
+
+class TestAlignmentStats:
+    def test_fractions_monotone_in_threshold(self, toy_ess, toy_contours):
+        stats = contour_alignment_stats(toy_ess, toy_contours)
+        fractions = [stats.fraction_aligned(t) for t in (1.0, 1.2, 1.5, 2.0)]
+        assert fractions == sorted(fractions)
+
+    def test_fraction_bounds(self, toy_ess, toy_contours):
+        stats = contour_alignment_stats(toy_ess, toy_contours)
+        assert 0.0 <= stats.fraction_aligned(1.0) <= 1.0
+
+    def test_max_penalty_aligns_everything(self, toy_ess, toy_contours):
+        stats = contour_alignment_stats(toy_ess, toy_contours)
+        if stats.max_penalty != float("inf"):
+            assert stats.fraction_aligned(stats.max_penalty) == pytest.approx(
+                1.0
+            )
+
+    def test_penalties_at_least_one(self, toy_ess, toy_contours):
+        stats = contour_alignment_stats(toy_ess, toy_contours)
+        assert all(p >= 1.0 for p in stats.contour_penalties)
+
+
+class TestPartitionChoice:
+    def test_partition_covers_active_dims(self, toy_ab):
+        steps = toy_ab._plan_partition(3, {})
+        dims_covered = set()
+        for step in steps:
+            dims_covered.update(step.dims)
+        # Each active dim appears in exactly one part.
+        total = sum(len(step.dims) for step in steps)
+        assert total == len(dims_covered)
+
+    def test_leaders_belong_to_their_parts(self, toy_ab):
+        steps = toy_ab._plan_partition(4, {})
+        for step in steps:
+            assert step.leader in step.dims
+
+    def test_native_steps_have_unit_penalty(self, toy_ab):
+        steps = toy_ab._plan_partition(4, {})
+        for step in steps:
+            if step.native:
+                assert step.penalty == pytest.approx(1.0)

@@ -1,0 +1,127 @@
+"""Unit tests for the closed-form MSO bound calculus."""
+
+import pytest
+
+from repro import DiscoveryError
+from repro.core.bounds import (
+    ab_aligned_mso_bound,
+    ab_mso_bound_range,
+    guarantee_table,
+    inflate_for_cost_error,
+    optimal_ratio_pb,
+    optimal_ratio_sb,
+    pb_mso_bound,
+    sb_mso_bound,
+)
+
+
+class TestFormulas:
+    def test_pb_at_doubling_matches_paper(self):
+        assert pb_mso_bound(3, lam=0.2, ratio=2.0) == pytest.approx(
+            4.0 * 1.2 * 3
+        )
+
+    def test_sb_at_doubling_is_quadratic(self):
+        for d in range(1, 8):
+            assert sb_mso_bound(d, 2.0) == pytest.approx(d * d + 3 * d)
+
+    def test_ab_aligned_at_doubling(self):
+        for d in range(1, 8):
+            assert ab_aligned_mso_bound(d, 2.0) == pytest.approx(2 * d + 2)
+
+    def test_range_endpoints(self):
+        low, high = ab_mso_bound_range(4)
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(28.0)
+
+    @pytest.mark.parametrize("ratio", [0.5, 1.0])
+    def test_invalid_ratio_rejected(self, ratio):
+        with pytest.raises(DiscoveryError):
+            sb_mso_bound(2, ratio)
+
+    def test_invalid_epp_counts(self):
+        with pytest.raises(DiscoveryError):
+            sb_mso_bound(0)
+        with pytest.raises(DiscoveryError):
+            ab_aligned_mso_bound(0)
+
+
+class TestOptimalRatios:
+    def test_pb_optimum_is_doubling(self):
+        """Footnote 3: doubling minimizes PlanBouquet's bound."""
+        best = optimal_ratio_pb()
+        assert best == 2.0
+        around = pb_mso_bound(3, 0.2, best)
+        for ratio in (1.5, 1.8, 2.2, 3.0):
+            assert pb_mso_bound(3, 0.2, ratio) >= around - 1e-9
+
+    def test_sb_ideal_ratio_2d_is_1_8(self):
+        """Section 4.2 remark: ~1.8 improves the 2-epp bound to 9.9."""
+        ratio = optimal_ratio_sb(2)
+        assert ratio == pytest.approx(1.8165, abs=1e-3)
+        assert sb_mso_bound(2, ratio) == pytest.approx(9.899, abs=1e-2)
+        assert sb_mso_bound(2, ratio) < sb_mso_bound(2, 2.0)
+
+    def test_sb_ideal_ratio_is_a_minimum(self):
+        for d in (2, 3, 5):
+            best = optimal_ratio_sb(d)
+            value = sb_mso_bound(d, best)
+            for eps in (-0.05, 0.05):
+                assert sb_mso_bound(d, best + eps) >= value - 1e-9
+
+    def test_ideal_ratio_shrinks_with_d(self):
+        ratios = [optimal_ratio_sb(d) for d in (2, 3, 4, 5, 6)]
+        assert ratios == sorted(ratios, reverse=True)
+        assert all(1.0 < r < 2.0 for r in ratios)
+
+    def test_marginal_improvement_only(self):
+        """Paper: 'only marginal improvements' at the studied D."""
+        for d in (2, 3, 4, 5, 6):
+            at_two = sb_mso_bound(d, 2.0)
+            at_best = sb_mso_bound(d, optimal_ratio_sb(d))
+            assert at_best <= at_two
+            assert at_best >= at_two * 0.85  # within ~15%
+
+
+class TestInflation:
+    def test_section7_inflation(self):
+        assert inflate_for_cost_error(10.0, 0.3) == pytest.approx(16.9)
+
+    def test_zero_delta_identity(self):
+        assert inflate_for_cost_error(28.0, 0.0) == 28.0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(DiscoveryError):
+            inflate_for_cost_error(10.0, -0.1)
+
+
+class TestIntegrationWithAlgorithms:
+    def test_guarantee_table_shape(self):
+        rows = guarantee_table()
+        assert [r["D"] for r in rows] == [2, 3, 4, 5, 6]
+        for row in rows:
+            assert row["lower_bound"] <= row["ab_aligned"] <= row["sb"]
+
+    def test_spillbound_uses_ratio_aware_bound(self, toy_ess):
+        from repro import ContourSet, SpillBound
+
+        contours = ContourSet(toy_ess, cost_ratio=3.0)
+        sb = SpillBound(toy_ess, contours)
+        assert sb.mso_guarantee() == pytest.approx(sb_mso_bound(2, 3.0))
+
+    def test_guarantee_still_holds_at_nonstandard_ratio(self, toy_ess):
+        from repro import ContourSet, SpillBound, evaluate_algorithm
+
+        for ratio in (1.8165, 3.0):
+            contours = ContourSet(toy_ess, cost_ratio=ratio)
+            sb = SpillBound(toy_ess, contours)
+            evaluation = evaluate_algorithm(sb)
+            assert evaluation.mso <= sb.mso_guarantee() * (1 + 1e-9)
+
+    def test_pb_guarantee_holds_at_nonstandard_ratio(self, toy_ess):
+        from repro import ContourSet, PlanBouquet, evaluate_algorithm
+
+        contours = ContourSet(toy_ess, cost_ratio=3.0)
+        pb = PlanBouquet(toy_ess, contours)
+        evaluation = evaluate_algorithm(pb)
+        assert evaluation.mso <= pb.mso_guarantee() * (1 + 1e-9)

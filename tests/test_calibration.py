@@ -1,0 +1,83 @@
+"""Tests for cost-model calibration against engine measurements."""
+
+import pytest
+
+from repro import DEFAULT_COST_MODEL, DataGenerator, Optimizer
+from repro.core.bounds import inflate_for_cost_error
+from repro.optimizer.calibration import (
+    CalibrationReport,
+    calibrate,
+    measure_delta,
+)
+from tests.test_engine_iterators import mini_schema
+
+from repro import SPJQuery, filter_pred, join
+
+
+@pytest.fixture(scope="module")
+def probes():
+    """A probe workload: several distinct plans over generated data."""
+    schema = mini_schema()
+    query = SPJQuery("probe", schema, ["dim", "fact"], joins=[
+        join("dim", "d_id", "fact", "f_dim_id", selectivity=1 / 40,
+             error_prone=True),
+    ], filters=[filter_pred("dim", "d_attr", "=", 2, selectivity=0.25)])
+    gen = DataGenerator(schema, seed=5)
+    gen.generate_table("dim")
+    gen.generate_table("fact", fk_skew={"f_dim_id": 0.5})
+    from repro.engine.driver import measured_join_selectivity
+
+    true_sel = measured_join_selectivity(gen, query, query.joins[0])
+    env = {0: true_sel}
+    optimizer = Optimizer(query)
+    plans = []
+    seen = set()
+    for sels in [(1e-4,), (1e-2,), (0.5,), (1.0,)]:
+        plan, _ = optimizer.optimize_at(sels)
+        if plan.key not in seen:
+            seen.add(plan.key)
+            plans.append(plan)
+    return [(plan, query, gen, env) for plan in plans]
+
+
+class TestMeasureDelta:
+    def test_true_model_has_small_delta(self, probes):
+        """With the engine's own constants and true selectivities, the
+        residual delta is only cardinality/approximation noise."""
+        delta = measure_delta(probes, DEFAULT_COST_MODEL)
+        assert delta < 0.6
+
+    def test_drifted_model_has_larger_delta(self, probes):
+        drifted = DEFAULT_COST_MODEL.with_noise(0.5, seed=3)
+        assert measure_delta(probes, drifted) > measure_delta(
+            probes, DEFAULT_COST_MODEL
+        ) - 1e-9
+
+    def test_delta_nonnegative(self, probes):
+        assert measure_delta(probes, DEFAULT_COST_MODEL) >= 0.0
+
+
+class TestCalibrate:
+    def test_recovers_from_drift(self, probes):
+        drifted = DEFAULT_COST_MODEL.with_noise(0.5, seed=3)
+        report = calibrate(probes, drifted)
+        assert isinstance(report, CalibrationReport)
+        assert report.num_probes == len(probes)
+        assert report.delta_after <= report.delta_before + 1e-9
+
+    def test_fitted_constants_positive(self, probes):
+        report = calibrate(probes, DEFAULT_COST_MODEL.with_noise(0.3))
+        for field in ("seq_tuple", "hash_build", "output_tuple"):
+            assert getattr(report.model, field) > 0
+
+    def test_empty_probes_rejected(self):
+        from repro.errors import DiscoveryError
+
+        with pytest.raises((DiscoveryError, ValueError)):
+            calibrate([], DEFAULT_COST_MODEL)
+
+    def test_feeds_section7_inflation(self, probes):
+        """The measured delta plugs into the (1+delta)^2 bound."""
+        delta = measure_delta(probes, DEFAULT_COST_MODEL)
+        inflated = inflate_for_cost_error(28.0, delta)
+        assert inflated >= 28.0

@@ -1,0 +1,92 @@
+"""Unit tests for iso-cost contour extraction."""
+
+import numpy as np
+import pytest
+
+from repro import ContourSet, DiscoveryError
+
+
+class TestBudgetLadder:
+    def test_first_budget_is_cmin(self, toy_ess):
+        contours = ContourSet(toy_ess)
+        assert contours.budget(1) == pytest.approx(toy_ess.min_cost)
+
+    def test_last_budget_is_cmax(self, toy_ess):
+        contours = ContourSet(toy_ess)
+        assert contours.budget(contours.num_contours) == pytest.approx(
+            toy_ess.max_cost
+        )
+
+    def test_intermediate_budgets_double(self, toy_ess):
+        contours = ContourSet(toy_ess, cost_ratio=2.0)
+        for i in range(2, contours.num_contours - 1):
+            assert contours.budget(i) == pytest.approx(
+                2.0 * contours.budget(i - 1)
+            )
+
+    def test_custom_ratio(self, toy_ess):
+        doubling = ContourSet(toy_ess, cost_ratio=2.0)
+        coarse = ContourSet(toy_ess, cost_ratio=4.0)
+        assert coarse.num_contours < doubling.num_contours
+
+    def test_ratio_must_exceed_one(self, toy_ess):
+        with pytest.raises(DiscoveryError):
+            ContourSet(toy_ess, cost_ratio=1.0)
+
+
+class TestBands:
+    def test_bands_partition_grid(self, toy_ess, toy_contours):
+        total = sum(len(c.points) for c in toy_contours)
+        assert total == toy_ess.grid.num_points
+
+    def test_band_costs_within_budget_window(self, toy_ess, toy_contours):
+        for contour in toy_contours:
+            if len(contour.points) == 0:
+                continue
+            costs = toy_ess.optimal_cost[contour.points]
+            assert (costs <= contour.budget * (1 + 1e-9)).all()
+            if contour.index > 1:
+                lower = toy_contours.budget(contour.index - 1)
+                assert (costs > lower * (1 - 1e-9)).all()
+
+    def test_band_of_matches_membership(self, toy_ess, toy_contours):
+        for flat in range(0, toy_ess.grid.num_points, 37):
+            index = toy_contours.band_of(flat)
+            assert flat in set(toy_contours.contour(index).points.tolist())
+
+    def test_origin_in_first_contour(self, toy_ess, toy_contours):
+        origin_flat = toy_ess.grid.flat_index(toy_ess.grid.origin)
+        assert toy_contours.band_of(origin_flat) == 1
+
+    def test_terminus_in_last_contour(self, toy_ess, toy_contours):
+        terminus_flat = toy_ess.grid.flat_index(toy_ess.grid.terminus)
+        assert toy_contours.band_of(terminus_flat) == toy_contours.num_contours
+
+    def test_out_of_range_contour_index(self, toy_contours):
+        with pytest.raises(DiscoveryError):
+            toy_contours.contour(0)
+        with pytest.raises(DiscoveryError):
+            toy_contours.contour(toy_contours.num_contours + 1)
+
+
+class TestContourContents:
+    def test_coords_match_points(self, toy_ess, toy_contours):
+        grid = toy_ess.grid
+        contour = next(c for c in toy_contours if len(c.points) > 2)
+        for row, flat in zip(contour.coords, contour.points):
+            assert tuple(int(v) for v in row) == grid.coords_of(int(flat))
+
+    def test_plan_ids_match_surface(self, toy_ess, toy_contours):
+        contour = next(c for c in toy_contours if len(c.points) > 0)
+        assert np.array_equal(contour.plan_ids,
+                              toy_ess.plan_ids[contour.points])
+
+    def test_density_counts_unique_plans(self, toy_contours):
+        for contour in toy_contours:
+            assert contour.density == len(set(contour.plan_ids.tolist()))
+
+    def test_max_density_is_max(self, toy_contours):
+        assert toy_contours.max_density == max(toy_contours.densities())
+
+    def test_repr_mentions_rho(self, toy_contours):
+        assert "rho=" in repr(toy_contours)

@@ -1,0 +1,104 @@
+"""Unit tests for the cost model: monotonicity and crossovers."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, DEFAULT_COST_MODEL
+
+
+class TestMonotonicity:
+    """Every formula must be non-decreasing in each cardinality — the
+    ingredient from which Plan Cost Monotonicity is built."""
+
+    cards = np.geomspace(1, 1e9, 40)
+
+    def test_scan_seq(self):
+        model = DEFAULT_COST_MODEL
+        assert (np.diff(model.scan_seq(self.cards, self.cards * 0.1)) > 0).all()
+
+    def test_scan_index(self):
+        model = DEFAULT_COST_MODEL
+        assert (np.diff(model.scan_index(1e8, self.cards)) > 0).all()
+
+    def test_join_hash_in_each_argument(self):
+        model = DEFAULT_COST_MODEL
+        assert (np.diff(model.join_hash(self.cards, 1e5, 1e6)) > 0).all()
+        assert (np.diff(model.join_hash(1e5, self.cards, 1e6)) > 0).all()
+        assert (np.diff(model.join_hash(1e5, 1e5, self.cards)) > 0).all()
+
+    def test_join_merge(self):
+        model = DEFAULT_COST_MODEL
+        assert (np.diff(model.join_merge(self.cards, 1e5, 1e6)) > 0).all()
+        assert (np.diff(model.join_merge(1e5, 1e5, self.cards)) > 0).all()
+
+    def test_join_nl(self):
+        model = DEFAULT_COST_MODEL
+        assert (np.diff(model.join_nl(self.cards, 1e3, 1e4)) > 0).all()
+
+    def test_join_inl(self):
+        model = DEFAULT_COST_MODEL
+        assert (np.diff(model.join_inl(self.cards, 1e6, 1e5)) > 0).all()
+        assert (np.diff(model.join_inl(1e4, 1e6, self.cards)) > 0).all()
+
+
+class TestCrossovers:
+    """Operator-choice crossovers are what give the POSP its structure."""
+
+    def test_index_scan_wins_at_low_selectivity(self):
+        model = DEFAULT_COST_MODEL
+        base = 1e8
+        assert model.scan_index(base, 100) < model.scan_seq(base, 100)
+        assert model.scan_index(base, base) > model.scan_seq(base, base)
+
+    def test_inl_wins_for_small_outer(self):
+        model = DEFAULT_COST_MODEL
+        inl = model.join_inl(10, 1e8, 10)
+        hj = model.join_hash(10, 1e8, 10)
+        assert inl < hj
+
+    def test_hash_wins_for_large_outer(self):
+        model = DEFAULT_COST_MODEL
+        inl = model.join_inl(1e8, 1e6, 1e8)
+        hj = model.join_hash(1e8, 1e6, 1e8)
+        assert hj < inl
+
+    def test_hash_spill_surcharge_kicks_in(self):
+        model = DEFAULT_COST_MODEL
+        small = model.join_hash(1e6, model.hash_mem_tuples * 0.9, 1e6)
+        big = model.join_hash(1e6, model.hash_mem_tuples * 1.1, 1e6)
+        linear_delta = model.hash_build * model.hash_mem_tuples * 0.2
+        assert big - small > linear_delta * 0.5  # more than plain growth
+
+    def test_nl_only_viable_when_tiny(self):
+        model = DEFAULT_COST_MODEL
+        assert model.join_nl(10, 10, 5) < model.join_hash(10, 10, 5)
+        assert model.join_nl(1e5, 1e5, 1e5) > model.join_hash(1e5, 1e5, 1e5)
+
+
+class TestNoiseModel:
+    def test_zero_delta_returns_self(self):
+        assert DEFAULT_COST_MODEL.with_noise(0.0) is DEFAULT_COST_MODEL
+
+    def test_noise_bounded(self):
+        noisy = DEFAULT_COST_MODEL.with_noise(0.3, seed=1)
+        for field in ("seq_tuple", "hash_build", "output_tuple"):
+            ratio = getattr(noisy, field) / getattr(DEFAULT_COST_MODEL, field)
+            assert 1 / 1.3 - 1e-9 <= ratio <= 1.3 + 1e-9
+
+    def test_noise_deterministic_per_seed(self):
+        a = DEFAULT_COST_MODEL.with_noise(0.2, seed=7)
+        b = DEFAULT_COST_MODEL.with_noise(0.2, seed=7)
+        assert a == b
+
+    def test_custom_constants(self):
+        model = CostModel(seq_tuple=2.0)
+        assert model.scan_seq(100, 0) == pytest.approx(
+            model.startup + 200.0
+        )
+
+    def test_scalar_and_array_agree(self):
+        model = DEFAULT_COST_MODEL
+        scalar = model.join_hash(1e4, 1e5, 1e6)
+        array = model.join_hash(np.array([1e4]), np.array([1e5]),
+                                np.array([1e6]))
+        assert float(array[0]) == pytest.approx(float(scalar))

@@ -1,0 +1,81 @@
+"""Tests for plan-diagram analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ess.diagrams import (
+    gini_coefficient,
+    plan_diagram_stats,
+    reduction_curve,
+    switching_profile,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3, 10])
+        b = gini_coefficient([10, 20, 30, 100])
+        assert a == pytest.approx(b)
+
+
+class TestDiagramStats:
+    def test_fractions_sum_to_one(self, toy_ess):
+        stats = plan_diagram_stats(toy_ess)
+        assert stats["fractions"].sum() == pytest.approx(1.0)
+        assert stats["num_plans"] == toy_ess.posp_size
+
+    def test_largest_share_consistent(self, toy_ess):
+        stats = plan_diagram_stats(toy_ess)
+        counts = np.bincount(toy_ess.plan_ids)
+        assert stats["largest_share"] == pytest.approx(
+            counts.max() / toy_ess.grid.num_points
+        )
+
+    def test_real_diagrams_are_skewed(self, toy_ess):
+        """A few plans dominate; that skew is the anorexic-reduction
+        motivation."""
+        stats = plan_diagram_stats(toy_ess)
+        assert stats["gini"] > 0.2
+        assert stats["largest_share"] > 1.0 / stats["num_plans"]
+
+
+class TestSwitchingProfile:
+    def test_profile_shape(self, toy_ess):
+        profile = switching_profile(toy_ess)
+        assert len(profile) == toy_ess.grid.num_dims
+        assert all(p >= 0 for p in profile)
+
+    def test_switches_bounded_by_axis_length(self, toy_ess):
+        profile = switching_profile(toy_ess)
+        for dim, switches in enumerate(profile):
+            assert switches <= toy_ess.grid.resolution[dim] - 1
+
+    def test_multi_plan_diagram_switches_somewhere(self, toy_ess):
+        if toy_ess.posp_size > 1:
+            assert sum(switching_profile(toy_ess)) > 0
+
+
+class TestReductionCurve:
+    def test_rho_monotone_nonincreasing(self, toy_ess, toy_contours):
+        rows = reduction_curve(toy_ess, toy_contours)
+        rhos = [r["rho"] for r in rows]
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_bouquet_shrinks_with_lambda(self, toy_ess, toy_contours):
+        rows = reduction_curve(toy_ess, toy_contours, lams=(0.0, 1.0))
+        assert rows[1]["bouquet_size"] <= rows[0]["bouquet_size"]
+
+    def test_anorexic_observation(self, toy_ess, toy_contours):
+        """A modest bloat allowance already collapses the bouquet."""
+        rows = reduction_curve(toy_ess, toy_contours, lams=(0.0, 0.2))
+        assert rows[1]["rho"] <= rows[0]["rho"]

@@ -1,0 +1,68 @@
+"""Unit tests for shared discovery machinery."""
+
+import math
+
+import pytest
+
+from repro import ESSGrid
+from repro.core.discovery import (
+    DiscoveryResult,
+    ExecutionRecord,
+    normalize_location,
+)
+
+
+class TestNormalizeLocation:
+    @pytest.fixture
+    def grid(self):
+        return ESSGrid(2, resolution=8, sel_min=1e-4)
+
+    def test_flat_index(self, grid):
+        coords, flat = normalize_location(grid, 13)
+        assert flat == 13
+        assert coords == grid.coords_of(13)
+
+    def test_coords_tuple(self, grid):
+        coords, flat = normalize_location(grid, (3, 5))
+        assert coords == (3, 5)
+        assert flat == grid.flat_index((3, 5))
+
+    def test_selectivity_vector_snaps(self, grid):
+        coords, flat = normalize_location(
+            grid, (grid.values[0][2], grid.values[1][6])
+        )
+        assert coords == (2, 6)
+
+    def test_numpy_integer_accepted(self, grid):
+        import numpy as np
+
+        coords, flat = normalize_location(grid, np.int64(7))
+        assert flat == 7
+
+    def test_mixed_float_tuple_snaps(self, grid):
+        coords, _ = normalize_location(grid, (0.5, 1e-4))
+        assert coords[1] == 0
+
+
+class TestResultTypes:
+    def test_suboptimality(self):
+        result = DiscoveryResult(qa_coords=(0, 0), total_cost=30.0,
+                                 optimal_cost=10.0)
+        assert result.suboptimality == pytest.approx(3.0)
+
+    def test_record_defaults(self):
+        record = ExecutionRecord(
+            contour=1, plan_id=0, plan_key="p", mode="spill", spill_dim=0,
+            budget=10.0, charged=10.0, completed=False,
+        )
+        assert math.isnan(record.learned_selectivity)
+        assert record.fresh
+        assert record.penalty == 1.0
+
+    def test_record_frozen(self):
+        record = ExecutionRecord(
+            contour=1, plan_id=0, plan_key="p", mode="normal", spill_dim=None,
+            budget=1.0, charged=1.0, completed=True,
+        )
+        with pytest.raises(AttributeError):
+            record.charged = 5.0

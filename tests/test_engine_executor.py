@@ -1,0 +1,138 @@
+"""Unit tests for budgeted execution, spill surgery, and monitoring."""
+
+import pytest
+
+from repro import BudgetExhausted, DataGenerator, execute_plan
+from repro.engine.executor import CostMeter
+from repro.engine.spill import spill_root_key
+from repro.errors import ExecutionError
+from repro.optimizer.optimizer import Optimizer
+from tests.test_engine_iterators import mini_schema
+
+from repro import SPJQuery, filter_pred, join
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = mini_schema()
+    query = SPJQuery("mini", schema, ["dim", "fact"], joins=[
+        join("dim", "d_id", "fact", "f_dim_id", selectivity=1 / 40,
+             error_prone=True),
+    ], filters=[filter_pred("dim", "d_attr", "=", 2, selectivity=0.25)])
+    gen = DataGenerator(schema, seed=5)
+    gen.generate_table("dim")
+    gen.generate_table("fact", fk_skew={"f_dim_id": 0.5})
+    plan, cost = Optimizer(query).optimize_at((1 / 40,))
+    return query, gen, plan, cost
+
+
+class TestCostMeter:
+    def test_unbounded_never_raises(self):
+        meter = CostMeter()
+        meter.charge(1e12)
+        assert meter.spent == 1e12
+
+    def test_budget_enforced(self):
+        meter = CostMeter(budget=10.0)
+        meter.charge(9.0)
+        with pytest.raises(BudgetExhausted):
+            meter.charge(2.0)
+        # A killed execution costs exactly its budget.
+        assert meter.spent == pytest.approx(10.0)
+
+    def test_exception_carries_amounts(self):
+        meter = CostMeter(budget=5.0)
+        with pytest.raises(BudgetExhausted) as info:
+            meter.charge(7.0)
+        assert info.value.budget == 5.0
+        assert info.value.spent == pytest.approx(7.0)
+
+
+class TestExecutePlan:
+    def test_unbudgeted_run_completes(self, setup):
+        query, gen, plan, _ = setup
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup))
+        assert outcome.completed
+        assert outcome.rows_out > 0
+        assert outcome.cost_spent > 0
+
+    def test_budget_kills_run(self, setup):
+        query, gen, plan, _ = setup
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup),
+                               budget=50.0)
+        assert not outcome.completed
+        assert outcome.cost_spent == pytest.approx(50.0)
+
+    def test_generous_budget_completes(self, setup):
+        query, gen, plan, _ = setup
+        free = execute_plan(plan, query, gen, query_cost_model(setup))
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup),
+                               budget=free.cost_spent * 1.01)
+        assert outcome.completed
+        assert outcome.rows_out == free.rows_out
+
+    def test_cost_deterministic(self, setup):
+        query, gen, plan, _ = setup
+        a = execute_plan(plan, query, gen, query_cost_model(setup))
+        b = execute_plan(plan, query, gen, query_cost_model(setup))
+        assert a.cost_spent == pytest.approx(b.cost_spent)
+
+    def test_stats_for_every_node(self, setup):
+        query, gen, plan, _ = setup
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup))
+        keys = {node.key for node in plan.iter_nodes()}
+        # INL inner scans are accessed through their index and get no
+        # operator of their own.
+        assert set(outcome.stats) <= keys
+        assert plan.key in outcome.stats
+
+
+class TestSpillMode:
+    def test_spill_runs_only_subtree(self, setup):
+        query, gen, plan, _ = setup
+        epp = query.epps[0].name
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup),
+                               spill_epp=epp)
+        assert outcome.completed
+        assert outcome.spilled_epp == epp
+
+    def test_spill_learns_exact_selectivity(self, setup):
+        query, gen, plan, _ = setup
+        epp = query.epps[0].name
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup),
+                               spill_epp=epp)
+        root_key = spill_root_key(plan, epp)
+        observed = outcome.selectivity_of(root_key)
+        # Reference: measured true selectivity over the generated data.
+        from repro import measured_location
+
+        truth = measured_location(gen, query)[0]
+        assert observed == pytest.approx(truth, rel=1e-9)
+
+    def test_spill_cost_not_more_than_full(self, setup):
+        query, gen, plan, _ = setup
+        epp = query.epps[0].name
+        spill = execute_plan(plan, query, gen, query_cost_model(setup),
+                             spill_epp=epp)
+        full = execute_plan(plan, query, gen, query_cost_model(setup))
+        assert spill.cost_spent <= full.cost_spent * (1 + 1e-9)
+
+    def test_unknown_spill_epp_rejected(self, setup):
+        query, gen, plan, _ = setup
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, query, gen, query_cost_model(setup),
+                         spill_epp="j:ghost")
+
+    def test_budgeted_spill_kill(self, setup):
+        query, gen, plan, _ = setup
+        epp = query.epps[0].name
+        outcome = execute_plan(plan, query, gen, query_cost_model(setup),
+                               budget=30.0, spill_epp=epp)
+        assert not outcome.completed
+        assert outcome.cost_spent == pytest.approx(30.0)
+
+
+def query_cost_model(setup):
+    from repro import DEFAULT_COST_MODEL
+
+    return DEFAULT_COST_MODEL

@@ -1,0 +1,198 @@
+"""Unit tests for the iterator operators against brute-force references."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Column,
+    DataGenerator,
+    ForeignKey,
+    Schema,
+    SPJQuery,
+    Table,
+    filter_pred,
+    fk_column,
+    join,
+    key_column,
+)
+from repro.engine.executor import CostMeter, OperatorStats
+from repro.engine.iterators import (
+    HashJoin,
+    IndexNLJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+)
+from repro.errors import ExecutionError
+from repro.optimizer.cost_model import DEFAULT_COST_MODEL
+
+
+def mini_schema():
+    return Schema("mini", tables=[
+        Table("dim", 40, [key_column("d_id", 40), Column("d_attr", ndv=4)]),
+        Table("fact", 400, [fk_column("f_dim_id", 40, indexed=True),
+                            Column("f_val", ndv=10)]),
+    ], foreign_keys=[ForeignKey("fact", "f_dim_id", "dim", "d_id")])
+
+
+@pytest.fixture(scope="module")
+def data():
+    gen = DataGenerator(mini_schema(), seed=5)
+    gen.generate_table("dim")
+    gen.generate_table("fact", fk_skew={"f_dim_id": 0.5})
+    return gen
+
+
+@pytest.fixture(scope="module")
+def query():
+    return SPJQuery("mini", mini_schema(), ["dim", "fact"], joins=[
+        join("dim", "d_id", "fact", "f_dim_id", selectivity=1 / 40,
+             error_prone=True),
+    ], filters=[filter_pred("dim", "d_attr", "=", 2, selectivity=0.25)])
+
+
+def scan(table, data, filters, model=DEFAULT_COST_MODEL, meter=None):
+    return SeqScan(table, data.table(table), tuple(filters), model,
+                   OperatorStats(node_key=f"scan({table})"),
+                   meter or CostMeter())
+
+
+def brute_force_join(data, query):
+    """Reference implementation: filtered hash join in plain numpy."""
+    dim = data.table("dim")
+    fact = data.table("fact")
+    mask = dim.column("d_attr") == 2
+    dim_ids = dim.column("d_id")[mask]
+    matches = np.isin(fact.column("f_dim_id"), dim_ids)
+    counts = dict(zip(*np.unique(fact.column("f_dim_id")[matches],
+                                 return_counts=True)))
+    return sum(counts.get(i, 0) for i in dim_ids)
+
+
+class TestScans:
+    def test_seq_scan_filters(self, data, query):
+        rows = list(scan("dim", data, query.filters_on("dim")).rows())
+        expected = int(np.sum(data.table("dim").column("d_attr") == 2))
+        assert len(rows) == expected
+
+    def test_seq_scan_columns_layout(self, data, query):
+        operator = scan("dim", data, ())
+        assert operator.columns == (("dim", "d_id"), ("dim", "d_attr"))
+
+    def test_index_scan_equals_seq_scan(self, data, query):
+        meter = CostMeter()
+        idx = IndexScan("dim", data.table("dim"),
+                        tuple(query.filters_on("dim")), DEFAULT_COST_MODEL,
+                        OperatorStats(node_key="idx"), meter)
+        seq_rows = sorted(scan("dim", data, query.filters_on("dim")).rows())
+        assert sorted(idx.rows()) == seq_rows
+
+    def test_index_scan_cheaper_for_selective_filter(self, data, query):
+        meter_idx = CostMeter()
+        IndexScan("dim", data.table("dim"), tuple(query.filters_on("dim")),
+                  DEFAULT_COST_MODEL, OperatorStats(node_key="i"),
+                  meter_idx).rows().__iter__()
+        idx = IndexScan("dim", data.table("dim"),
+                        tuple(query.filters_on("dim")), DEFAULT_COST_MODEL,
+                        OperatorStats(node_key="i"), meter_idx)
+        list(idx.rows())
+        meter_seq = CostMeter()
+        list(scan("dim", data, query.filters_on("dim"),
+                  meter=meter_seq).rows())
+        assert meter_idx.spent < meter_seq.spent
+
+    def test_scan_stats(self, data, query):
+        operator = scan("dim", data, query.filters_on("dim"))
+        rows = list(operator.rows())
+        assert operator.stats.rows_outer == 40
+        assert operator.stats.rows_out == len(rows)
+
+
+class TestJoins:
+    def _key_pairs(self):
+        return ([("dim", "d_id")], [("fact", "f_dim_id")])
+
+    def _join_rows(self, cls, data, query, swap=False):
+        outer = scan("dim", data, query.filters_on("dim"))
+        inner = scan("fact", data, ())
+        if swap:
+            outer, inner = inner, outer
+            keys = ([("fact", "f_dim_id")], [("dim", "d_id")])
+        else:
+            keys = self._key_pairs()
+        operator = cls(outer, inner, keys, DEFAULT_COST_MODEL,
+                       OperatorStats(node_key="j"), CostMeter())
+        return list(operator.rows()), operator
+
+    def test_hash_join_count_matches_brute_force(self, data, query):
+        rows, _ = self._join_rows(HashJoin, data, query)
+        assert len(rows) == brute_force_join(data, query)
+
+    def test_merge_join_count_matches(self, data, query):
+        rows, _ = self._join_rows(MergeJoin, data, query)
+        assert len(rows) == brute_force_join(data, query)
+
+    def test_nl_join_count_matches(self, data, query):
+        rows, _ = self._join_rows(NestedLoopJoin, data, query)
+        assert len(rows) == brute_force_join(data, query)
+
+    def test_join_orientation_symmetric_counts(self, data, query):
+        a, _ = self._join_rows(HashJoin, data, query)
+        b, _ = self._join_rows(HashJoin, data, query, swap=True)
+        assert len(a) == len(b)
+
+    def test_join_row_width(self, data, query):
+        rows, operator = self._join_rows(HashJoin, data, query)
+        assert len(operator.columns) == 4
+        assert all(len(r) == 4 for r in rows)
+
+    def test_hash_and_merge_same_multiset(self, data, query):
+        hash_rows, _ = self._join_rows(HashJoin, data, query)
+        merge_rows, _ = self._join_rows(MergeJoin, data, query)
+        assert sorted(hash_rows) == sorted(merge_rows)
+
+    def test_observed_selectivity_exact(self, data, query):
+        rows, operator = self._join_rows(HashJoin, data, query)
+        stats = operator.stats
+        expected = len(rows) / (stats.rows_outer * stats.rows_inner)
+        assert stats.observed_selectivity == pytest.approx(expected)
+
+    def test_column_resolution_error(self, data, query):
+        outer = scan("dim", data, ())
+        with pytest.raises(ExecutionError):
+            outer.column_index("dim", "missing")
+
+
+class TestIndexNLJoin:
+    def test_count_matches_brute_force(self, data, query):
+        outer = scan("fact", data, ())
+        operator = IndexNLJoin(
+            outer=outer,
+            inner_table="dim",
+            table_data=data.table("dim"),
+            join_columns=([("fact", "f_dim_id")], "d_id"),
+            inner_filters=query.filters_on("dim"),
+            model=DEFAULT_COST_MODEL,
+            stats=OperatorStats(node_key="inl"),
+            meter=CostMeter(),
+        )
+        rows = list(operator.rows())
+        assert len(rows) == brute_force_join(data, query)
+
+    def test_selectivity_denominator_uses_filtered_inner(self, data, query):
+        outer = scan("fact", data, ())
+        operator = IndexNLJoin(
+            outer=outer, inner_table="dim", table_data=data.table("dim"),
+            join_columns=([("fact", "f_dim_id")], "d_id"),
+            inner_filters=query.filters_on("dim"),
+            model=DEFAULT_COST_MODEL,
+            stats=OperatorStats(node_key="inl"), meter=CostMeter(),
+        )
+        rows = list(operator.rows())
+        stats = operator.stats
+        filtered_dim = int(np.sum(data.table("dim").column("d_attr") == 2))
+        assert stats.rows_inner == filtered_dim
+        assert stats.observed_selectivity == pytest.approx(
+            len(rows) / (400 * filtered_dim)
+        )

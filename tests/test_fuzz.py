@@ -1,0 +1,115 @@
+"""End-to-end fuzzing: random workloads through the whole pipeline.
+
+The structural guarantee is supposed to hold for *any* query; these
+tests generate random schemas/queries/epp-markings and validate every
+invariant on the resulting ESS, contours, and discovery runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlignedBound,
+    ContourSet,
+    ESS,
+    ESSGrid,
+    PlanBouquet,
+    SpillBound,
+)
+from repro.bench.randgen import random_workload
+from repro.core.validate import (
+    ValidationError,
+    validate_contours,
+    validate_discovery_result,
+    validate_ess,
+)
+
+SEEDS = [1, 2, 3, 5, 8, 13, 21, 34]
+
+
+def build_small(seed):
+    query = random_workload(seed)
+    resolution = {2: 9, 3: 6, 4: 5}.get(query.num_epps, 4)
+    sel_min = [min(1e-5, p.selectivity / 2) for p in query.epps]
+    grid = ESSGrid(query.num_epps, resolution=resolution, sel_min=sel_min)
+    ess = ESS.build(query, grid)
+    return query, ess, ContourSet(ess)
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generation_is_valid_and_deterministic(self, seed):
+        a = random_workload(seed)
+        b = random_workload(seed)
+        assert a.describe() == b.describe()
+        assert a.join_graph.is_connected()
+        assert not a.join_graph.has_cycle()
+        assert 2 <= a.num_epps <= 3
+
+    def test_different_seeds_differ(self):
+        assert random_workload(1).describe() != random_workload(2).describe()
+
+
+class TestPipelineInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ess_and_contours_valid(self, seed):
+        _, ess, contours = build_small(seed)
+        validate_ess(ess)
+        validate_contours(contours)
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_guarantees_hold_on_random_workloads(self, seed):
+        _, ess, contours = build_small(seed)
+        algorithms = [
+            PlanBouquet(ess, contours),
+            SpillBound(ess, contours),
+            AlignedBound(ess, contours),
+        ]
+        rng = np.random.default_rng(seed)
+        points = rng.choice(ess.grid.num_points,
+                            size=min(24, ess.grid.num_points),
+                            replace=False)
+        for algorithm in algorithms:
+            for flat in points:
+                result = algorithm.run(int(flat), trace=True)
+                validate_discovery_result(result, algorithm)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_sb_beats_its_guarantee_comfortably(self, seed):
+        """Empirically the structural bound is loose, not tight."""
+        from repro import evaluate_algorithm
+
+        _, ess, contours = build_small(seed)
+        sb = SpillBound(ess, contours)
+        evaluation = evaluate_algorithm(sb)
+        assert evaluation.mso <= sb.mso_guarantee() * (1 + 1e-9)
+
+
+class TestValidators:
+    def test_validate_ess_summary(self, toy_ess):
+        summary = validate_ess(toy_ess)
+        assert summary["posp_size"] == toy_ess.posp_size
+
+    def test_validate_contours_summary(self, toy_contours):
+        summary = validate_contours(toy_contours)
+        assert summary["num_contours"] == toy_contours.num_contours
+
+    def test_validator_catches_corruption(self, toy_ess):
+        import copy
+
+        broken = copy.copy(toy_ess)
+        broken.optimal_cost = toy_ess.optimal_cost.copy()
+        broken.optimal_cost[5] = broken.optimal_cost.max() * 2
+        with pytest.raises(ValidationError):
+            validate_ess(broken)
+
+    def test_validator_catches_bad_result(self, toy_sb):
+        result = toy_sb.run(100)
+        result.total_cost = result.optimal_cost * 1e6
+        with pytest.raises(ValidationError):
+            validate_discovery_result(result, toy_sb)
+
+    def test_validator_accepts_good_result(self, toy_sb):
+        result = toy_sb.run(100, trace=True)
+        summary = validate_discovery_result(result, toy_sb)
+        assert summary["guarantee"] == toy_sb.mso_guarantee()

@@ -1,0 +1,118 @@
+"""Unit tests for the ESS grid."""
+
+import numpy as np
+import pytest
+
+from repro import ESSGrid, QueryError
+
+
+class TestConstruction:
+    def test_default_resolution_by_dim(self):
+        assert ESSGrid(2).shape == (32, 32)
+        assert ESSGrid(6).shape == (6,) * 6
+
+    def test_explicit_resolution(self):
+        grid = ESSGrid(3, resolution=[4, 5, 6])
+        assert grid.shape == (4, 5, 6)
+        assert grid.num_points == 120
+
+    def test_log_spacing_ends(self):
+        grid = ESSGrid(1, resolution=10, sel_min=1e-4)
+        assert grid.values[0][0] == pytest.approx(1e-4)
+        assert grid.values[0][-1] == pytest.approx(1.0)
+
+    def test_per_dim_sel_min(self):
+        grid = ESSGrid(2, resolution=5, sel_min=[1e-3, 1e-6])
+        assert grid.values[0][0] == pytest.approx(1e-3)
+        assert grid.values[1][0] == pytest.approx(1e-6)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_dims(self, bad):
+        with pytest.raises(QueryError):
+            ESSGrid(bad)
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(QueryError):
+            ESSGrid(2, resolution=1)
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(QueryError):
+            ESSGrid(2, resolution=[4])
+        with pytest.raises(QueryError):
+            ESSGrid(2, resolution=4, sel_min=[1e-5])
+
+
+class TestIndexing:
+    @pytest.fixture
+    def grid(self):
+        return ESSGrid(3, resolution=[3, 4, 5], sel_min=1e-4)
+
+    def test_flat_roundtrip(self, grid):
+        for flat in range(grid.num_points):
+            assert grid.flat_index(grid.coords_of(flat)) == flat
+
+    def test_strides_row_major(self, grid):
+        assert grid.strides == (20, 5, 1)
+
+    def test_selectivities_of(self, grid):
+        sels = grid.selectivities_of(0)
+        assert sels == tuple(grid.values[d][0] for d in range(3))
+
+    def test_origin_and_terminus(self, grid):
+        assert grid.origin == (0, 0, 0)
+        assert grid.terminus == (2, 3, 4)
+
+    def test_coord_and_sel_arrays(self, grid):
+        for dim in range(3):
+            coords = grid.coord_array(dim)
+            sels = grid.sel_array(dim)
+            assert coords.shape == (grid.num_points,)
+            assert np.allclose(sels, grid.values[dim][coords])
+
+    def test_environment_covers_all_dims(self, grid):
+        env = grid.environment()
+        assert set(env) == {0, 1, 2}
+
+
+class TestSnap:
+    def test_exact_values_snap_to_themselves(self):
+        grid = ESSGrid(2, resolution=8, sel_min=1e-4)
+        coords = grid.snap((grid.values[0][3], grid.values[1][5]))
+        assert coords == (3, 5)
+
+    def test_out_of_range_clamped(self):
+        grid = ESSGrid(2, resolution=8, sel_min=1e-4)
+        assert grid.snap((1e-9, 2.0)) == (0, 7)
+
+    def test_wrong_arity_rejected(self):
+        grid = ESSGrid(2, resolution=8)
+        with pytest.raises(QueryError):
+            grid.snap((0.1,))
+
+    def test_snap_is_nearest_in_log_space(self):
+        grid = ESSGrid(1, resolution=5, sel_min=1e-4)
+        # Geometric midpoint between values[1] and values[2]:
+        mid = float(np.sqrt(grid.values[0][1] * grid.values[0][2]))
+        assert grid.snap((mid * 1.01,)) == (2,)
+        assert grid.snap((mid * 0.99,)) == (1,)
+
+
+class TestLinesAndDominance:
+    def test_line_indices_vary_only_free_dim(self):
+        grid = ESSGrid(3, resolution=4, sel_min=1e-4)
+        line = grid.line_indices({0: 2, 2: 1}, free_dim=1)
+        assert len(line) == 4
+        for k, flat in enumerate(line):
+            assert grid.coords_of(flat) == (2, k, 1)
+
+    def test_dominates(self):
+        grid = ESSGrid(2, resolution=4)
+        assert grid.dominates((2, 3), (1, 3))
+        assert not grid.dominates((1, 3), (2, 3))
+        assert not grid.dominates((2, 3), (2, 3))
+        assert not grid.dominates((2, 1), (1, 2))  # incomparable
+
+    def test_terminus_dominates_everything(self):
+        grid = ESSGrid(2, resolution=4)
+        for flat in range(grid.num_points - 1):
+            assert grid.dominates(grid.terminus, grid.coords_of(flat))

@@ -1,0 +1,140 @@
+"""Smoke tests for the experiment harness (small grids, tiny suite)."""
+
+import pytest
+
+from repro.bench import harness, report
+
+SMALL_SUITE = ["3D_Q15", "4D_Q26"]
+
+
+class TestGuaranteeExperiments:
+    def test_fig8_rows(self):
+        rows = harness.run_fig8(SMALL_SUITE, profile="smoke")
+        assert [r["query"] for r in rows] == SMALL_SUITE
+        for row in rows:
+            assert row["sb_msog"] == row["D"] ** 2 + 3 * row["D"]
+            assert row["pb_msog"] == pytest.approx(4 * 1.2 * row["rho_red"])
+
+    def test_fig9_dimensionality_sweep(self):
+        rows = harness.run_fig9((2, 3), profile="smoke")
+        assert rows[0]["sb_msog"] == 10
+        assert rows[1]["sb_msog"] == 18
+
+
+class TestEmpiricalExperiments:
+    def test_fig10_within_guarantees(self):
+        rows = harness.run_fig10(SMALL_SUITE, profile="smoke")
+        for row in rows:
+            assert 1.0 <= row["pb_msoe"] <= row["pb_msog"] * (1 + 1e-9)
+            assert 1.0 <= row["sb_msoe"] <= row["sb_msog"] * (1 + 1e-9)
+
+    def test_fig11_aso_at_least_one(self):
+        rows = harness.run_fig11(SMALL_SUITE, profile="smoke")
+        for row in rows:
+            assert row["pb_aso"] >= 1.0 - 1e-9
+            assert row["sb_aso"] >= 1.0 - 1e-9
+
+    def test_fig12_histogram(self):
+        data = harness.run_fig12("3D_Q15", profile="smoke")
+        edges, fractions = data["sb"]
+        assert fractions.sum() == pytest.approx(1.0)
+        assert data["sb_below_first_bin"] >= data["pb_below_first_bin"] * 0.5
+
+    def test_fig13_ab_within_range(self):
+        rows = harness.run_fig13(SMALL_SUITE, profile="smoke")
+        for row in rows:
+            assert row["ab_msoe"] <= row["ab_high_bound"] * (1 + 1e-9)
+            assert row["ab_low_bound"] == 2 * row["D"] + 2
+
+
+class TestTables:
+    def test_table2_columns(self):
+        rows = harness.run_table2(["3D_Q15"], profile="smoke")
+        row = rows[0]
+        assert 0 <= row["original_pct"] <= 100
+        assert row["pct_at_1.5"] >= row["pct_at_1.2"]
+        assert row["max_penalty"] >= 1.0
+
+    def test_table3_trace(self):
+        data = harness.run_table3("3D_Q15", profile="smoke")
+        assert data["rows"]
+        costs = [r["cumulative_cost"] for r in data["rows"]]
+        assert costs == sorted(costs)
+        assert data["rows"][-1]["completed"]
+
+    def test_table4_penalties(self):
+        rows = harness.run_table4(["3D_Q15"], profile="smoke")
+        assert rows[0]["max_penalty"] >= 1.0
+
+
+class TestTraceExperiments:
+    def test_fig7_waypoints_monotone(self):
+        data = harness.run_fig7("2D_Q91", qa=(0.04, 0.1), profile="smoke")
+        for earlier, later in zip(data["waypoints"], data["waypoints"][1:]):
+            assert all(b >= a - 1e-12 for a, b in zip(earlier, later))
+        assert data["suboptimality"] <= 10 + 1e-9  # 2-epp guarantee
+
+    def test_job_experiment_shape(self):
+        data = harness.run_job(profile="smoke")
+        assert data["native_mso"] > data["sb_msoe"]
+        assert data["sb_msoe"] <= data["sb_msog"] * (1 + 1e-9)
+
+    def test_lower_bound_rows(self):
+        rows = harness.run_lower_bound((2, 3))
+        assert rows[0]["measured_mso"] == 2.0
+        assert rows[1]["measured_mso"] == 3.0
+
+
+class TestAblations:
+    def test_cost_ratio_sweep(self):
+        rows = harness.run_ablation_cost_ratio("3D_Q15", ratios=(2.0, 3.0),
+                                               profile="smoke")
+        assert rows[0]["num_contours"] > rows[1]["num_contours"]
+
+    def test_lambda_sweep_rho_monotone(self):
+        rows = harness.run_ablation_lambda("3D_Q15", lams=(0.0, 0.5),
+                                           profile="smoke")
+        assert rows[0]["rho_red"] >= rows[1]["rho_red"]
+
+    def test_resolution_sweep(self):
+        rows = harness.run_ablation_resolution("3D_Q15", resolutions=(4, 6))
+        assert rows[0]["grid_points"] == 64
+        assert rows[1]["grid_points"] == 216
+
+    def test_cost_noise_bound_inflation(self):
+        rows = harness.run_ablation_cost_noise("3D_Q15",
+                                               deltas=(0.0, 0.3),
+                                               profile="smoke")
+        assert rows[1]["bound_with_inflation"] > rows[0][
+            "bound_with_inflation"
+        ]
+
+    def test_spill_order_ablation(self):
+        data = harness.run_ablation_spill_order("3D_Q15", profile="smoke")
+        assert data["posp_size"] > 0
+        assert data["naive_unsound"] <= data["order_disagreements"]
+
+
+class TestReportRendering:
+    def test_format_table(self):
+        text = report.format_table("T", ["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert "== T ==" in text
+        assert "2.50" in text
+
+    def test_format_histogram(self):
+        import numpy as np
+
+        text = report.format_histogram("H", np.array([0.0, 5.0, 10.0]),
+                                       np.array([0.75, 0.25]))
+        assert "75.00%" in text
+
+    def test_format_value_special(self):
+        assert report.format_value(float("nan")) == "-"
+        assert report.format_value(float("inf")) == "inf"
+        assert report.format_value(12345.0) == "12,345"
+
+    def test_save_report(self, tmp_path):
+        path = tmp_path / "out.txt"
+        report.save_report(path, "hello")
+        report.save_report(path, "world")
+        assert path.read_text() == "hello\n\nworld\n\n"

@@ -1,0 +1,104 @@
+"""End-to-end integration: full pipeline and the paper's shape findings."""
+
+import pytest
+
+from repro import (
+    AlignedBound,
+    ContourSet,
+    ESS,
+    NativeOptimizer,
+    PlanBouquet,
+    SpillBound,
+    build_query,
+    evaluate_algorithm,
+)
+from repro.bench import workloads
+
+
+@pytest.fixture(scope="module")
+def q91_stack():
+    instance = workloads.load("3D_Q91", profile="smoke")
+    ess, contours = instance.ess, instance.contours
+    return {
+        "ess": ess,
+        "pb": PlanBouquet(ess, contours),
+        "sb": SpillBound(ess, contours),
+        "ab": AlignedBound(ess, contours),
+        "native": NativeOptimizer(ess),
+    }
+
+
+class TestPipeline:
+    def test_full_pipeline_from_query_name(self):
+        query = build_query("2D_Q91")
+        ess = ESS.build(query, resolution=8)
+        contours = ContourSet(ess)
+        sb = SpillBound(ess, contours)
+        result = sb.run(query.true_location(), trace=True)
+        assert result.completed_plan_key
+        assert result.suboptimality <= sb.mso_guarantee()
+
+    def test_all_algorithms_complete_everywhere(self, q91_stack):
+        ess = q91_stack["ess"]
+        for flat in range(0, ess.grid.num_points,
+                          max(1, ess.grid.num_points // 40)):
+            for key in ("pb", "sb", "ab"):
+                result = q91_stack[key].run(flat)
+                assert result.suboptimality >= 1.0 - 1e-9
+
+
+class TestPaperShape:
+    """The qualitative findings of the evaluation (Section 6)."""
+
+    def test_sb_empirical_beats_pb_empirical(self, q91_stack):
+        pb = evaluate_algorithm(q91_stack["pb"])
+        sb = evaluate_algorithm(q91_stack["sb"])
+        # Paper Fig. 10: SB's empirical MSO is better on every query.
+        assert sb.mso <= pb.mso * 1.05
+
+    def test_ab_empirical_no_worse_than_sb(self, q91_stack):
+        sb = evaluate_algorithm(q91_stack["sb"])
+        ab = evaluate_algorithm(q91_stack["ab"])
+        # Paper Fig. 13: AB improves (or matches) SB's empirical MSO.
+        assert ab.mso <= sb.mso * 1.10
+
+    def test_native_mso_dwarfs_discovery(self, q91_stack):
+        native_mso = q91_stack["native"].mso()
+        sb = evaluate_algorithm(q91_stack["sb"])
+        # Paper Sections 1/6.5: native worst cases are orders of
+        # magnitude above the discovery algorithms.
+        assert native_mso > 5 * sb.mso
+
+    def test_all_within_guarantees(self, q91_stack):
+        pb = evaluate_algorithm(q91_stack["pb"])
+        sb = evaluate_algorithm(q91_stack["sb"])
+        ab = evaluate_algorithm(q91_stack["ab"])
+        assert pb.mso <= q91_stack["pb"].mso_guarantee() * (1 + 1e-9)
+        assert sb.mso <= q91_stack["sb"].mso_guarantee() * (1 + 1e-9)
+        assert ab.mso <= q91_stack["ab"].mso_guarantee() * (1 + 1e-9)
+
+    def test_empirical_well_below_guarantee(self, q91_stack):
+        """Paper Section 6.2.3: SB's empirical MSO sits far below its
+        guarantee."""
+        sb = evaluate_algorithm(q91_stack["sb"])
+        assert sb.mso < q91_stack["sb"].mso_guarantee()
+
+    def test_sb_aso_no_worse_than_pb(self, q91_stack):
+        pb = evaluate_algorithm(q91_stack["pb"])
+        sb = evaluate_algorithm(q91_stack["sb"])
+        # Paper Fig. 11: MSO gains do not cost average-case behaviour.
+        assert sb.aso <= pb.aso * 1.15
+
+
+class TestCrossAlgorithmConsistency:
+    def test_identical_oracle_costs(self, q91_stack):
+        ess = q91_stack["ess"]
+        flat = ess.grid.num_points // 2
+        results = {
+            key: q91_stack[key].run(flat) for key in ("pb", "sb", "ab")
+        }
+        costs = {r.optimal_cost for r in results.values()}
+        assert len(costs) == 1
+
+    def test_shared_contour_instance(self, q91_stack):
+        assert q91_stack["pb"].contours is q91_stack["sb"].contours

@@ -1,0 +1,110 @@
+"""Unit tests for join-graph connectivity and geometry classification."""
+
+import pytest
+
+from repro import QueryError, join
+from repro.query.joingraph import JoinGraph
+
+
+def edges(*pairs):
+    return [join(a, "x", b, "y", selectivity=0.01) for a, b in pairs]
+
+
+class TestConnectivity:
+    def test_chain_connected(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("b", "c")))
+        assert graph.is_connected()
+
+    def test_disconnected(self):
+        graph = JoinGraph(["a", "b", "c", "d"], edges(("a", "b"), ("c", "d")))
+        assert not graph.is_connected()
+
+    def test_subset_connectivity(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("b", "c")))
+        assert graph.is_connected({"a", "b"})
+        assert not graph.is_connected({"a", "c"})
+
+    def test_empty_subset_not_connected(self):
+        graph = JoinGraph(["a", "b"], edges(("a", "b")))
+        assert not graph.is_connected(set())
+
+    def test_singleton_connected(self):
+        graph = JoinGraph(["a", "b"], edges(("a", "b")))
+        assert graph.is_connected({"a"})
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(QueryError):
+            JoinGraph(["a", "a"], [])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(QueryError):
+            JoinGraph(["a", "b"], edges(("a", "z")))
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("a", "c")))
+        assert graph.neighbors("a") == {"b", "c"}
+        assert graph.degree("a") == 2
+        assert graph.degree("b") == 1
+
+    def test_edges_between(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("b", "c")))
+        assert len(graph.edges_between("a", "b")) == 1
+        assert graph.edges_between("a", "c") == []
+
+    def test_predicates_within(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("b", "c")))
+        inner = graph.predicates_within({"a", "b"})
+        assert len(inner) == 1 and inner[0].tables == ("a", "b")
+
+    def test_predicates_across(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("b", "c")))
+        crossing = graph.predicates_across({"a"}, {"b", "c"})
+        assert len(crossing) == 1
+
+
+class TestCyclesAndGeometry:
+    def test_tree_has_no_cycle(self):
+        graph = JoinGraph(["a", "b", "c"], edges(("a", "b"), ("b", "c")))
+        assert not graph.has_cycle()
+
+    def test_triangle_has_cycle(self):
+        graph = JoinGraph(
+            ["a", "b", "c"], edges(("a", "b"), ("b", "c"), ("a", "c"))
+        )
+        assert graph.has_cycle()
+
+    def test_parallel_edges_count_as_cycle(self):
+        preds = edges(("a", "b")) + [
+            join("a", "x2", "b", "y2", selectivity=0.5, name="second")
+        ]
+        graph = JoinGraph(["a", "b"], preds)
+        assert graph.has_cycle()
+
+    def test_chain_geometry(self):
+        graph = JoinGraph(["a", "b", "c", "d"],
+                          edges(("a", "b"), ("b", "c"), ("c", "d")))
+        assert graph.geometry() == "chain"
+
+    def test_star_geometry(self):
+        graph = JoinGraph(["hub", "a", "b", "c"],
+                          edges(("hub", "a"), ("hub", "b"), ("hub", "c")))
+        assert graph.geometry() == "star"
+
+    def test_branch_geometry(self):
+        graph = JoinGraph(
+            ["a", "b", "c", "d", "e"],
+            edges(("a", "b"), ("b", "c"), ("b", "d"), ("d", "e")),
+        )
+        assert graph.geometry() == "branch"
+
+    def test_cyclic_geometry(self):
+        graph = JoinGraph(
+            ["a", "b", "c"], edges(("a", "b"), ("b", "c"), ("a", "c"))
+        )
+        assert graph.geometry() == "cyclic"
+
+    def test_two_tables_is_chain(self):
+        graph = JoinGraph(["a", "b"], edges(("a", "b")))
+        assert graph.geometry() == "chain"

@@ -1,0 +1,67 @@
+"""Tests for the left-deep search-space restriction."""
+
+import numpy as np
+import pytest
+
+from repro import ESS, ESSGrid, Optimizer
+from repro.optimizer.plans import JoinNode, ScanNode
+from tests.conftest import make_star_query, make_toy_query
+
+
+def is_left_deep(plan):
+    for node in plan.iter_nodes():
+        if isinstance(node, JoinNode) and not isinstance(node.inner,
+                                                         ScanNode):
+            return False
+    return True
+
+
+class TestLeftDeepOptimizer:
+    def test_every_plan_is_left_deep(self):
+        query = make_star_query(3)
+        optimizer = Optimizer(query, left_deep=True)
+        for sels in [(1e-5, 1e-4, 1e-3), (0.5, 0.5, 0.5),
+                     (1e-6, 0.9, 1e-2)]:
+            plan, _ = optimizer.optimize_at(sels)
+            assert is_left_deep(plan), plan.key
+
+    def test_bushy_never_worse(self):
+        query = make_star_query(3)
+        bushy = Optimizer(query, left_deep=False)
+        linear = Optimizer(query, left_deep=True)
+        for sels in [(1e-5, 1e-4, 1e-3), (0.3, 1e-3, 0.7)]:
+            _, bushy_cost = bushy.optimize_at(sels)
+            _, linear_cost = linear.optimize_at(sels)
+            assert bushy_cost <= linear_cost * (1 + 1e-9)
+
+    def test_left_deep_cost_valid(self):
+        """Left-deep costs must still match their plan's recosting."""
+        from repro import DEFAULT_COST_MODEL
+        from repro.optimizer.plans import plan_cost
+
+        query = make_toy_query()
+        optimizer = Optimizer(query, left_deep=True)
+        for sels in [(1e-6, 1e-6), (1e-2, 1e-3)]:
+            plan, cost = optimizer.optimize_at(sels)
+            recost = plan_cost(plan, query, DEFAULT_COST_MODEL,
+                               dict(enumerate(sels)))
+            assert recost == pytest.approx(cost, rel=1e-9)
+
+    def test_left_deep_ess_smaller_or_equal_posp(self):
+        query = make_toy_query()
+        grid = ESSGrid(2, resolution=10, sel_min=1e-6)
+        bushy = ESS.build(query, grid)
+        grid2 = ESSGrid(2, resolution=10, sel_min=1e-6)
+        linear = ESS.build(query, grid2, left_deep=True)
+        assert linear.posp_size <= bushy.posp_size + 2  # usually smaller
+        assert (linear.optimal_cost >= bushy.optimal_cost * (1 - 1e-9)).all()
+
+    def test_guarantee_holds_in_left_deep_space(self):
+        from repro import ContourSet, SpillBound, evaluate_algorithm
+
+        query = make_toy_query()
+        ess = ESS.build(query, ESSGrid(2, resolution=10, sel_min=1e-6),
+                        left_deep=True)
+        sb = SpillBound(ess, ContourSet(ess))
+        evaluation = evaluate_algorithm(sb)
+        assert evaluation.mso <= sb.mso_guarantee() * (1 + 1e-9)

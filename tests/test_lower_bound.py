@@ -1,0 +1,68 @@
+"""Unit tests for the Theorem 4.6 lower-bound game."""
+
+import pytest
+
+from repro import AdversarialGame, DiscoveryError, lower_bound_demonstration
+from repro.core.lower_bound import play_round_robin
+
+
+class TestGame:
+    def test_requires_two_dims(self):
+        with pytest.raises(DiscoveryError):
+            AdversarialGame(1)
+
+    def test_subbudget_probe_learns_nothing(self):
+        game = AdversarialGame(3)
+        assert not game.probe(0, 0.5)
+        assert game.alive == {0, 1, 2}
+        assert not game.finished
+
+    def test_full_probe_eliminates_candidate(self):
+        game = AdversarialGame(3)
+        assert game.probe(0, 1.0)
+        assert game.alive == {1, 2}
+
+    def test_invalid_dim_rejected(self):
+        game = AdversarialGame(2)
+        with pytest.raises(DiscoveryError):
+            game.probe(5, 1.0)
+
+    def test_finished_requires_resolution_of_last(self):
+        game = AdversarialGame(2)
+        game.probe(0, 1.0)
+        assert not game.finished  # dim 1 survives but is unresolved
+        game.probe(1, 1.0)
+        assert game.finished
+
+    def test_spend_capped_at_budget(self):
+        game = AdversarialGame(2, contour_cost=10.0)
+        game.probe(0, 100.0)
+        assert game.total_spent == pytest.approx(10.0)
+
+    def test_repeated_probe_same_dim_wastes_budget(self):
+        game = AdversarialGame(3)
+        game.probe(0, 1.0)
+        game.probe(0, 1.0)  # already eliminated: pure waste
+        assert game.total_spent == pytest.approx(2.0)
+        assert game.alive == {1, 2}
+
+
+class TestTheorem:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6, 8])
+    def test_round_robin_achieves_exactly_d(self, d):
+        assert lower_bound_demonstration(d) == pytest.approx(float(d))
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_no_strategy_beats_d(self, d):
+        """Any probe sequence pays >= D: each candidate elimination
+        costs a full contour budget and D-1 eliminations plus one
+        confirmation are forced."""
+        game = play_round_robin(d)
+        assert game.suboptimality() >= d - 1e-9
+
+    def test_cheap_probes_cannot_shortcut(self):
+        game = AdversarialGame(4)
+        for dim in range(4):
+            game.probe(dim, 0.25)  # four cheap probes learn nothing
+        assert not game.finished
+        assert len(game.alive) == 4

@@ -1,0 +1,70 @@
+"""Unit tests for the MSO/ASO evaluation machinery."""
+
+import numpy as np
+import pytest
+
+from repro import evaluate_algorithm
+from repro.core.mso import Evaluation
+
+
+class TestEvaluation:
+    @pytest.fixture
+    def evaluation(self):
+        sub = np.array([1.0, 2.0, 3.0, 10.0, 1.5, 4.5])
+        return Evaluation(
+            suboptimality=sub,
+            mso=float(sub.max()),
+            aso=float(sub.mean()),
+            worst_location=int(np.argmax(sub)),
+        )
+
+    def test_basic_stats(self, evaluation):
+        assert evaluation.mso == 10.0
+        assert evaluation.aso == pytest.approx(22.0 / 6)
+        assert evaluation.worst_location == 3
+
+    def test_percentile(self, evaluation):
+        assert evaluation.percentile(100) == 10.0
+        assert evaluation.percentile(0) == 1.0
+
+    def test_fraction_below(self, evaluation):
+        assert evaluation.fraction_below(2.5) == pytest.approx(3 / 6)
+        assert evaluation.fraction_below(100) == 1.0
+
+    def test_histogram_fractions_sum_to_one(self, evaluation):
+        _, fractions = evaluation.histogram(bin_width=5.0)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_histogram_bin_contents(self, evaluation):
+        edges, fractions = evaluation.histogram(bin_width=5.0)
+        assert edges[0] == 0.0
+        assert fractions[0] == pytest.approx(5 / 6)  # all but the 10.0
+
+    def test_histogram_caps_bins(self, evaluation):
+        edges, _ = evaluation.histogram(bin_width=1.0, max_bins=3)
+        assert len(edges) <= 4
+
+
+class TestEvaluateAlgorithm:
+    def test_uses_vectorized_path(self, toy_pb):
+        evaluation = evaluate_algorithm(toy_pb)
+        n = toy_pb.ess.grid.num_points
+        assert evaluation.suboptimality.shape == (n,)
+
+    def test_scalar_path_matches_vectorized(self, toy_pb):
+        full = evaluate_algorithm(toy_pb)
+        points = [0, 10, 100, 250]
+        sampled = evaluate_algorithm(toy_pb, points=points)
+        for k, flat in enumerate(points):
+            assert sampled.suboptimality[k] == pytest.approx(
+                full.suboptimality[flat]
+            )
+
+    def test_sampled_worst_location_is_flat_index(self, toy_sb):
+        points = [5, 50, 222]
+        evaluation = evaluate_algorithm(toy_sb, points=points)
+        assert evaluation.worst_location in points
+
+    def test_mso_at_least_aso(self, toy_sb):
+        evaluation = evaluate_algorithm(toy_sb)
+        assert evaluation.mso >= evaluation.aso >= 1.0 - 1e-9

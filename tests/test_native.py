@@ -1,0 +1,82 @@
+"""Unit tests for the native-optimizer baseline."""
+
+import pytest
+
+from repro import NativeOptimizer
+
+
+@pytest.fixture(scope="module")
+def native(request):
+    toy_ess = request.getfixturevalue("toy_ess")
+    return NativeOptimizer(toy_ess)
+
+
+class TestNativeOptimizer:
+    def test_plan_for_estimate(self, native, toy_ess):
+        pid = native.plan_for_estimate(toy_ess.grid.origin)
+        assert pid == int(toy_ess.plan_ids[0])
+
+    def test_suboptimality_identity(self, native, toy_ess):
+        # Estimating correctly yields sub-optimality 1.
+        flat = 111
+        coords = toy_ess.grid.coords_of(flat)
+        assert native.suboptimality(coords, coords) == pytest.approx(1.0)
+
+    def test_suboptimality_at_least_one(self, native, toy_ess):
+        assert native.suboptimality(toy_ess.grid.origin,
+                                    toy_ess.grid.terminus) >= 1.0 - 1e-9
+
+    def test_mso_dominates_any_pair(self, native, toy_ess):
+        mso = native.mso()
+        grid = toy_ess.grid
+        for qe, qa in [((0, 0), (10, 10)), ((15, 3), (2, 18)),
+                       (grid.terminus, grid.origin)]:
+            assert native.suboptimality(qe, qa) <= mso * (1 + 1e-9)
+
+    def test_worst_pair_achieves_mso(self, native):
+        qe, qa, worst = native.worst_pair()
+        assert worst == pytest.approx(native.mso())
+        assert native.suboptimality(qe, qa) == pytest.approx(worst)
+
+    def test_run_returns_single_execution(self, native):
+        result = native.run(200, trace=True)
+        assert result.num_executions == 1
+        assert result.executions[0].completed
+
+    def test_run_cost_matches_suboptimality(self, native, toy_ess):
+        flat = 288
+        result = native.run(flat)
+        coords = toy_ess.grid.coords_of(flat)
+        assert result.suboptimality == pytest.approx(
+            native.suboptimality(toy_ess.grid.origin, coords)
+        )
+
+    def test_aso_is_mean(self, native):
+        profile = native.suboptimality_for_estimate((0, 0))
+        assert native.aso() == pytest.approx(float(profile.mean()))
+
+    def test_profile_shape(self, native, toy_ess):
+        profile = native.suboptimality_for_estimate((3, 3))
+        assert profile.shape == (toy_ess.grid.num_points,)
+        assert (profile >= 1.0 - 1e-9).all()
+
+    def test_estimate_location_from_catalog(self, native, toy_ess):
+        from repro import StatisticsCatalog
+
+        catalog = StatisticsCatalog(toy_ess.query.schema)
+        coords = native.estimate_location(catalog)
+        assert len(coords) == toy_ess.grid.num_dims
+        # The uniformity rule for part-lineitem is 1/2M: the snapped
+        # estimate sits in the grid's low region.
+        grid = toy_ess.grid
+        assert grid.selectivity(0, coords[0]) == pytest.approx(
+            1 / 2_000_000, rel=3.0
+        )
+
+    def test_catalog_estimate_drives_run(self, native, toy_ess):
+        from repro import StatisticsCatalog
+
+        catalog = StatisticsCatalog(toy_ess.query.schema)
+        qe = native.estimate_location(catalog)
+        result = native.run(300, qe=qe)
+        assert result.suboptimality >= 1.0 - 1e-9

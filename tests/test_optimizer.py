@@ -1,0 +1,126 @@
+"""Unit tests for the DP optimizer: correctness against brute force,
+selectivity injection, and sweep consistency."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import DEFAULT_COST_MODEL, Optimizer
+from repro.optimizer.plans import plan_cost
+from tests.conftest import make_star_query, make_toy_query
+
+
+@pytest.fixture(scope="module")
+def toy_optimizer():
+    return Optimizer(make_toy_query())
+
+
+class TestStructure:
+    def test_connected_masks_exclude_cross_products(self, toy_optimizer):
+        # part(bit0) - lineitem(bit1) - orders(bit2): {part, orders} is
+        # disconnected and must not appear.
+        assert 0b101 not in toy_optimizer.alternatives
+
+    def test_full_mask_present(self, toy_optimizer):
+        assert toy_optimizer.full_mask in toy_optimizer.alternatives
+
+    def test_scan_alternatives_include_index_when_filtered(self, toy_optimizer):
+        # part has an indexed filter column: two scan alternatives.
+        part_mask = toy_optimizer._bit["part"]
+        assert len(toy_optimizer.alternatives[part_mask]) == 2
+
+    def test_unfiltered_table_only_seq_scan(self, toy_optimizer):
+        orders_mask = toy_optimizer._bit["orders"]
+        assert len(toy_optimizer.alternatives[orders_mask]) == 1
+
+    def test_star_query_alternatives(self):
+        optimizer = Optimizer(make_star_query(3))
+        # Full set has alternatives; singletons exist for every table.
+        assert optimizer.full_mask in optimizer.alternatives
+        assert len(optimizer._connected_masks) >= 4 + 3
+
+
+class TestSinglePointOptimization:
+    def test_plan_and_cost_returned(self, toy_optimizer):
+        plan, cost = toy_optimizer.optimize_at((1e-6, 1e-6))
+        assert plan.tables == {"part", "lineitem", "orders"}
+        assert cost > 0
+
+    def test_reported_cost_matches_recosting(self, toy_optimizer):
+        query = toy_optimizer.query
+        for sels in [(1e-6, 1e-6), (1e-3, 1e-5), (0.9, 0.9)]:
+            plan, cost = toy_optimizer.optimize_at(sels)
+            recost = plan_cost(plan, query, DEFAULT_COST_MODEL,
+                               dict(enumerate(sels)))
+            assert recost == pytest.approx(cost, rel=1e-9)
+
+    def test_plan_changes_across_space(self, toy_optimizer):
+        low, _ = toy_optimizer.optimize_at((1e-7, 1e-7))
+        high, _ = toy_optimizer.optimize_at((0.9, 0.9))
+        assert low.key != high.key
+
+    def test_optimal_no_worse_than_enumerated_alternatives(self, toy_optimizer):
+        """Brute-force check: DP cost <= cost of every hand-built plan."""
+        from repro.optimizer.plans import (
+            HASH_JOIN,
+            MERGE_JOIN,
+            SEQ_SCAN,
+            JoinNode,
+            ScanNode,
+        )
+
+        query = toy_optimizer.query
+        sels = (1e-4, 1e-3)
+        _, best_cost = toy_optimizer.optimize_at(sels)
+        env = dict(enumerate(sels))
+        part = ScanNode("part", SEQ_SCAN, query.filters_on("part"))
+        lineitem = ScanNode("lineitem", SEQ_SCAN)
+        orders = ScanNode("orders", SEQ_SCAN)
+        j_pl, j_ol = query.joins
+        candidates = []
+        for op1, op2 in itertools.product([HASH_JOIN, MERGE_JOIN], repeat=2):
+            left = JoinNode(op1, lineitem, part, [j_pl])
+            candidates.append(JoinNode(op2, left, orders, [j_ol]))
+            right = JoinNode(op1, lineitem, orders, [j_ol])
+            candidates.append(JoinNode(op2, right, part, [j_pl]))
+        for plan in candidates:
+            cost = plan_cost(plan, query, DEFAULT_COST_MODEL, env)
+            assert best_cost <= cost * (1 + 1e-9)
+
+
+class TestGridSweep:
+    def test_sweep_matches_pointwise(self, toy_optimizer):
+        sels0 = np.geomspace(1e-6, 1, 5)
+        sels1 = np.geomspace(1e-6, 1, 5)
+        grid0, grid1 = np.meshgrid(sels0, sels1, indexing="ij")
+        env = {0: grid0.ravel(), 1: grid1.ravel()}
+        result = toy_optimizer.optimize(env, num_points=25)
+        for point in range(25):
+            _, cost = toy_optimizer.optimize_at(
+                (grid0.ravel()[point], grid1.ravel()[point])
+            )
+            assert result.optimal_cost[point] == pytest.approx(cost)
+
+    def test_sweep_plans_match_pointwise(self, toy_optimizer):
+        sels = np.geomspace(1e-6, 1, 4)
+        grid0, grid1 = np.meshgrid(sels, sels, indexing="ij")
+        env = {0: grid0.ravel(), 1: grid1.ravel()}
+        result = toy_optimizer.optimize(env, num_points=16)
+        keys, pool = result.plans()
+        for point in range(16):
+            plan, _ = toy_optimizer.optimize_at(
+                (grid0.ravel()[point], grid1.ravel()[point])
+            )
+            assert keys[point] == plan.key
+        assert set(keys) <= set(pool)
+
+    def test_plan_pool_contains_only_full_plans(self, toy_optimizer):
+        env = {0: np.array([1e-5, 1e-2]), 1: np.array([1e-5, 1e-2])}
+        _, pool = toy_optimizer.optimize(env, num_points=2).plans()
+        for plan in pool.values():
+            assert plan.tables == toy_optimizer.all_tables
+
+    def test_scalar_env_defaults_to_one_point(self, toy_optimizer):
+        result = toy_optimizer.optimize({0: 1e-5, 1: 1e-5})
+        assert result.num_points == 1

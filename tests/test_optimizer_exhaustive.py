@@ -1,0 +1,131 @@
+"""Exhaustive differential test: the DP against a full plan enumeration.
+
+For small queries we can enumerate *every* plan in the search space —
+all bushy join trees over connected subgraphs, all operator choices,
+all scan choices — and check the DP's optimum matches the brute-force
+minimum at many selectivity points.  This pins the DP's recurrence,
+dedup rules, and orientation handling.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import DEFAULT_COST_MODEL, Optimizer
+from repro.optimizer.plans import (
+    HASH_JOIN,
+    INDEX_NL_JOIN,
+    INDEX_SCAN,
+    MERGE_JOIN,
+    NL_JOIN,
+    SEQ_SCAN,
+    JoinNode,
+    ScanNode,
+    plan_cost,
+)
+from tests.conftest import make_star_query, make_toy_query
+
+
+def scan_alternatives(query, table):
+    alts = [ScanNode(table, SEQ_SCAN, tuple(query.filters_on(table)))]
+    schema_table = query.schema.table(table)
+    if any(schema_table.column(f.column).indexed
+           for f in query.filters_on(table)):
+        alts.append(ScanNode(table, INDEX_SCAN,
+                             tuple(query.filters_on(table))))
+    return alts
+
+
+def enumerate_plans(query, tables):
+    """All bushy plans over ``tables`` (connected splits only)."""
+    tables = frozenset(tables)
+    if len(tables) == 1:
+        yield from scan_alternatives(query, next(iter(tables)))
+        return
+    for r in range(1, len(tables)):
+        for left in itertools.combinations(sorted(tables), r):
+            left = frozenset(left)
+            right = tables - left
+            preds = [
+                p for p in query.joins
+                if (p.left_table in left and p.right_table in right)
+                or (p.left_table in right and p.right_table in left)
+            ]
+            if not preds:
+                continue
+            if not query.join_graph.is_connected(left):
+                continue
+            if not query.join_graph.is_connected(right):
+                continue
+            for outer in enumerate_plans(query, left):
+                for inner in enumerate_plans(query, right):
+                    yield JoinNode(HASH_JOIN, outer, inner, preds)
+                    yield JoinNode(NL_JOIN, outer, inner, preds)
+                    yield JoinNode(MERGE_JOIN, outer, inner, preds)
+                    if len(right) == 1:
+                        inner_table = next(iter(right))
+                        schema_table = query.schema.table(inner_table)
+                        indexable = any(
+                            schema_table.column(
+                                p.column_for(inner_table)
+                            ).indexed
+                            for p in preds if inner_table in p.tables
+                        )
+                        if indexable and isinstance(inner, ScanNode):
+                            yield JoinNode(
+                                INDEX_NL_JOIN, outer,
+                                ScanNode(inner_table, INDEX_SCAN,
+                                         tuple(query.filters_on(inner_table))),
+                                preds,
+                            )
+
+
+def brute_force_optimum(query, sels):
+    env = dict(enumerate(sels))
+    best = np.inf
+    for plan in enumerate_plans(query, query.tables):
+        cost = float(plan_cost(plan, query, DEFAULT_COST_MODEL, env))
+        best = min(best, cost)
+    return best
+
+
+@pytest.mark.parametrize("sels", [
+    (1e-6, 1e-6), (1e-3, 1e-6), (1e-6, 1e-3), (1e-2, 1e-2),
+    (0.5, 1e-5), (0.9, 0.9), (1e-4, 0.3),
+])
+def test_dp_matches_exhaustive_enumeration_toy(sels):
+    query = make_toy_query()
+    optimizer = Optimizer(query)
+    _, dp_cost = optimizer.optimize_at(sels)
+    brute = brute_force_optimum(query, sels)
+    assert dp_cost == pytest.approx(brute, rel=1e-9)
+
+
+@pytest.mark.parametrize("sels", [
+    (1e-5, 1e-4, 1e-3), (1e-2, 1e-5, 1e-4), (0.3, 0.3, 0.3),
+    (1e-6, 0.8, 1e-6),
+])
+def test_dp_matches_exhaustive_enumeration_star(sels):
+    query = make_star_query(3)
+    optimizer = Optimizer(query)
+    _, dp_cost = optimizer.optimize_at(sels)
+    brute = brute_force_optimum(query, sels)
+    assert dp_cost == pytest.approx(brute, rel=1e-9)
+
+
+def test_left_deep_dp_matches_restricted_enumeration():
+    query = make_toy_query()
+    optimizer = Optimizer(query, left_deep=True)
+    for sels in [(1e-5, 1e-5), (1e-2, 1e-4)]:
+        _, dp_cost = optimizer.optimize_at(sels)
+        env = dict(enumerate(sels))
+        best = np.inf
+        for plan in enumerate_plans(query, query.tables):
+            # Restrict the brute force to left-deep trees.
+            if any(isinstance(n, JoinNode) and not isinstance(
+                    n.inner, ScanNode) for n in plan.iter_nodes()):
+                continue
+            cost = float(plan_cost(plan, query, DEFAULT_COST_MODEL, env))
+            best = min(best, cost)
+        assert dp_cost == pytest.approx(best, rel=1e-9)

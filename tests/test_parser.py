@@ -1,0 +1,138 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro import QueryError
+from repro.query.parser import parse_sql
+from tests.conftest import make_toy_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return make_toy_schema()
+
+
+class TestBasicParsing:
+    def test_full_query(self, schema):
+        query = parse_sql(
+            """
+            SELECT * FROM part, lineitem, orders
+            WHERE part.p_partkey = lineitem.l_partkey [2e-5] epp
+              AND orders.o_orderkey = lineitem.l_orderkey [3e-4] epp
+              AND part.p_retailprice < 1000 [0.05]
+            """,
+            schema,
+        )
+        assert len(query.tables) == 3
+        assert len(query.joins) == 2
+        assert len(query.filters) == 1
+        assert query.num_epps == 2
+        assert query.epp(0).selectivity == pytest.approx(2e-5)
+
+    def test_case_insensitive_keywords(self, schema):
+        query = parse_sql(
+            "select * from part, lineitem "
+            "where part.p_partkey = lineitem.l_partkey",
+            schema,
+        )
+        assert len(query.joins) == 1
+
+    def test_no_where_clause(self, schema):
+        query = parse_sql("SELECT * FROM part", schema)
+        assert query.joins == () and query.filters == ()
+
+    def test_trailing_semicolon(self, schema):
+        query = parse_sql("SELECT * FROM part;", schema)
+        assert query.tables == ("part",)
+
+    def test_epp_comment_marker(self, schema):
+        query = parse_sql(
+            """
+            SELECT * FROM part, lineitem
+            WHERE part.p_partkey = lineitem.l_partkey  -- epp
+            """,
+            schema,
+        )
+        assert query.num_epps == 1
+
+    def test_default_join_selectivity_from_catalog(self, schema):
+        query = parse_sql(
+            "SELECT * FROM part, lineitem "
+            "WHERE part.p_partkey = lineitem.l_partkey",
+            schema,
+        )
+        assert query.joins[0].selectivity == pytest.approx(1 / 2_000_000)
+
+    def test_filter_shapes(self, schema):
+        query = parse_sql(
+            """
+            SELECT * FROM part
+            WHERE part.p_retailprice < 500 [0.02]
+            """,
+            schema,
+        )
+        pred = query.filters[0]
+        assert pred.op == "<"
+        assert pred.value == 500
+        assert pred.selectivity == pytest.approx(0.02)
+
+    def test_reversed_filter_literal(self, schema):
+        query = parse_sql(
+            "SELECT * FROM part WHERE 42 = part.p_retailprice [0.001]",
+            schema,
+        )
+        assert query.filters[0].op == "="
+        assert query.filters[0].value == 42
+
+
+class TestErrors:
+    def test_garbage_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_sql("DELETE FROM part", schema)
+
+    def test_unknown_table_rejected(self, schema):
+        with pytest.raises(Exception):
+            parse_sql("SELECT * FROM ghost", schema)
+
+    def test_table_not_in_from_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_sql(
+                "SELECT * FROM part "
+                "WHERE part.p_partkey = lineitem.l_partkey",
+                schema,
+            )
+
+    def test_unsupported_predicate_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_sql(
+                "SELECT * FROM part, lineitem "
+                "WHERE part.p_partkey < lineitem.l_partkey",
+                schema,
+            )
+
+    def test_missing_operator_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT * FROM part WHERE part.p_retailprice", schema)
+
+    def test_alias_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT * FROM part p", schema)
+
+
+class TestEndToEnd:
+    def test_parsed_query_drives_discovery(self, schema):
+        from repro import ContourSet, ESS, ESSGrid, SpillBound
+
+        query = parse_sql(
+            """
+            SELECT * FROM part, lineitem, orders
+            WHERE part.p_partkey = lineitem.l_partkey [2e-5] epp
+              AND orders.o_orderkey = lineitem.l_orderkey [3e-4] epp
+              AND part.p_retailprice < 1000 [0.05]
+            """,
+            schema, name="parsed_eq",
+        )
+        ess = ESS.build(query, ESSGrid(2, resolution=8, sel_min=1e-6))
+        sb = SpillBound(ess, ContourSet(ess))
+        result = sb.run(query.true_location())
+        assert result.suboptimality <= sb.mso_guarantee()

@@ -1,0 +1,75 @@
+"""Unit tests for ESS persistence (offline preprocessing, Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro import ContourSet, OptimizerError, QueryError, SpillBound
+from repro.ess.persistence import load_ess, parse_plan_key, save_ess
+from tests.conftest import make_star_query, make_toy_query
+
+
+class TestPlanKeyParsing:
+    def test_roundtrip_every_posp_plan(self, toy_ess):
+        for key in toy_ess.plan_keys:
+            plan = parse_plan_key(key, toy_ess.query)
+            assert plan.key == key
+
+    def test_parsed_plans_recost_identically(self, toy_ess):
+        from repro.optimizer.plans import plan_cost
+
+        env = {0: 1e-4, 1: 1e-4}
+        for pid, key in enumerate(toy_ess.plan_keys):
+            plan = parse_plan_key(key, toy_ess.query)
+            original = plan_cost(toy_ess.plans[pid], toy_ess.query,
+                                 toy_ess.cost_model, env)
+            parsed = plan_cost(plan, toy_ess.query, toy_ess.cost_model, env)
+            assert parsed == pytest.approx(original)
+
+    def test_malformed_key_rejected(self, toy_query):
+        with pytest.raises(OptimizerError):
+            parse_plan_key("HJ[", toy_query)
+        with pytest.raises(OptimizerError):
+            parse_plan_key("SEQ(part)garbage", toy_query)
+
+    def test_unknown_predicate_rejected(self, toy_query):
+        with pytest.raises(QueryError):
+            parse_plan_key(
+                "HJ[j:ghost](SEQ(part),SEQ(lineitem))", toy_query
+            )
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_surface(self, toy_ess, tmp_path):
+        path = tmp_path / "ess.npz"
+        save_ess(toy_ess, path)
+        restored = load_ess(path, toy_ess.query)
+        assert np.allclose(restored.optimal_cost, toy_ess.optimal_cost)
+        assert np.array_equal(restored.plan_ids, toy_ess.plan_ids)
+        assert restored.plan_keys == toy_ess.plan_keys
+        for dim in range(2):
+            assert np.allclose(restored.grid.values[dim],
+                               toy_ess.grid.values[dim])
+
+    def test_restored_ess_drives_discovery(self, toy_ess, toy_sb, tmp_path):
+        path = tmp_path / "ess.npz"
+        save_ess(toy_ess, path)
+        restored = load_ess(path, toy_ess.query)
+        sb = SpillBound(restored, ContourSet(restored))
+        for flat in [0, 44, 199, 377]:
+            assert sb.run(flat).total_cost == pytest.approx(
+                toy_sb.run(flat).total_cost
+            )
+
+    def test_wrong_query_rejected(self, toy_ess, tmp_path):
+        path = tmp_path / "ess.npz"
+        save_ess(toy_ess, path)
+        other = make_star_query(2)
+        with pytest.raises(QueryError):
+            load_ess(path, other)
+
+    def test_same_named_query_accepted(self, toy_ess, tmp_path):
+        path = tmp_path / "ess.npz"
+        save_ess(toy_ess, path)
+        fresh_query = make_toy_query()  # equal, separately constructed
+        restored = load_ess(path, fresh_query)
+        assert restored.posp_size == toy_ess.posp_size

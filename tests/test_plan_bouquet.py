@@ -1,0 +1,93 @@
+"""Unit tests for the PlanBouquet baseline."""
+
+import numpy as np
+import pytest
+
+from repro import ContourSet, PlanBouquet, evaluate_algorithm
+
+
+class TestGuarantee:
+    def test_formula(self, toy_pb):
+        assert toy_pb.mso_guarantee() == pytest.approx(
+            4.0 * 1.2 * toy_pb.rho
+        )
+
+    def test_rho_positive(self, toy_pb):
+        assert toy_pb.rho >= 1
+
+    def test_empirical_within_guarantee(self, toy_pb):
+        evaluation = evaluate_algorithm(toy_pb)
+        assert evaluation.mso <= toy_pb.mso_guarantee() * (1 + 1e-9)
+
+    def test_bouquet_plan_ids_unique(self, toy_pb):
+        ids = toy_pb.bouquet_plan_ids()
+        assert len(ids) == len(set(ids))
+
+
+class TestExecutionSemantics:
+    def test_terminates_everywhere(self, toy_pb, toy_ess):
+        for flat in range(0, toy_ess.grid.num_points, 13):
+            result = toy_pb.run(flat)
+            assert result.total_cost > 0
+            assert result.completed_plan_key
+
+    def test_suboptimality_at_least_one(self, toy_pb, toy_ess):
+        for flat in [0, 7, 99, toy_ess.grid.num_points - 1]:
+            assert toy_pb.run(flat).suboptimality >= 1.0 - 1e-9
+
+    def test_origin_completes_immediately(self, toy_pb, toy_ess):
+        origin = toy_ess.grid.flat_index(toy_ess.grid.origin)
+        result = toy_pb.run(origin, trace=True)
+        assert result.executions[0].completed or result.num_executions <= (
+            toy_pb.reduction.contour(1).density
+        )
+        assert result.contours_visited == 1
+
+    def test_trace_budget_accounting(self, toy_pb):
+        result = toy_pb.run(150, trace=True)
+        for record in result.executions[:-1]:
+            assert not record.completed
+            assert record.charged == pytest.approx(record.budget)
+        final = result.executions[-1]
+        assert final.completed
+        assert final.charged <= final.budget * (1 + 1e-9)
+        assert result.total_cost == pytest.approx(
+            sum(r.charged for r in result.executions)
+        )
+
+    def test_completion_requires_reaching_qa_band(self, toy_pb, toy_contours):
+        flat = 250
+        result = toy_pb.run(flat)
+        assert result.contours_visited >= toy_contours.band_of(flat) - 1
+
+    def test_plans_execute_in_contour_order(self, toy_pb):
+        result = toy_pb.run(300, trace=True)
+        contour_sequence = [r.contour for r in result.executions]
+        assert contour_sequence == sorted(contour_sequence)
+
+
+class TestVectorizedSweep:
+    def test_matches_scalar_runs(self, toy_pb, toy_ess):
+        sweep = toy_pb.evaluate_all()
+        for flat in range(0, toy_ess.grid.num_points, 17):
+            assert sweep[flat] == pytest.approx(
+                toy_pb.run(flat).suboptimality
+            )
+
+    def test_all_locations_finite(self, toy_pb):
+        sweep = toy_pb.evaluate_all()
+        assert np.isfinite(sweep).all()
+        assert (sweep >= 1.0 - 1e-9).all()
+
+
+class TestLambdaVariants:
+    def test_larger_lambda_smaller_rho(self, toy_ess, toy_contours):
+        tight = PlanBouquet(toy_ess, toy_contours, lam=0.0)
+        loose = PlanBouquet(toy_ess, toy_contours, lam=1.0)
+        assert loose.rho <= tight.rho
+
+    def test_custom_contour_ratio(self, toy_ess):
+        contours = ContourSet(toy_ess, cost_ratio=3.0)
+        pb = PlanBouquet(toy_ess, contours)
+        evaluation = evaluate_algorithm(pb)
+        assert evaluation.mso <= 4.0 * 1.2 * pb.rho * 3.0  # coarse sanity

@@ -1,0 +1,193 @@
+"""Unit tests for plan trees: identity, costing, pipelines, spill order."""
+
+import numpy as np
+import pytest
+
+from repro import DEFAULT_COST_MODEL, OptimizerError
+from repro.optimizer.plans import (
+    HASH_JOIN,
+    INDEX_NL_JOIN,
+    INDEX_SCAN,
+    MERGE_JOIN,
+    NL_JOIN,
+    SEQ_SCAN,
+    JoinNode,
+    ScanNode,
+    epp_total_order,
+    execution_order,
+    find_epp_node,
+    pipelines,
+    plan_cost,
+    plan_node_costs,
+    spill_dimension,
+    spill_subtree_cost,
+)
+from tests.conftest import make_toy_query
+
+
+@pytest.fixture
+def query():
+    return make_toy_query()
+
+
+@pytest.fixture
+def plan(query):
+    """HJ( HJ(SEQ(lineitem), SEQ(part)), SEQ(orders) )."""
+    part = ScanNode("part", SEQ_SCAN, query.filters_on("part"))
+    lineitem = ScanNode("lineitem", SEQ_SCAN)
+    orders = ScanNode("orders", SEQ_SCAN)
+    inner = JoinNode(HASH_JOIN, lineitem, part, [query.joins[0]])
+    return JoinNode(HASH_JOIN, inner, orders, [query.joins[1]])
+
+
+class TestStructure:
+    def test_tables_propagate(self, plan):
+        assert plan.tables == {"part", "lineitem", "orders"}
+        assert plan.outer.tables == {"part", "lineitem"}
+
+    def test_canonical_key_is_deterministic(self, query, plan):
+        part = ScanNode("part", SEQ_SCAN, query.filters_on("part"))
+        lineitem = ScanNode("lineitem", SEQ_SCAN)
+        orders = ScanNode("orders", SEQ_SCAN)
+        inner = JoinNode(HASH_JOIN, lineitem, part, [query.joins[0]])
+        again = JoinNode(HASH_JOIN, inner, orders, [query.joins[1]])
+        assert again.key == plan.key
+
+    def test_key_distinguishes_operators(self, query, plan):
+        other = JoinNode(MERGE_JOIN, plan.outer, plan.inner,
+                         plan.applied_preds)
+        assert other.key != plan.key
+
+    def test_join_requires_predicate(self, plan):
+        with pytest.raises(OptimizerError):
+            JoinNode(HASH_JOIN, plan.outer, plan.inner, [])
+
+    def test_iter_nodes_counts(self, plan):
+        assert len(list(plan.iter_nodes())) == 5
+
+
+class TestCosting:
+    def test_cost_positive_and_scalar(self, query, plan):
+        cost = plan_cost(plan, query, DEFAULT_COST_MODEL, {0: 1e-6, 1: 1e-6})
+        assert np.isscalar(cost) or cost.shape == ()
+        assert cost > 0
+
+    def test_cost_vectorized_matches_scalar(self, query, plan):
+        sels = np.array([1e-6, 1e-4, 1e-2])
+        vector = plan_cost(plan, query, DEFAULT_COST_MODEL,
+                           {0: sels, 1: 1e-5})
+        for i, s in enumerate(sels):
+            scalar = plan_cost(plan, query, DEFAULT_COST_MODEL,
+                               {0: float(s), 1: 1e-5})
+            assert vector[i] == pytest.approx(scalar)
+
+    def test_cost_monotone_in_each_dim(self, query, plan):
+        sels = np.geomspace(1e-7, 1, 30)
+        costs0 = plan_cost(plan, query, DEFAULT_COST_MODEL, {0: sels, 1: 1e-4})
+        costs1 = plan_cost(plan, query, DEFAULT_COST_MODEL, {0: 1e-4, 1: sels})
+        assert (np.diff(costs0) > 0).all()
+        assert (np.diff(costs1) > 0).all()
+
+    def test_missing_epp_env_raises(self, query, plan):
+        from repro import QueryError
+
+        with pytest.raises(QueryError):
+            plan_cost(plan, query, DEFAULT_COST_MODEL, {0: 1e-5})
+
+    def test_node_costs_sum_to_plan_cost(self, query, plan):
+        env = {0: 1e-5, 1: 1e-5}
+        parts = plan_node_costs(plan, query, DEFAULT_COST_MODEL, env)
+        assert sum(parts.values()) == pytest.approx(
+            plan_cost(plan, query, DEFAULT_COST_MODEL, env)
+        )
+
+    def test_inl_inner_scan_costs_nothing(self, query):
+        part = ScanNode("part", INDEX_SCAN, query.filters_on("part"))
+        lineitem = ScanNode("lineitem", SEQ_SCAN)
+        inl = JoinNode(INDEX_NL_JOIN, lineitem, part, [query.joins[0]])
+        costs = plan_node_costs(inl, query, DEFAULT_COST_MODEL,
+                                {0: 1e-6, 1: 1e-6})
+        assert costs[id(part)] == 0.0
+
+
+class TestPipelines:
+    def test_execution_order_post_order(self, plan):
+        order = execution_order(plan)
+        assert order[-1] is plan
+        positions = {id(node): i for i, node in enumerate(order)}
+        for node in plan.iter_nodes():
+            for child in node.children:
+                assert positions[id(child)] < positions[id(node)]
+
+    def test_hash_build_completes_before_probe_side(self, plan):
+        order = execution_order(plan)
+        positions = {id(node): i for i, node in enumerate(order)}
+        # plan.inner (orders scan) is the build of the top join: it must
+        # complete before the probe subtree's own completion point.
+        assert positions[id(plan.inner)] < positions[id(plan.outer)]
+
+    def test_pipelines_partition_nodes(self, plan):
+        groups = pipelines(plan)
+        flat = [node for group in groups for node in group]
+        assert len(flat) == len(list(plan.iter_nodes()))
+        assert len(set(map(id, flat))) == len(flat)
+
+    def test_hash_join_breaks_pipeline_at_build(self, plan):
+        groups = pipelines(plan)
+        by_node = {}
+        for gi, group in enumerate(groups):
+            for node in group:
+                by_node[id(node)] = gi
+        # The build child lives in a different pipeline from its parent.
+        assert by_node[id(plan.inner)] != by_node[id(plan)]
+        # The probe child streams into its parent: same pipeline.
+        assert by_node[id(plan.outer)] == by_node[id(plan)]
+
+    def test_merge_join_blocks_both_sides(self, query):
+        part = ScanNode("part", SEQ_SCAN, query.filters_on("part"))
+        lineitem = ScanNode("lineitem", SEQ_SCAN)
+        merge = JoinNode(MERGE_JOIN, lineitem, part, [query.joins[0]])
+        groups = pipelines(merge)
+        assert len(groups) == 3  # two sort inputs + the merge itself
+
+
+class TestSpillOrder:
+    def test_total_order_contains_all_epps(self, query, plan):
+        order = epp_total_order(plan, query)
+        assert set(order) == {"j:part-lineitem", "j:orders-lineitem"}
+
+    def test_upstream_epp_first(self, query, plan):
+        order = epp_total_order(plan, query)
+        # The part-lineitem join is upstream of orders-lineitem here.
+        assert order.index("j:part-lineitem") < order.index(
+            "j:orders-lineitem"
+        )
+
+    def test_spill_dimension_respects_remaining(self, query, plan):
+        assert spill_dimension(plan, query, {0, 1}) == 0
+        assert spill_dimension(plan, query, {1}) == 1
+        assert spill_dimension(plan, query, set()) is None
+
+    def test_find_epp_node(self, plan):
+        node = find_epp_node(plan, "j:orders-lineitem")
+        assert node is plan
+        assert find_epp_node(plan, "j:ghost") is None
+
+    def test_spill_subtree_cheaper_than_plan(self, query, plan):
+        env = {0: 1e-4, 1: 1e-4}
+        sub = spill_subtree_cost(plan, query, DEFAULT_COST_MODEL, env,
+                                 "j:part-lineitem")
+        full = plan_cost(plan, query, DEFAULT_COST_MODEL, env)
+        assert sub < full
+
+    def test_spill_subtree_of_root_equals_plan_cost(self, query, plan):
+        env = {0: 1e-4, 1: 1e-4}
+        sub = spill_subtree_cost(plan, query, DEFAULT_COST_MODEL, env,
+                                 "j:orders-lineitem")
+        full = plan_cost(plan, query, DEFAULT_COST_MODEL, env)
+        assert sub == pytest.approx(full)
+
+    def test_spill_unknown_epp_raises(self, query, plan):
+        with pytest.raises(OptimizerError):
+            spill_subtree_cost(plan, query, DEFAULT_COST_MODEL,
+                               {0: 1e-4, 1: 1e-4}, "j:ghost")

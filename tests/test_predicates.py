@@ -1,0 +1,82 @@
+"""Unit tests for the predicate model."""
+
+import pytest
+
+from repro import FilterPredicate, JoinPredicate, QueryError, filter_pred, join
+
+
+class TestFilterPredicate:
+    def test_basic(self):
+        pred = filter_pred("t", "c", "<", 10, selectivity=0.3)
+        assert pred.tables == ("t",)
+        assert not pred.error_prone
+        assert pred.name == "f:t.c"
+
+    def test_custom_name(self):
+        pred = filter_pred("t", "c", "=", 1, selectivity=0.1, name="myf")
+        assert pred.name == "myf"
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(QueryError):
+            filter_pred("t", "c", "like", "x", selectivity=0.1)
+
+    @pytest.mark.parametrize("sel", [0.0, -0.1, 1.5])
+    def test_rejects_bad_selectivity(self, sel):
+        with pytest.raises(QueryError):
+            filter_pred("t", "c", "=", 1, selectivity=sel)
+
+    def test_between_describe(self):
+        pred = filter_pred("t", "c", "between", (1, 5), selectivity=0.2)
+        assert "between" in pred.describe()
+
+    def test_error_prone_flag(self):
+        pred = filter_pred("t", "c", "=", 1, selectivity=0.1, error_prone=True)
+        assert pred.error_prone
+
+    def test_frozen(self):
+        pred = filter_pred("t", "c", "=", 1, selectivity=0.1)
+        with pytest.raises(AttributeError):
+            pred.selectivity = 0.5
+
+
+class TestJoinPredicate:
+    def test_basic(self):
+        pred = join("a", "x", "b", "y", selectivity=1e-3)
+        assert pred.tables == ("a", "b")
+        assert pred.name == "j:a-b"
+
+    def test_rejects_self_join_same_alias(self):
+        with pytest.raises(QueryError):
+            join("a", "x", "a", "y", selectivity=0.1)
+
+    @pytest.mark.parametrize("sel", [0.0, -1.0, 2.0])
+    def test_rejects_bad_selectivity(self, sel):
+        with pytest.raises(QueryError):
+            join("a", "x", "b", "y", selectivity=sel)
+
+    def test_other_table(self):
+        pred = join("a", "x", "b", "y", selectivity=0.5)
+        assert pred.other_table("a") == "b"
+        assert pred.other_table("b") == "a"
+        with pytest.raises(QueryError):
+            pred.other_table("c")
+
+    def test_column_for(self):
+        pred = join("a", "x", "b", "y", selectivity=0.5)
+        assert pred.column_for("a") == "x"
+        assert pred.column_for("b") == "y"
+        with pytest.raises(QueryError):
+            pred.column_for("z")
+
+    def test_describe(self):
+        pred = join("a", "x", "b", "y", selectivity=0.5)
+        assert pred.describe() == "a.x = b.y"
+
+    def test_selectivity_one_allowed(self):
+        pred = join("a", "x", "b", "y", selectivity=1.0)
+        assert pred.selectivity == 1.0
+
+    def test_hashable(self):
+        p1 = join("a", "x", "b", "y", selectivity=0.5)
+        p2 = join("a", "x", "b", "y", selectivity=0.5)
+        assert hash(p1) == hash(p2) and p1 == p2

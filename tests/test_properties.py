@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin down the structural facts the MSO analysis rests on: PCM,
+grid index arithmetic, histogram consistency, partition enumeration,
+budget-ladder geometry, and guarantee compliance at arbitrary qa.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DEFAULT_COST_MODEL, ESSGrid
+from repro.core.aligned_bound import set_partitions
+from repro.catalog.statistics import EquiDepthHistogram
+from repro.optimizer.plans import plan_cost
+
+SETTINGS = dict(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+# ----------------------------------------------------------------------
+# Grid arithmetic
+# ----------------------------------------------------------------------
+
+@given(
+    dims=st.integers(1, 4),
+    data=st.data(),
+)
+@settings(**SETTINGS)
+def test_grid_flat_roundtrip(dims, data):
+    resolution = data.draw(
+        st.lists(st.integers(2, 6), min_size=dims, max_size=dims)
+    )
+    grid = ESSGrid(dims, resolution=resolution, sel_min=1e-4)
+    flat = data.draw(st.integers(0, grid.num_points - 1))
+    assert grid.flat_index(grid.coords_of(flat)) == flat
+
+
+@given(
+    dims=st.integers(1, 4),
+    data=st.data(),
+)
+@settings(**SETTINGS)
+def test_grid_snap_identity_on_grid_values(dims, data):
+    grid = ESSGrid(dims, resolution=6, sel_min=1e-5)
+    coords = tuple(
+        data.draw(st.integers(0, 5)) for _ in range(dims)
+    )
+    sels = tuple(grid.selectivity(d, c) for d, c in enumerate(coords))
+    assert grid.snap(sels) == coords
+
+
+@given(
+    data=st.data(),
+)
+@settings(**SETTINGS)
+def test_dominance_is_a_partial_order(data):
+    grid = ESSGrid(3, resolution=5)
+    a = tuple(data.draw(st.integers(0, 4)) for _ in range(3))
+    b = tuple(data.draw(st.integers(0, 4)) for _ in range(3))
+    c = tuple(data.draw(st.integers(0, 4)) for _ in range(3))
+    # Antisymmetry.
+    assert not (grid.dominates(a, b) and grid.dominates(b, a))
+    # Irreflexivity.
+    assert not grid.dominates(a, a)
+    # Transitivity.
+    if grid.dominates(a, b) and grid.dominates(b, c):
+        assert grid.dominates(a, c)
+
+
+# ----------------------------------------------------------------------
+# Cost model / PCM
+# ----------------------------------------------------------------------
+
+@given(
+    probe=st.floats(1, 1e8),
+    build=st.floats(1, 1e8),
+    out=st.floats(0, 1e9),
+    factor=st.floats(1.0001, 10),
+)
+@settings(**SETTINGS)
+def test_join_costs_monotone_under_inflation(probe, build, out, factor):
+    model = DEFAULT_COST_MODEL
+    for fn in (model.join_hash, model.join_merge, model.join_nl):
+        base = fn(probe, build, out)
+        assert fn(probe * factor, build, out) >= base - 1e-9
+        assert fn(probe, build * factor, out) >= base - 1e-9
+        assert fn(probe, build, out * factor) >= base - 1e-9
+
+
+@given(
+    s0=st.floats(1e-7, 1.0),
+    s1=st.floats(1e-7, 1.0),
+    f0=st.floats(1.0001, 100),
+)
+@settings(**SETTINGS)
+def test_pcm_for_arbitrary_plan(toy_ess, s0, s1, f0):
+    """Cost(P, q') > Cost(P, q) whenever q' strictly dominates q."""
+    query = toy_ess.query
+    plan = toy_ess.plans[0]
+    env = {0: s0, 1: s1}
+    inflated = {0: min(s0 * f0, 1.0), 1: s1}
+    if inflated[0] <= env[0]:
+        return
+    base = plan_cost(plan, query, DEFAULT_COST_MODEL, env)
+    more = plan_cost(plan, query, DEFAULT_COST_MODEL, inflated)
+    assert more > base
+
+
+# ----------------------------------------------------------------------
+# Histogram consistency
+# ----------------------------------------------------------------------
+
+@given(
+    values=st.lists(st.integers(0, 1000), min_size=5, max_size=300),
+    probe=st.integers(-10, 1010),
+)
+@settings(**SETTINGS)
+def test_histogram_cdf_monotone_and_bounded(values, probe):
+    hist = EquiDepthHistogram(np.array(values), num_buckets=8)
+    sel = hist.selectivity_le(probe)
+    assert 0.0 <= sel <= 1.0
+    assert hist.selectivity_le(probe + 1) >= sel - 1e-12
+
+
+@given(
+    values=st.lists(st.integers(0, 50), min_size=10, max_size=200),
+    low=st.integers(0, 50),
+    width=st.integers(0, 50),
+)
+@settings(**SETTINGS)
+def test_histogram_range_additivity(values, low, width):
+    hist = EquiDepthHistogram(np.array(values), num_buckets=8)
+    sel = hist.selectivity_range(low, low + width)
+    assert -1e-12 <= sel <= 1.0 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Partition enumeration
+# ----------------------------------------------------------------------
+
+@given(n=st.integers(0, 6))
+@settings(**SETTINGS)
+def test_set_partitions_counts_are_bell_numbers(n):
+    bell = [1, 1, 2, 5, 15, 52, 203]
+    assert len(list(set_partitions(range(n)))) == bell[n]
+
+
+@given(n=st.integers(1, 5))
+@settings(**SETTINGS)
+def test_set_partitions_are_partitions(n):
+    items = list(range(n))
+    for partition in set_partitions(items):
+        flat = sorted(x for part in partition for x in part)
+        assert flat == items
+
+
+# ----------------------------------------------------------------------
+# Discovery-level guarantees at arbitrary locations
+# ----------------------------------------------------------------------
+
+@given(data=st.data())
+@settings(deadline=None, max_examples=25,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_sb_guarantee_holds_at_random_locations(toy_sb, data):
+    grid = toy_sb.ess.grid
+    flat = data.draw(st.integers(0, grid.num_points - 1))
+    result = toy_sb.run(flat)
+    assert 1.0 - 1e-9 <= result.suboptimality
+    assert result.suboptimality <= toy_sb.mso_guarantee() * (1 + 1e-9)
+
+
+@given(data=st.data())
+@settings(deadline=None, max_examples=25,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_pb_guarantee_holds_at_random_locations(toy_pb, data):
+    grid = toy_pb.ess.grid
+    flat = data.draw(st.integers(0, grid.num_points - 1))
+    result = toy_pb.run(flat)
+    assert result.suboptimality <= toy_pb.mso_guarantee() * (1 + 1e-9)
+
+
+@given(data=st.data())
+@settings(deadline=None, max_examples=25,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_ab_never_exceeds_quadratic_bound(toy_ab, data):
+    grid = toy_ab.ess.grid
+    flat = data.draw(st.integers(0, grid.num_points - 1))
+    result = toy_ab.run(flat)
+    assert result.suboptimality <= toy_ab.mso_guarantee() * (1 + 1e-9)
+
+
+@given(data=st.data())
+@settings(deadline=None, max_examples=20,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_sb_learning_never_overshoots(toy_sb, data):
+    grid = toy_sb.ess.grid
+    flat = data.draw(st.integers(0, grid.num_points - 1))
+    coords = grid.coords_of(flat)
+    result = toy_sb.run(flat, trace=True)
+    for record in result.executions:
+        if record.mode == "spill" and record.completed:
+            dim = record.spill_dim
+            assert record.learned_selectivity == pytest.approx(
+                grid.selectivity(dim, coords[dim])
+            )

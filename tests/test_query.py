@@ -1,0 +1,118 @@
+"""Unit tests for the SPJ query model."""
+
+import pytest
+
+from repro import QueryError, SPJQuery, filter_pred, join
+from tests.conftest import make_toy_query, make_toy_schema
+
+
+class TestValidation:
+    def test_valid_query(self, toy_query):
+        assert toy_query.num_epps == 2
+        assert len(toy_query.tables) == 3
+
+    def test_unknown_table_rejected(self, toy_schema):
+        with pytest.raises(QueryError):
+            SPJQuery("q", toy_schema, ["part", "ghost"], joins=[
+                join("part", "p_partkey", "ghost", "x", selectivity=0.1),
+            ])
+
+    def test_duplicate_table_rejected(self, toy_schema):
+        with pytest.raises(QueryError):
+            SPJQuery("q", toy_schema, ["part", "part"], joins=[])
+
+    def test_predicate_outside_from_rejected(self, toy_schema):
+        with pytest.raises(QueryError):
+            SPJQuery("q", toy_schema, ["part", "lineitem"], joins=[
+                join("orders", "o_orderkey", "lineitem", "l_orderkey",
+                     selectivity=0.1),
+            ])
+
+    def test_unknown_column_rejected(self, toy_schema):
+        from repro import SchemaError
+
+        with pytest.raises(SchemaError):
+            SPJQuery("q", toy_schema, ["part", "lineitem"], joins=[
+                join("part", "nope", "lineitem", "l_partkey",
+                     selectivity=0.1),
+            ])
+
+    def test_disconnected_graph_rejected(self, toy_schema):
+        with pytest.raises(QueryError):
+            SPJQuery("q", toy_schema, ["part", "lineitem", "orders"], joins=[
+                join("part", "p_partkey", "lineitem", "l_partkey",
+                     selectivity=0.1),
+            ])
+
+    def test_duplicate_predicate_name_rejected(self, toy_schema):
+        with pytest.raises(QueryError):
+            SPJQuery("q", toy_schema, ["part", "lineitem"], joins=[
+                join("part", "p_partkey", "lineitem", "l_partkey",
+                     selectivity=0.1, name="dup"),
+                join("part", "p_partkey", "lineitem", "l_orderkey",
+                     selectivity=0.1, name="dup"),
+            ])
+
+    def test_single_table_query_allowed(self, toy_schema):
+        query = SPJQuery("q", toy_schema, ["part"], joins=[], filters=[
+            filter_pred("part", "p_retailprice", "<", 10, selectivity=0.01),
+        ])
+        assert query.num_epps == 0
+
+
+class TestEppAccessors:
+    def test_epp_order_follows_declaration(self, toy_query):
+        assert toy_query.epp(0).name == "j:part-lineitem"
+        assert toy_query.epp(1).name == "j:orders-lineitem"
+
+    def test_epp_dimension_lookup(self, toy_query):
+        assert toy_query.epp_dimension("j:orders-lineitem") == 1
+        with pytest.raises(QueryError):
+            toy_query.epp_dimension("f:part.p_retailprice")
+
+    def test_is_epp(self, toy_query):
+        assert toy_query.is_epp("j:part-lineitem")
+        assert not toy_query.is_epp("f:part.p_retailprice")
+
+    def test_true_location(self, toy_query):
+        assert toy_query.true_location() == (2e-5, 3e-4)
+
+
+class TestDerivedValues:
+    def test_base_selectivity_multiplies_non_epp_filters(self, toy_query):
+        assert toy_query.base_selectivity("part") == pytest.approx(0.05)
+        assert toy_query.base_selectivity("orders") == 1.0
+
+    def test_filters_on(self, toy_query):
+        assert len(toy_query.filters_on("part")) == 1
+        assert toy_query.filters_on("lineitem") == []
+
+    def test_describe_marks_epps(self, toy_query):
+        text = toy_query.describe()
+        assert "[epp]" in text and "chain" in text
+
+
+class TestWithEpps:
+    def test_remark_subset(self):
+        query = make_toy_query()
+        reduced = query.with_epps(["j:orders-lineitem"])
+        assert reduced.num_epps == 1
+        assert reduced.epp(0).name == "j:orders-lineitem"
+
+    def test_original_untouched(self):
+        query = make_toy_query()
+        query.with_epps(["j:orders-lineitem"])
+        assert query.num_epps == 2
+
+    def test_unknown_epp_rejected(self):
+        query = make_toy_query()
+        with pytest.raises(QueryError):
+            query.with_epps(["j:ghost"])
+
+    def test_filter_can_become_epp(self):
+        query = make_toy_query()
+        widened = query.with_epps(
+            ["j:part-lineitem", "f:part.p_retailprice"]
+        )
+        assert widened.num_epps == 2
+        assert any(p.name == "f:part.p_retailprice" for p in widened.epps)

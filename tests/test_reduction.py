@@ -1,0 +1,74 @@
+"""Unit tests for anorexic reduction."""
+
+import pytest
+
+from repro import AnorexicReduction, DiscoveryError
+
+
+class TestCoverCorrectness:
+    def test_every_contour_point_covered(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours, lam=0.2)
+        for contour, reduced in zip(toy_contours, reduction.reduced):
+            if len(contour.points) == 0:
+                assert reduced.plan_ids == []
+                continue
+            inflated = reduced.inflated_budget
+            for flat in contour.points:
+                covered = any(
+                    toy_ess.plan_cost_at(pid, int(flat)) <= inflated * (1 + 1e-9)
+                    for pid in reduced.plan_ids
+                )
+                assert covered
+
+    def test_reduced_plans_subset_of_contour_plans(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours, lam=0.2)
+        for contour, reduced in zip(toy_contours, reduction.reduced):
+            assert set(reduced.plan_ids) <= set(contour.unique_plan_ids())
+
+    def test_reduction_never_increases_density(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours, lam=0.2)
+        for contour, reduced in zip(toy_contours, reduction.reduced):
+            assert reduced.density <= contour.density
+
+    def test_zero_lambda_requires_exact_cover(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours, lam=0.0)
+        # With lambda=0 only truly-optimal plans cover their own regions,
+        # so the reduction must keep every contour plan region covered.
+        assert reduction.rho <= toy_contours.max_density
+
+
+class TestRhoBehaviour:
+    def test_rho_monotone_in_lambda(self, toy_ess, toy_contours):
+        rhos = [
+            AnorexicReduction(toy_ess, toy_contours, lam=lam).rho
+            for lam in (0.0, 0.2, 1.0)
+        ]
+        assert rhos[0] >= rhos[1] >= rhos[2]
+
+    def test_mso_guarantee_formula(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours, lam=0.2)
+        assert reduction.mso_guarantee() == pytest.approx(
+            4.0 * 1.2 * reduction.rho
+        )
+
+    def test_negative_lambda_rejected(self, toy_ess, toy_contours):
+        with pytest.raises(DiscoveryError):
+            AnorexicReduction(toy_ess, toy_contours, lam=-0.1)
+
+    def test_inflated_budget(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours, lam=0.5)
+        for reduced in reduction.reduced:
+            assert reduced.inflated_budget == pytest.approx(
+                1.5 * reduced.budget
+            )
+
+    def test_contour_accessor_one_based(self, toy_ess, toy_contours):
+        reduction = AnorexicReduction(toy_ess, toy_contours)
+        assert reduction.contour(1).index == 1
+
+    def test_plan_order_deterministic(self, toy_ess, toy_contours):
+        a = AnorexicReduction(toy_ess, toy_contours, lam=0.2)
+        b = AnorexicReduction(toy_ess, toy_contours, lam=0.2)
+        assert [rc.plan_ids for rc in a.reduced] == [
+            rc.plan_ids for rc in b.reduced
+        ]

@@ -1,0 +1,122 @@
+"""Unit tests for the schema layer (tables, columns, foreign keys)."""
+
+import pytest
+
+from repro import Column, ForeignKey, Schema, SchemaError, Table, fk_column, key_column
+
+
+def make_table(name="t", cardinality=100):
+    return Table(name, cardinality, [key_column("id", cardinality)])
+
+
+class TestColumn:
+    def test_defaults(self):
+        col = Column("c")
+        assert col.ndv == 1
+        assert not col.indexed
+        assert not col.is_key
+
+    def test_rejects_nonpositive_ndv(self):
+        with pytest.raises(SchemaError):
+            Column("c", ndv=0)
+
+    def test_key_column_helper(self):
+        col = key_column("id", 500)
+        assert col.is_key and col.indexed and col.ndv == 500
+
+    def test_fk_column_helper_not_key(self):
+        col = fk_column("ref", 500)
+        assert not col.is_key and col.ndv == 500
+
+    def test_columns_hashable_and_frozen(self):
+        col = Column("c", ndv=5)
+        assert hash(col) == hash(Column("c", ndv=5))
+        with pytest.raises(AttributeError):
+            col.ndv = 10
+
+
+class TestTable:
+    def test_basic_properties(self):
+        table = Table("t", 42, [key_column("id", 42), Column("x", ndv=7)])
+        assert table.cardinality == 42
+        assert set(table.columns) == {"id", "x"}
+        assert table.primary_key.name == "id"
+
+    def test_no_primary_key(self):
+        table = Table("t", 10, [Column("x")])
+        assert table.primary_key is None
+
+    def test_rejects_zero_cardinality(self):
+        with pytest.raises(SchemaError):
+            Table("t", 0, [Column("x")])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", 10, [Column("x"), Column("x")])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().column("nope")
+
+    def test_has_column(self):
+        table = make_table()
+        assert table.has_column("id")
+        assert not table.has_column("other")
+
+
+class TestSchema:
+    def test_add_and_fetch_table(self):
+        schema = Schema("s", tables=[make_table("a"), make_table("b")])
+        assert schema.table("a").name == "a"
+        assert set(schema.tables) == {"a", "b"}
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("s", tables=[make_table("a"), make_table("a")])
+
+    def test_unknown_table_raises(self):
+        schema = Schema("s")
+        with pytest.raises(SchemaError):
+            schema.table("ghost")
+        assert not schema.has_table("ghost")
+
+    def test_foreign_key_validation(self):
+        parent = Table("p", 10, [key_column("id", 10)])
+        child = Table("c", 100, [fk_column("p_id", 10)])
+        schema = Schema("s", tables=[parent, child])
+        schema.add_foreign_key(ForeignKey("c", "p_id", "p", "id"))
+        assert len(schema.foreign_keys) == 1
+
+    def test_foreign_key_unknown_column_rejected(self):
+        parent = Table("p", 10, [key_column("id", 10)])
+        child = Table("c", 100, [fk_column("p_id", 10)])
+        schema = Schema("s", tables=[parent, child])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("c", "missing", "p", "id"))
+
+    def test_join_ndv_uses_max_side(self):
+        a = Table("a", 10, [Column("x", ndv=100)])
+        b = Table("b", 10, [Column("y", ndv=2000)])
+        schema = Schema("s", tables=[a, b])
+        assert schema.join_ndv("a", "x", "b", "y") == 2000
+
+    def test_repr_mentions_table_count(self):
+        schema = Schema("s", tables=[make_table("a")])
+        assert "1 tables" in repr(schema)
+
+
+class TestWorkloadSchemas:
+    def test_tpcds_schema_builds(self):
+        from repro import tpcds_schema
+
+        schema = tpcds_schema()
+        assert schema.table("store_sales").cardinality == 288_000_000
+        assert schema.table("call_center").cardinality == 30
+        assert schema.table("customer").primary_key.name == "c_customer_sk"
+
+    def test_job_schema_builds(self):
+        from repro import job_schema
+
+        schema = job_schema()
+        assert schema.table("title").cardinality == 2_528_312
+        assert schema.table("company_type").cardinality == 4

@@ -1,0 +1,169 @@
+"""Unit tests for SpillBound: guarantees, lemma properties, traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SpillBound, evaluate_algorithm
+from repro.core.spill_bound import learnable_index
+
+
+class TestGuarantee:
+    def test_formula(self, toy_sb):
+        assert toy_sb.mso_guarantee() == 10.0  # D=2: D^2+3D
+
+    def test_static_formula(self):
+        assert SpillBound.mso_guarantee_for(4) == 28.0
+        assert SpillBound.mso_guarantee_for(6) == 54.0
+
+    def test_empirical_within_guarantee(self, toy_sb):
+        evaluation = evaluate_algorithm(toy_sb)
+        assert evaluation.mso <= toy_sb.mso_guarantee() * (1 + 1e-9)
+
+    def test_3d_empirical_within_guarantee(self, star_ess, star_contours):
+        sb = SpillBound(star_ess, star_contours)
+        evaluation = evaluate_algorithm(sb)
+        assert evaluation.mso <= sb.mso_guarantee() * (1 + 1e-9)
+
+
+class TestLearnableIndex:
+    def test_threshold_semantics(self):
+        curve = np.array([1.0, 2.0, 4.0, 8.0])
+        assert learnable_index(curve, 4.0, 0) == 2
+        assert learnable_index(curve, 3.9, 0) == 1
+        assert learnable_index(curve, 100.0, 0) == 3
+
+    def test_floor_clamp(self):
+        curve = np.array([1.0, 2.0, 4.0])
+        assert learnable_index(curve, 0.5, 1) == 1
+
+
+class TestExecutionSemantics:
+    def test_terminates_everywhere(self, toy_sb, toy_ess):
+        for flat in range(0, toy_ess.grid.num_points, 11):
+            result = toy_sb.run(flat)
+            assert result.completed_plan_key
+            assert result.suboptimality >= 1.0 - 1e-9
+
+    def test_trace_learns_exact_selectivities(self, toy_sb, toy_ess):
+        grid = toy_ess.grid
+        coords = (grid.resolution[0] // 2, grid.resolution[1] // 2)
+        result = toy_sb.run(coords, trace=True)
+        for record in result.executions:
+            if record.mode == "spill" and record.completed:
+                dim = record.spill_dim
+                assert record.learned_selectivity == pytest.approx(
+                    grid.selectivity(dim, coords[dim])
+                )
+
+    def test_half_space_pruning_lemma(self, toy_sb, toy_ess):
+        """Lemma 3.1: a failed spill execution proves qa.j > q*.j —
+        i.e. the learnt lower bound never overshoots qa's coordinate."""
+        grid = toy_ess.grid
+        for flat in range(0, grid.num_points, 29):
+            coords = grid.coords_of(flat)
+            result = toy_sb.run(flat, trace=True)
+            for record in result.executions:
+                if record.mode == "spill" and not record.completed:
+                    dim = record.spill_dim
+                    learnt = record.learned_selectivity
+                    assert learnt < grid.selectivity(dim, coords[dim]) * (
+                        1 + 1e-9
+                    )
+
+    def test_cdi_lemma_jump_justified(self, toy_sb, toy_ess, toy_contours):
+        """Lemma 3.2/4.3: the algorithm only jumps past contours whose
+        budget is below qa's optimal cost."""
+        for flat in [50, 180, 333]:
+            result = toy_sb.run(flat)
+            qa_cost = float(toy_ess.optimal_cost[flat])
+            # All contours strictly below the final one were jumped.
+            final = result.contours_visited
+            for index in range(1, final):
+                # qa must lie beyond every fully-failed contour...
+                pass
+            assert qa_cost <= toy_contours.budget(final) * (1 + 1e-9) or (
+                final == toy_contours.num_contours
+            )
+
+    def test_fresh_executions_bounded_by_d(self, toy_sb, toy_ess):
+        """Lemma 4.4 (first half): at most D fresh executions/contour."""
+        d = toy_ess.grid.num_dims
+        for flat in range(0, toy_ess.grid.num_points, 23):
+            result = toy_sb.run(flat, trace=True)
+            per_contour = {}
+            for record in result.executions:
+                if record.mode == "spill" and record.fresh:
+                    per_contour.setdefault(record.contour, 0)
+                    per_contour[record.contour] += 1
+            assert all(v <= d for v in per_contour.values())
+
+    def test_repeat_executions_bounded(self, toy_sb, toy_ess):
+        """Lemma 4.4 (second half): repeats <= D(D-1)/2 in total."""
+        d = toy_ess.grid.num_dims
+        bound = d * (d - 1) // 2
+        for flat in range(0, toy_ess.grid.num_points, 23):
+            result = toy_sb.run(flat)
+            assert result.num_repeat_executions <= bound
+
+    def test_qrun_monotone_never_overtakes_qa(self, toy_sb, toy_ess):
+        grid = toy_ess.grid
+        for flat in [120, 260, 399]:
+            coords = grid.coords_of(flat)
+            result = toy_sb.run(flat, trace=True)
+            best = [0.0] * grid.num_dims
+            for record in result.executions:
+                if record.mode != "spill":
+                    continue
+                dim = record.spill_dim
+                learnt = record.learned_selectivity
+                if not math.isnan(learnt):
+                    assert learnt >= best[dim] - 1e-12  # monotone advance
+                    best[dim] = max(best[dim], learnt)
+                    assert best[dim] <= grid.selectivity(
+                        dim, coords[dim]
+                    ) * (1 + 1e-9)
+
+    def test_one_d_tail_runs_normal_mode(self, toy_sb):
+        result = toy_sb.run((5, 15), trace=True)
+        modes = [r.mode for r in result.executions]
+        # Once a normal-mode (1-D bouquet) execution starts, no spill
+        # executions follow.
+        if "normal" in modes:
+            first_normal = modes.index("normal")
+            assert all(m == "normal" for m in modes[first_normal:])
+
+    def test_accounting_consistency(self, toy_sb):
+        result = toy_sb.run(77, trace=True)
+        assert result.total_cost == pytest.approx(
+            sum(r.charged for r in result.executions)
+        )
+        assert result.num_executions == len(result.executions)
+
+    def test_input_forms_equivalent(self, toy_sb, toy_ess):
+        grid = toy_ess.grid
+        flat = 133
+        coords = grid.coords_of(flat)
+        sels = grid.selectivities_of(flat)
+        assert toy_sb.run(flat).total_cost == pytest.approx(
+            toy_sb.run(coords).total_cost
+        )
+        assert toy_sb.run(sels).total_cost == pytest.approx(
+            toy_sb.run(flat).total_cost
+        )
+
+
+class TestStateCaching:
+    def test_cached_and_fresh_instances_agree(self, toy_sb, toy_ess,
+                                              toy_contours):
+        fresh = SpillBound(toy_ess, toy_contours)
+        for flat in [3, 88, 199, 310]:
+            assert fresh.run(flat).total_cost == pytest.approx(
+                toy_sb.run(flat).total_cost
+            )
+
+    def test_step_cache_populated(self, toy_ess, toy_contours):
+        sb = SpillBound(toy_ess, toy_contours)
+        sb.run(200)
+        assert len(sb._step_cache) > 0

@@ -1,0 +1,112 @@
+"""Unit tests for histograms and the estimation catalog."""
+
+import numpy as np
+import pytest
+
+from repro import EquiDepthHistogram, SchemaError, StatisticsCatalog
+from tests.conftest import make_toy_schema
+
+
+class TestEquiDepthHistogram:
+    def test_uniform_range_estimates(self):
+        hist = EquiDepthHistogram(np.arange(1000), num_buckets=20)
+        assert hist.selectivity_le(499) == pytest.approx(0.5, abs=0.05)
+        assert hist.selectivity_le(-5) == 0.0
+        assert hist.selectivity_le(2000) == 1.0
+
+    def test_range_selectivity(self):
+        hist = EquiDepthHistogram(np.arange(1000), num_buckets=20)
+        sel = hist.selectivity_range(250, 749)
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_range_is_zero(self):
+        hist = EquiDepthHistogram(np.arange(100))
+        assert hist.selectivity_range(50, 10) == 0.0
+
+    def test_equality_uses_ndv(self):
+        hist = EquiDepthHistogram(np.repeat(np.arange(10), 100))
+        assert hist.ndv == 10
+        assert hist.selectivity_eq(3) == pytest.approx(0.1)
+
+    def test_equality_outside_domain(self):
+        hist = EquiDepthHistogram(np.arange(100))
+        assert hist.selectivity_eq(-1) == 0.0
+        assert hist.selectivity_eq(101) == 0.0
+
+    def test_skewed_data_quantile_boundaries(self):
+        values = np.concatenate([np.zeros(900), np.arange(100)])
+        hist = EquiDepthHistogram(values, num_buckets=10)
+        # 90% of the mass is at zero: sel(<= 0) must be large.
+        assert hist.selectivity_le(0) > 0.5
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(SchemaError):
+            EquiDepthHistogram(np.array([]))
+
+    def test_num_buckets_capped_by_rows(self):
+        hist = EquiDepthHistogram(np.arange(5), num_buckets=32)
+        assert hist.num_buckets == 5
+
+    def test_min_max(self):
+        hist = EquiDepthHistogram(np.array([3, 9, 5]))
+        assert hist.min_value == 3
+        assert hist.max_value == 9
+
+
+class TestStatisticsCatalog:
+    @pytest.fixture
+    def catalog(self):
+        return StatisticsCatalog(make_toy_schema())
+
+    def test_analyze_builds_histogram(self, catalog):
+        catalog.analyze("part", "p_retailprice", np.arange(10_000))
+        stats = catalog.column_stats("part", "p_retailprice")
+        assert stats is not None
+        assert stats.ndv == 10_000
+
+    def test_analyze_unknown_column_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.analyze("part", "missing", np.arange(10))
+
+    def test_sampled_analyze_is_seeded(self, catalog):
+        values = np.arange(100_000)
+        catalog.analyze("part", "p_retailprice", values, sample=1000, seed=3)
+        first = catalog.estimate_filter("part", "p_retailprice", high=5_000)
+        catalog.analyze("part", "p_retailprice", values, sample=1000, seed=3)
+        assert catalog.estimate_filter(
+            "part", "p_retailprice", high=5_000
+        ) == pytest.approx(first)
+
+    def test_filter_estimate_range(self, catalog):
+        catalog.analyze("part", "p_retailprice", np.arange(10_000))
+        sel = catalog.estimate_filter("part", "p_retailprice", high=999)
+        assert sel == pytest.approx(0.1, abs=0.02)
+
+    def test_filter_estimate_without_stats_uses_magic(self, catalog):
+        sel = catalog.estimate_filter("part", "p_retailprice", high=10)
+        assert sel == pytest.approx(1.0 / 3.0)
+
+    def test_equality_estimate_without_stats_uses_ndv(self, catalog):
+        sel = catalog.estimate_filter("part", "p_retailprice", value=7)
+        assert sel == pytest.approx(1.0 / 30_000)
+
+    def test_join_estimate_max_ndv_rule(self, catalog):
+        sel = catalog.estimate_join("part", "p_partkey",
+                                    "lineitem", "l_partkey")
+        assert sel == pytest.approx(1.0 / 2_000_000)
+
+    def test_ndv_override(self, catalog):
+        catalog.set_column_ndv("lineitem", "l_partkey", 10)
+        assert catalog.column_ndv("lineitem", "l_partkey") == 10
+        # An analyze takes precedence over the override.
+        catalog.analyze("lineitem", "l_partkey", np.arange(500))
+        assert catalog.column_ndv("lineitem", "l_partkey") == 500
+
+    def test_estimation_error_vs_skewed_truth(self, catalog):
+        """The raison d'etre of the paper: uniform estimates miss skew."""
+        rng = np.random.default_rng(0)
+        skewed = rng.zipf(1.5, size=20_000)
+        catalog.analyze("lineitem", "l_partkey", skewed, num_buckets=8)
+        true_top = float(np.mean(skewed == 1))
+        estimate = catalog.estimate_filter("lineitem", "l_partkey", value=1)
+        assert estimate < true_top  # underestimates the hot value
