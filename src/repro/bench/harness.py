@@ -32,6 +32,7 @@ from repro.ess.contours import ContourSet
 from repro.ess.reduction import DEFAULT_LAMBDA
 from repro.optimizer.cost_model import DEFAULT_COST_MODEL
 from repro.optimizer.plans import epp_total_order
+from repro.perf.timers import TIMERS
 
 
 @dataclass
@@ -63,12 +64,18 @@ def algorithm_profiles(name, with_eval=("pb", "sb", "ab"), profile=None):
             ab=AlignedBound(instance.ess, instance.contours),
         )
         _PROFILE_CACHE[key] = prof
+    # The exhaustive sweeps parallelize across processes when
+    # REPRO_WORKERS > 1 (see repro.perf.parallel); each one reports its
+    # wall time into the perf-trajectory timers either way.
     if "pb" in with_eval and prof.pb_eval is None:
-        prof.pb_eval = evaluate_algorithm(prof.pb)
+        with TIMERS.phase("sweep_pb"):
+            prof.pb_eval = evaluate_algorithm(prof.pb)
     if "sb" in with_eval and prof.sb_eval is None:
-        prof.sb_eval = evaluate_algorithm(prof.sb)
+        with TIMERS.phase("sweep_sb"):
+            prof.sb_eval = evaluate_algorithm(prof.sb)
     if "ab" in with_eval and prof.ab_eval is None:
-        prof.ab_eval = evaluate_algorithm(prof.ab)
+        with TIMERS.phase("sweep_ab"):
+            prof.ab_eval = evaluate_algorithm(prof.ab)
     return prof
 
 

@@ -1,0 +1,165 @@
+"""The perf-trajectory benchmark: ``repro bench --json BENCH_pr1.json``.
+
+Measures the performance layer end to end and writes a JSON artifact so
+every PR can append a comparable data point:
+
+* **cache** — cold ESS build (optimizer sweep + archive store) vs warm
+  load (persistent-archive hit) for one workload, with an equivalence
+  check (optimal costs, plan ids and plan keys must round-trip
+  bit-identically);
+* **sweeps** — serial vs multiprocess exhaustive SB/AB evaluation with
+  the max absolute sub-optimality deviation between the two paths;
+* **timers** — the process-global phase profile (ess_build / contour /
+  sweep timings, cache hit counters) accumulated while benchmarking.
+
+The artifact records the visible CPU count: on single-core containers
+the multiprocess sweep cannot beat serial, and the JSON says so rather
+than hiding it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.bench import workloads
+from repro.core.aligned_bound import AlignedBound
+from repro.core.mso import evaluate_algorithm
+from repro.core.spill_bound import SpillBound
+from repro.ess.persistence import ess_cache_key
+from repro.perf import cache as ess_cache
+from repro.perf.timers import TIMERS
+
+#: Schema version of the BENCH json artifact.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _disk_key(instance):
+    return ess_cache_key(
+        query_name=instance.query.name,
+        resolution=instance.ess.grid.resolution,
+        sel_min=[float(v[0]) for v in instance.ess.grid.values],
+        cost_fingerprint=instance.ess.cost_model.fingerprint(),
+        left_deep=False,
+    )
+
+
+def bench_cache(name, profile, resolution=None):
+    """Cold-build vs warm-load timings for one workload."""
+    workloads.clear_cache()
+    # Evict any pre-existing archive so "cold" really builds.
+    probe = workloads.load(name, profile=profile, resolution=resolution)
+    path = ess_cache.archive_path(_disk_key(probe))
+    workloads.clear_cache()
+    if os.path.exists(path):
+        os.remove(path)
+
+    start = time.perf_counter()
+    cold = workloads.load(name, profile=profile, resolution=resolution)
+    cold_s = time.perf_counter() - start
+
+    workloads.clear_cache()
+    start = time.perf_counter()
+    warm = workloads.load(name, profile=profile, resolution=resolution)
+    warm_s = time.perf_counter() - start
+
+    identical = (
+        np.array_equal(cold.ess.optimal_cost, warm.ess.optimal_cost)
+        and np.array_equal(cold.ess.plan_ids, warm.ess.plan_ids)
+        and cold.ess.plan_keys == warm.ess.plan_keys
+    )
+    return {
+        "query": name,
+        "profile": profile or workloads.active_profile(),
+        "grid_points": int(cold.ess.grid.num_points),
+        "posp_size": int(cold.ess.posp_size),
+        "cold_build_s": cold_s,
+        "warm_load_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "roundtrip_identical": bool(identical),
+        "cache_hit": bool(TIMERS.counter("ess_cache_hit")),
+    }
+
+
+def _fresh_instance(name, profile, resolution):
+    """A workload instance with cold in-process caches.
+
+    Clearing the registry forces a reload; the persistent archive makes
+    that cheap while guaranteeing the ESS-level memo caches (spill
+    curves, per-plan cost arrays) start empty, so back-to-back sweep
+    timings don't leak warmth into each other.
+    """
+    workloads.clear_cache()
+    return workloads.load(name, profile=profile, resolution=resolution)
+
+
+def bench_sweep(name, profile, workers, algorithms=("sb", "ab"),
+                resolution=None):
+    """Serial vs parallel exhaustive evaluation for SB/AB."""
+    classes = {"sb": SpillBound, "ab": AlignedBound}
+    out = {}
+    for key in algorithms:
+        cls = classes[key]
+        instance = _fresh_instance(name, profile, resolution)
+        serial_algo = cls(instance.ess, instance.contours)
+        start = time.perf_counter()
+        serial = evaluate_algorithm(serial_algo, workers=1)
+        serial_s = time.perf_counter() - start
+
+        instance = _fresh_instance(name, profile, resolution)
+        parallel_algo = cls(instance.ess, instance.contours)
+        start = time.perf_counter()
+        par = evaluate_algorithm(parallel_algo, workers=workers)
+        parallel_s = time.perf_counter() - start
+
+        deviation = float(
+            np.max(np.abs(serial.suboptimality - par.suboptimality))
+        )
+        out[key] = {
+            "grid_points": int(instance.ess.grid.num_points),
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "workers": int(workers),
+            "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+            "max_abs_deviation": deviation,
+            "mso": float(serial.mso),
+            "aso": float(serial.aso),
+        }
+    return out
+
+
+def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
+              resolution=None):
+    """Run the full perf benchmark and (optionally) write the artifact.
+
+    Args:
+        json_path: where to write the BENCH json (None: don't write).
+        query: workload for both the cache and sweep measurements.
+        profile: resolution profile (None: ``REPRO_PROFILE`` default).
+        workers: process count for the parallel sweep.
+        resolution: optional explicit grid resolution (bigger grids
+            give both the cache and the parallel sweep more to chew).
+    """
+    TIMERS.reset()
+    cache_stats = bench_cache(query, profile, resolution=resolution)
+    sweep_stats = bench_sweep(query, profile, workers,
+                              resolution=resolution)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro bench",
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "parallel_speedup_achievable": (os.cpu_count() or 1) > 1,
+        "cache": cache_stats,
+        "sweeps": sweep_stats,
+    }
+    if json_path:
+        TIMERS.write_json(json_path, extra=payload)
+    payload.update(TIMERS.summary())
+    return payload

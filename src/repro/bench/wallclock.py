@@ -19,6 +19,7 @@ from repro.catalog.schema import Column, ForeignKey, Schema, Table, fk_column, k
 from repro.ess.contours import ContourSet
 from repro.ess.grid import ESSGrid
 from repro.ess.ocs import ESS
+from repro.perf.timers import TIMERS
 from repro.query.predicates import filter_pred, join
 from repro.query.query import SPJQuery
 
@@ -147,8 +148,22 @@ def build_wallclock_setup(row_budget=40_000, seed=11, resolution=10):
         resolution=resolution,
         sel_min=[min(1e-4, p.selectivity / 5.0) for p in query.epps],
     )
-    ess = ESS.build(query, grid)
-    contours = ContourSet(ess)
+    with TIMERS.phase("ess_build"):
+        ess = ESS.build(query, grid)
+    with TIMERS.phase("contour_build"):
+        contours = ContourSet(ess)
+    # The whole setup is deterministic in (row_budget, seed, resolution),
+    # so sweep workers can rebuild it from these kwargs — this is what
+    # lets evaluate_algorithm parallelize over wallclock-built ESSs.
+    ess.provenance = {
+        "kind": "wallclock",
+        "build_kwargs": {
+            "row_budget": row_budget,
+            "seed": seed,
+            "resolution": resolution,
+        },
+        "cost_ratio": contours.cost_ratio,
+    }
     return WallclockSetup(
         schema=schema, query=query, generator=generator, ess=ess,
         contours=contours,

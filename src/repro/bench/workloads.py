@@ -12,6 +12,12 @@ instances through :func:`load`.  Grid resolution follows a *profile*:
 
 Set ``REPRO_PROFILE=paper`` (or ``bench``/``smoke``) to override the
 default ``bench`` profile used by the benchmark harness.
+
+Instances are cached at two levels: an in-process registry (keyed by
+name/profile/resolution/cost-ratio plus the cost model's *value*
+fingerprint) and the persistent on-disk ESS archive cache of
+:mod:`repro.perf.cache`, so repeated benchmark or test runs skip the
+optimizer sweep entirely.
 """
 
 from __future__ import annotations
@@ -25,7 +31,10 @@ from repro.errors import QueryError
 from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
 from repro.ess.grid import ESSGrid
 from repro.ess.ocs import ESS
+from repro.ess.persistence import ess_cache_key
 from repro.optimizer.cost_model import DEFAULT_COST_MODEL
+from repro.perf import cache as ess_cache
+from repro.perf.timers import TIMERS
 
 #: Per-dimension grid resolutions by profile and ESS dimensionality.
 RESOLUTION_PROFILES = {
@@ -71,11 +80,10 @@ class WorkloadInstance:
 _CACHE = {}
 
 
-def _build_grid(query, resolution):
-    sel_min = [
+def _sel_min(query):
+    return [
         min(_SEL_MIN_CAP, pred.selectivity / 3.0) for pred in query.epps
     ]
-    return ESSGrid(query.num_epps, resolution=resolution, sel_min=sel_min)
 
 
 def _make_query(name):
@@ -97,16 +105,47 @@ def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
         cost_model: optimizer cost model (ablations pass perturbed ones).
     """
     profile = profile or active_profile()
-    key = (name, profile, resolution, cost_ratio, id(cost_model))
+    # Cost models key by value fingerprint, never by id(): ids are
+    # recycled after garbage collection, so a perturbed-cost-model
+    # ablation could silently hit a stale entry built for a dead model.
+    key = (name, profile, resolution, cost_ratio, cost_model.fingerprint())
     cached = _CACHE.get(key)
     if cached is not None:
+        TIMERS.incr("workload_memory_hit")
         return cached
     query = _make_query(name)
     if resolution is None:
         resolution = RESOLUTION_PROFILES[profile].get(query.num_epps, 4)
-    grid = _build_grid(query, resolution)
-    ess = ESS.build(query, grid, cost_model=cost_model)
-    contours = ContourSet(ess, cost_ratio)
+    sel_min = _sel_min(query)
+    grid = ESSGrid(query.num_epps, resolution=resolution, sel_min=sel_min)
+    disk_key = ess_cache_key(
+        query_name=query.name,
+        resolution=grid.resolution,
+        sel_min=sel_min,
+        cost_fingerprint=cost_model.fingerprint(),
+        left_deep=False,
+    )
+    ess = ess_cache.fetch(disk_key, query, cost_model)
+    if ess is None:
+        with TIMERS.phase("ess_build"):
+            ess = ESS.build(query, grid, cost_model=cost_model)
+        ess_cache.store(ess, disk_key)
+    with TIMERS.phase("contour_build"):
+        contours = ContourSet(ess, cost_ratio)
+    # Build provenance lets the parallel-sweep engine rebuild this exact
+    # ESS inside worker processes (through this very function, hence
+    # through the persistent archive) instead of pickling plan trees.
+    ess.provenance = {
+        "kind": "workload",
+        "build_kwargs": {
+            "name": name,
+            "profile": profile,
+            "resolution": resolution,
+            "cost_ratio": cost_ratio,
+            "cost_model": cost_model,
+        },
+        "cost_ratio": cost_ratio,
+    }
     instance = WorkloadInstance(name=name, query=query, ess=ess,
                                 contours=contours)
     _CACHE[key] = instance

@@ -9,7 +9,9 @@ Gives the library's main flows a no-code entry point:
 * ``evaluate`` — exhaustive MSO/ASO over the ESS;
 * ``experiment`` — regenerate a specific paper table/figure;
 * ``wallclock`` — the Section 6.3 actual-execution experiment;
-* ``advise`` — the native-vs-robust deployment advisor.
+* ``advise`` — the native-vs-robust deployment advisor;
+* ``bench`` — the perf-trajectory benchmark (cache + parallel sweeps),
+  optionally written to a ``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
@@ -222,6 +224,37 @@ def cmd_figures(args):
     return 0
 
 
+def cmd_bench(args):
+    from repro.bench.perfbench import run_bench
+
+    payload = run_bench(
+        json_path=args.json,
+        query=args.query,
+        profile=args.profile,
+        workers=args.workers,
+        resolution=args.resolution,
+    )
+    cache = payload["cache"]
+    rows = [["warm ESS load vs cold build", f"{cache['speedup']:.1f}x",
+             "bit-identical" if cache["roundtrip_identical"] else "MISMATCH"]]
+    for algo, stats in payload["sweeps"].items():
+        rows.append([
+            f"{algo} sweep x{stats['workers']} workers",
+            f"{stats['speedup']:.2f}x",
+            f"max dev {stats['max_abs_deviation']:.2e}",
+        ])
+    print(format_table(
+        f"perf bench on {cache['query']} "
+        f"({cache['grid_points']} locations, "
+        f"{payload['hardware']['cpu_count']} CPUs)",
+        ["measurement", "speedup", "fidelity"],
+        rows,
+    ))
+    if args.json:
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_advise(args):
     from repro.core.advisor import RobustnessAdvisor
 
@@ -279,6 +312,15 @@ def build_parser():
     p = sub.add_parser("figures", help="render all figures as SVG")
     p.add_argument("--outdir", default="results/figures")
 
+    p = sub.add_parser("bench", help="perf-trajectory benchmark")
+    p.add_argument("--json", default=None,
+                   help="write the BENCH artifact to this path")
+    p.add_argument("--query", default="3D_Q91")
+    p.add_argument("--workers", type=int, default=4,
+                   help="process count for the parallel sweep")
+    p.add_argument("--resolution", type=int, default=None,
+                   help="explicit grid resolution for the bench workload")
+
     p = sub.add_parser("advise", help="native vs robust recommendation")
     p.add_argument("query")
     p.add_argument("--radius", type=float, default=10.0,
@@ -299,6 +341,7 @@ _HANDLERS = {
     "wallclock": cmd_wallclock,
     "figures": cmd_figures,
     "advise": cmd_advise,
+    "bench": cmd_bench,
 }
 
 

@@ -52,42 +52,60 @@ class Evaluation:
         return float(np.mean(self.suboptimality < threshold))
 
 
-def evaluate_algorithm(algorithm, points=None):
+def _parallel_sweep(algorithm, flats, workers):
+    """Try the multiprocess sweep; None means "use the serial path"."""
+    from repro.perf.parallel import parallel_suboptimality, spec_for
+
+    spec = spec_for(algorithm)
+    if spec is None:
+        return None
+    return parallel_suboptimality(spec, flats, workers)
+
+
+def evaluate_algorithm(algorithm, points=None, workers=None):
     """Exhaustively evaluate a discovery algorithm over the ESS.
 
     Every grid location is treated in turn as the actual selectivity
     location ``qa`` (the paper's "explicitly and exhaustively considering
     each and every location", Section 6.2.3).
 
+    When more than one worker is requested (the ``workers`` argument, or
+    the ``REPRO_WORKERS`` environment knob) and the algorithm's ESS
+    carries registry provenance, the sweep fans out across worker
+    processes via :mod:`repro.perf.parallel`; the results are identical
+    to the serial sweep, which remains the fallback for everything else.
+
     Args:
         algorithm: object exposing either ``evaluate_all() -> (N,) array``
             (fast vectorized path) or ``run(qa) -> DiscoveryResult``.
         points: optional iterable of flat indices to restrict the sweep
             (used by sampled ablations); default is the full grid.
+        workers: worker-process count; default from ``REPRO_WORKERS``.
 
     Returns:
         :class:`Evaluation`.
     """
+    from repro.perf.parallel import worker_count
+
     grid = algorithm.ess.grid
-    if points is None and hasattr(algorithm, "evaluate_all"):
-        sub = np.asarray(algorithm.evaluate_all(), dtype=float)
-    else:
-        candidates = range(grid.num_points) if points is None else points
-        flat_list = list(candidates)
-        sub = np.empty(len(flat_list), dtype=float)
-        for k, flat in enumerate(flat_list):
-            sub[k] = algorithm.run(flat).suboptimality
-        if points is not None:
-            worst = int(flat_list[int(np.argmax(sub))])
-            return Evaluation(
-                suboptimality=sub,
-                mso=float(sub.max()),
-                aso=float(sub.mean()),
-                worst_location=worst,
-            )
+    flat_list = (
+        list(range(grid.num_points)) if points is None else list(points)
+    )
+    workers = worker_count(workers)
+    sub = None
+    if workers > 1:
+        sub = _parallel_sweep(algorithm, flat_list, workers)
+    if sub is None:
+        if points is None and hasattr(algorithm, "evaluate_all"):
+            sub = np.asarray(algorithm.evaluate_all(), dtype=float)
+        else:
+            sub = np.empty(len(flat_list), dtype=float)
+            for k, flat in enumerate(flat_list):
+                sub[k] = algorithm.run(flat).suboptimality
+    worst = int(flat_list[int(np.argmax(sub))])
     return Evaluation(
         suboptimality=sub,
         mso=float(sub.max()),
         aso=float(sub.mean()),
-        worst_location=int(np.argmax(sub)),
+        worst_location=worst,
     )

@@ -78,6 +78,28 @@ class ESSGrid:
         self.strides = tuple(reversed(strides))
         self._sel_arrays = None
         self._coord_arrays = None
+        self._log_values = None
+
+    def invalidate_caches(self):
+        """Drop derived arrays after ``values`` is mutated in place.
+
+        Persistence restores grid values directly; all lazily-built
+        views (selectivity arrays, per-dimension log arrays) must be
+        rebuilt from the new values.
+        """
+        self._sel_arrays = None
+        self._coord_arrays = None
+        self._log_values = None
+
+    def log_values(self, dim):
+        """``np.log`` of one dimension's grid values (cached).
+
+        :meth:`snap` runs once per discovery step; recomputing the log
+        array each call dominated its cost.
+        """
+        if self._log_values is None:
+            self._log_values = [np.log(v) for v in self.values]
+        return self._log_values[dim]
 
     # ------------------------------------------------------------------
     # Flat <-> coords <-> selectivities
@@ -109,7 +131,7 @@ class ESSGrid:
         coords = []
         for dim, sel in enumerate(selectivities):
             sel = min(max(float(sel), self.values[dim][0]), 1.0)
-            logs = np.log(self.values[dim])
+            logs = self.log_values(dim)
             coords.append(int(np.argmin(np.abs(logs - np.log(sel)))))
         return tuple(coords)
 

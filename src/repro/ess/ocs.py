@@ -121,30 +121,36 @@ class ESS:
         Evaluates the plan's cost expression over just those points —
         O(len(flat_indices)) instead of a full-grid sweep — which keeps
         large-POSP queries (6-D) tractable for AlignedBound's
-        replacement-plan searches.  Individual (plan, point) results are
-        memoized: the searches revisit heavily-overlapping point sets
-        across discovery states.
+        replacement-plan searches.  Per-plan results are memoized in a
+        flat ndarray plus a validity mask (the searches revisit
+        heavily-overlapping point sets across discovery states), so both
+        the hit and miss paths are single vectorized gathers instead of
+        per-element dict round-trips.
         """
         cached = self._cost_arrays.get(plan_id)
         if cached is not None:
             return np.asarray(cached[flat_indices], dtype=float)
         flats = np.asarray(flat_indices, dtype=np.int64)
-        memo = self._point_costs.setdefault(plan_id, {})
-        missing = [int(f) for f in flats if int(f) not in memo]
-        if missing:
+        memo = self._point_costs.get(plan_id)
+        if memo is None:
+            memo = (
+                np.empty(self.grid.num_points, dtype=float),
+                np.zeros(self.grid.num_points, dtype=bool),
+            )
+            self._point_costs[plan_id] = memo
+        values, valid = memo
+        missing = flats[~valid[flats]]
+        if missing.size:
             grid = self.grid
-            miss = np.asarray(missing, dtype=np.int64)
+            miss = np.unique(missing)
             env = {d: grid.sel_array(d)[miss] for d in range(grid.num_dims)}
             cost = plan_cost(self.plans[plan_id], self.query,
                              self.cost_model, env)
-            cost = np.broadcast_to(
-                np.asarray(cost, dtype=float), (len(missing),)
+            values[miss] = np.broadcast_to(
+                np.asarray(cost, dtype=float), (miss.size,)
             )
-            for flat, value in zip(missing, cost):
-                memo[flat] = float(value)
-        return np.fromiter(
-            (memo[int(f)] for f in flats), dtype=float, count=len(flats)
-        )
+            valid[miss] = True
+        return values[flats].astype(float, copy=True)
 
     def spill_order(self, plan_id):
         """The plan's epp total order as a list of ESS dimensions."""

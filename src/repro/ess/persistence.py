@@ -31,7 +31,13 @@ from repro.optimizer.plans import (
     ScanNode,
 )
 
-_FORMAT_VERSION = 1
+#: Current archive format.  Version 2 adds the content cache key
+#: (query name, grid resolution, sel_min, cost-model fingerprint,
+#: left_deep) so the persistent workload cache can verify that an
+#: archive matches the exact build parameters before trusting it.
+#: Version-1 archives (no key) are still readable.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 _JOIN_OPS = {HASH_JOIN, MERGE_JOIN, NL_JOIN, INDEX_NL_JOIN}
 _KEY_TOKEN = re.compile(r"([A-Z]+)\[([^\]]*)\]\(|([A-Z]+)\(([^()]*)\)|[(),]")
@@ -89,14 +95,43 @@ def parse_plan_key(key, query):
     return node
 
 
-def save_ess(ess, path):
-    """Persist a built ESS to a ``.npz`` archive."""
+def ess_cache_key(query_name, resolution, sel_min, cost_fingerprint,
+                  left_deep=False):
+    """The canonical content key identifying one ESS build.
+
+    Every parameter that shapes the optimizer sweep participates: the
+    query (by name — the workload registry rebuilds queries
+    deterministically from names), the grid geometry (per-dimension
+    resolution and sel_min floors), the cost model (by value
+    fingerprint, see :meth:`~repro.optimizer.cost_model.CostModel.fingerprint`)
+    and the plan-search space (bushy vs left-deep).
+    """
+    return {
+        "query_name": str(query_name),
+        "resolution": [int(r) for r in resolution],
+        "sel_min": [float(s) for s in sel_min],
+        "cost_fingerprint": str(cost_fingerprint),
+        "left_deep": bool(left_deep),
+    }
+
+
+def save_ess(ess, path, cache_key=None):
+    """Persist a built ESS to a ``.npz`` archive.
+
+    Args:
+        ess: the built :class:`~repro.ess.ocs.ESS`.
+        path: destination ``.npz`` path.
+        cache_key: optional :func:`ess_cache_key` dict recorded in the
+            archive so loads can verify build-parameter identity.
+    """
     grid = ess.grid
     meta = {
         "format_version": _FORMAT_VERSION,
         "query_name": ess.query.name,
         "num_dims": grid.num_dims,
         "resolution": list(grid.resolution),
+        "cost_fingerprint": ess.cost_model.fingerprint(),
+        "cache_key": cache_key,
     }
     np.savez_compressed(
         path,
@@ -110,7 +145,18 @@ def save_ess(ess, path):
     )
 
 
-def load_ess(path, query, cost_model=None):
+def read_cache_key(path):
+    """The :func:`ess_cache_key` recorded in an archive (None for v1)."""
+    with np.load(path, allow_pickle=True) as archive:
+        meta = json.loads(str(archive["meta"]))
+    if meta.get("format_version") not in _READABLE_VERSIONS:
+        raise OptimizerError(
+            f"unsupported ESS archive version {meta.get('format_version')}"
+        )
+    return meta.get("cache_key")
+
+
+def load_ess(path, query, cost_model=None, expected_key=None):
     """Load a persisted ESS for the (identical) query it was built from.
 
     Args:
@@ -120,14 +166,22 @@ def load_ess(path, query, cost_model=None):
         cost_model: cost model for re-costing; defaults to the library
             default (must match the one used at build time for costs to
             be coherent).
+        expected_key: optional :func:`ess_cache_key` dict; when given,
+            the archive must be format v2 and record exactly this key
+            (the persistent-cache integrity check).
     """
     from repro.optimizer.cost_model import DEFAULT_COST_MODEL
 
     with np.load(path, allow_pickle=True) as archive:
         meta = json.loads(str(archive["meta"]))
-        if meta["format_version"] != _FORMAT_VERSION:
+        if meta["format_version"] not in _READABLE_VERSIONS:
             raise OptimizerError(
                 f"unsupported ESS archive version {meta['format_version']}"
+            )
+        if expected_key is not None and meta.get("cache_key") != expected_key:
+            raise OptimizerError(
+                f"ESS archive {path!s} does not match the expected cache "
+                f"key (stored {meta.get('cache_key')!r})"
             )
         if meta["query_name"] != query.name:
             raise QueryError(
@@ -139,7 +193,7 @@ def load_ess(path, query, cost_model=None):
         grid = ESSGrid(meta["num_dims"], resolution=meta["resolution"])
         for dim, values in enumerate(archive["grid_values"]):
             grid.values[dim] = np.asarray(values, dtype=float)
-        grid._sel_arrays = None  # rebuilt lazily from restored values
+        grid.invalidate_caches()  # rebuilt lazily from restored values
         plans = [
             parse_plan_key(str(key), query) for key in archive["plan_keys"]
         ]

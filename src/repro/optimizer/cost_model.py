@@ -19,7 +19,8 @@ output cardinality of the node applying it and of every node above it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -121,6 +122,23 @@ class CostModel:
         descend = self.index_lookup * outer_card * _log2(inner_base_card) * 0.25
         fetch = self.index_fetch * out_card
         return self.startup + descend + fetch + self.output_tuple * out_card
+
+    def fingerprint(self):
+        """Stable content hash of the model's constants.
+
+        Cache keys (the in-memory workload registry and the persistent
+        ESS archive) must distinguish cost models by *value*: ``id()``
+        is reused after garbage collection and object identity does not
+        survive process boundaries.  The fingerprint is a short hex
+        digest over the full-precision constant values, so any perturbed
+        model (:meth:`with_noise`) keys differently while equal models
+        built independently key identically.
+        """
+        payload = ",".join(
+            f"{f.name}={float(getattr(self, f.name))!r}"
+            for f in fields(self)
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
 
     def with_noise(self, delta, seed=0):
         """A cost model whose constants are perturbed by up to ``delta``.

@@ -1,0 +1,33 @@
+"""Performance layer: parallel sweeps, persistent ESS cache, timers.
+
+Three coordinated pieces (see ``docs/performance.md``):
+
+* :mod:`repro.perf.parallel` — multiprocess exhaustive-sweep engine
+  (``REPRO_WORKERS``), wired into :func:`repro.core.mso.evaluate_algorithm`;
+* :mod:`repro.perf.cache` — persistent content-keyed ESS archive cache
+  (``REPRO_CACHE_DIR`` / ``REPRO_CACHE``), wired into
+  :func:`repro.bench.workloads.load`;
+* :mod:`repro.perf.timers` — process-global phase timing behind the
+  ``BENCH_*.json`` perf-trajectory artifacts.
+"""
+
+from repro.perf.cache import archive_path, cache_dir, cache_enabled
+from repro.perf.parallel import (
+    SweepSpec,
+    parallel_suboptimality,
+    spec_for,
+    worker_count,
+)
+from repro.perf.timers import TIMERS, PhaseTimer
+
+__all__ = [
+    "TIMERS",
+    "PhaseTimer",
+    "SweepSpec",
+    "archive_path",
+    "cache_dir",
+    "cache_enabled",
+    "parallel_suboptimality",
+    "spec_for",
+    "worker_count",
+]

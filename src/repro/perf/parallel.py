@@ -1,0 +1,196 @@
+"""Multiprocess exhaustive-sweep engine.
+
+The evaluation pipeline (Figures 8-13) is dominated by exhaustive
+per-grid-location discovery sweeps — pure-Python ``run(flat)`` loops
+over every ESS location.  This module fans those sweeps across worker
+processes: the flat-index range is chunked, each worker *reconstructs*
+its ESS and algorithm from the persistent archive / workload registry
+(a picklable :class:`SweepSpec` — live plan trees are never pickled
+across the process boundary), evaluates its chunks, and the parent
+reassembles the per-location sub-optimality array in order.
+
+Results are exactly the serial ones: discovery is deterministic given
+the ESS surface, and the persisted archive round-trips the surface
+bit-identically.
+
+Knobs:
+
+* ``REPRO_WORKERS`` — worker processes for exhaustive sweeps.  Unset,
+  ``0`` or ``1`` keep the serial path; ``auto`` uses the CPU count.
+* serial fallback — any worker-side failure (unpicklable spec, missing
+  archive, pool start failure) silently falls back to the serial sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perf.timers import TIMERS
+
+#: Sweeps smaller than this stay serial even when workers are enabled —
+#: pool startup plus per-worker ESS reconstruction would dominate.
+MIN_PARALLEL_POINTS = 256
+
+#: Chunks per worker: >1 so faster workers steal the tail of the grid.
+CHUNKS_PER_WORKER = 4
+
+
+def worker_count(explicit=None):
+    """Resolve the worker count (explicit arg beats ``REPRO_WORKERS``)."""
+    if explicit is not None:
+        return max(1, int(explicit))
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if not raw or raw == "0":
+        return 1
+    if raw == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A picklable recipe for rebuilding an algorithm in a worker.
+
+    ``kind`` selects the rebuild path: ``"workload"`` goes through
+    :func:`repro.bench.workloads.load` (which hits the persistent ESS
+    cache), ``"wallclock"`` through
+    :func:`repro.bench.wallclock.build_wallclock_setup`.  ``algorithm``
+    names the discovery algorithm (``pb``/``sb``/``ab``) and
+    ``algo_kwargs`` its extra constructor arguments.
+    """
+
+    kind: str
+    build_kwargs: tuple  # sorted (name, value) pairs, hashable
+    algorithm: str
+    algo_kwargs: tuple = field(default_factory=tuple)
+
+
+def _factories():
+    from repro.core.aligned_bound import AlignedBound
+    from repro.core.plan_bouquet import PlanBouquet
+    from repro.core.spill_bound import SpillBound
+
+    return {
+        "pb": PlanBouquet,
+        "sb": SpillBound,
+        "ab": AlignedBound,
+    }
+
+
+def spec_for(algorithm):
+    """Derive a :class:`SweepSpec` from a live algorithm, or None.
+
+    Requires the algorithm's ESS to carry build provenance (attached by
+    the workload registry / wallclock setup) and the algorithm to be one
+    of the three stock discovery classes with contours matching the
+    provenance — anything else (hand-built ESS, subclassed algorithms,
+    mismatched contour ratios) evaluates serially.
+    """
+    ess = getattr(algorithm, "ess", None)
+    provenance = getattr(ess, "provenance", None)
+    if not provenance:
+        return None
+    name = None
+    for key, cls in _factories().items():
+        if type(algorithm) is cls:
+            name = key
+            break
+    if name is None:
+        return None
+    contours = getattr(algorithm, "contours", None)
+    if contours is None:
+        return None
+    if contours.cost_ratio != provenance.get("cost_ratio"):
+        return None
+    algo_kwargs = {}
+    if name == "pb":
+        algo_kwargs["lam"] = algorithm.lam
+    return SweepSpec(
+        kind=provenance["kind"],
+        build_kwargs=tuple(sorted(provenance["build_kwargs"].items())),
+        algorithm=name,
+        algo_kwargs=tuple(sorted(algo_kwargs.items())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process algorithm cache: a worker serves many chunks of the same
+#: sweep and must rebuild its ESS (from the persisted archive or the
+#: forked registry) only once.
+_WORKER_ALGORITHMS = {}
+
+
+def _build_algorithm(spec):
+    cached = _WORKER_ALGORITHMS.get(spec)
+    if cached is not None:
+        return cached
+    build_kwargs = dict(spec.build_kwargs)
+    if spec.kind == "workload":
+        from repro.bench import workloads
+
+        instance = workloads.load(**build_kwargs)
+        ess, contours = instance.ess, instance.contours
+    elif spec.kind == "wallclock":
+        from repro.bench.wallclock import build_wallclock_setup
+
+        setup = build_wallclock_setup(**build_kwargs)
+        ess, contours = setup.ess, setup.contours
+    else:
+        raise ValueError(f"unknown sweep spec kind {spec.kind!r}")
+    factory = _factories()[spec.algorithm]
+    algorithm = factory(ess, contours, **dict(spec.algo_kwargs))
+    _WORKER_ALGORITHMS.clear()  # one live sweep per worker is the norm
+    _WORKER_ALGORITHMS[spec] = algorithm
+    return algorithm
+
+
+def _evaluate_chunk(task):
+    spec, flats = task
+    algorithm = _build_algorithm(spec)
+    out = np.empty(len(flats), dtype=float)
+    for i, flat in enumerate(flats):
+        out[i] = algorithm.run(int(flat)).suboptimality
+    return out
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+def parallel_suboptimality(spec, flats, workers):
+    """Fan a sweep across ``workers`` processes.
+
+    Returns the ``(len(flats),)`` sub-optimality array in input order,
+    or None when the parallel path is unavailable (caller falls back to
+    the serial loop).
+    """
+    flats = np.asarray(flats, dtype=np.int64)
+    workers = min(int(workers), max(1, len(flats)))
+    if workers <= 1 or len(flats) < MIN_PARALLEL_POINTS:
+        return None
+    num_chunks = min(len(flats), workers * CHUNKS_PER_WORKER)
+    chunks = np.array_split(flats, num_chunks)
+    try:
+        with TIMERS.phase("parallel_sweep"):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                parts = list(
+                    pool.map(_evaluate_chunk, [(spec, c) for c in chunks])
+                )
+    except Exception:
+        TIMERS.incr("parallel_sweep_fallback")
+        return None
+    TIMERS.incr("parallel_sweeps")
+    TIMERS.incr("parallel_sweep_points", len(flats))
+    return np.concatenate(parts)

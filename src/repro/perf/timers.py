@@ -1,0 +1,80 @@
+"""Lightweight phase timing and counters for the performance layer.
+
+Every expensive stage of the pipeline (ESS optimizer sweep, contour
+construction, exhaustive discovery sweeps, archive save/load) reports
+into a process-global :class:`PhaseTimer`, and the benchmark CLI dumps
+the accumulated profile into a ``BENCH_*.json`` artifact so the repo
+carries a perf trajectory across PRs.
+
+The instrumentation is deliberately cheap — a ``perf_counter`` pair and
+a dict update per phase — so it stays enabled unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Accumulates wall-clock totals per named phase, plus counters.
+
+    Phases nest freely; each :meth:`phase` block adds its own elapsed
+    time to its own name (no parent/child exclusion — the consumers
+    know which phases contain which).
+    """
+
+    def __init__(self):
+        self._phases = {}
+        self._counters = {}
+
+    @contextmanager
+    def phase(self, name):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            total, count = self._phases.get(name, (0.0, 0))
+            self._phases[name] = (total + elapsed, count + 1)
+
+    def record(self, name, seconds):
+        """Add an externally-measured duration to a phase."""
+        total, count = self._phases.get(name, (0.0, 0))
+        self._phases[name] = (total + float(seconds), count + 1)
+
+    def incr(self, counter, amount=1):
+        """Bump a named counter (cache hits/misses, worker counts...)."""
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+    def reset(self):
+        self._phases.clear()
+        self._counters.clear()
+
+    def summary(self):
+        """Plain-data profile: phase totals/counts and counters."""
+        return {
+            "phases": {
+                name: {"total_s": total, "count": count}
+                for name, (total, count) in sorted(self._phases.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+        }
+
+    def write_json(self, path, extra=None):
+        """Write the profile (merged with ``extra``) to a JSON file."""
+        payload = self.summary()
+        if extra:
+            payload.update(extra)
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return payload
+
+
+#: The process-global timer every instrumented module reports into.
+TIMERS = PhaseTimer()

@@ -1,0 +1,78 @@
+"""Smoke tests for the perf benchmark (repro bench) and phase timers."""
+
+import json
+
+import pytest
+
+from repro.bench import workloads
+from repro.perf.timers import PhaseTimer
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ess-cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    workloads.clear_cache()
+    yield
+    workloads.clear_cache()
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            pass
+        with timer.phase("build"):
+            pass
+        timer.record("sweep", 1.5)
+        timer.incr("hits")
+        timer.incr("hits", 2)
+        summary = timer.summary()
+        assert summary["phases"]["build"]["count"] == 2
+        assert summary["phases"]["sweep"]["total_s"] == 1.5
+        assert summary["counters"]["hits"] == 3
+
+    def test_write_json(self, tmp_path):
+        timer = PhaseTimer()
+        timer.record("x", 0.25)
+        path = tmp_path / "bench.json"
+        timer.write_json(path, extra={"schema_version": 1})
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["phases"]["x"]["total_s"] == 0.25
+
+
+@pytest.mark.smoke_bench
+class TestSmokeBench:
+    """Fast end-to-end run of the perf benchmark at smoke scale.
+
+    Marked ``smoke_bench`` so tier-1 can deselect it if it ever grows;
+    at smoke resolution the whole thing is sub-second.
+    """
+
+    def test_run_bench_writes_artifact(self, isolated_cache, tmp_path):
+        from repro.bench.perfbench import BENCH_SCHEMA_VERSION, run_bench
+
+        path = tmp_path / "BENCH_smoke.json"
+        payload = run_bench(json_path=str(path), query="2D_Q91",
+                            profile="smoke", workers=2)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["cache"]["roundtrip_identical"] is True
+        assert payload["cache"]["cache_hit"] is True
+        assert payload["cache"]["warm_load_s"] > 0
+        for stats in payload["sweeps"].values():
+            assert stats["max_abs_deviation"] == 0.0
+        assert "ess_build" in on_disk["phases"]
+        assert on_disk["hardware"]["cpu_count"] >= 1
+
+    def test_cli_bench_subcommand(self, isolated_cache, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "BENCH_cli.json"
+        code = main(["--profile", "smoke", "bench", "--query", "2D_Q91",
+                     "--workers", "2", "--json", str(path)])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "perf bench on 2D_Q91" in out

@@ -1,0 +1,61 @@
+"""Deduplicated plan reconstruction must match per-point recursion.
+
+``OptimizationResult.plans()`` groups grid locations by their signature
+of load-bearing DP choice entries and rebuilds one plan tree per
+distinct signature; these tests pin its exact equivalence to the naive
+``plan_at`` recursion at every location.
+"""
+
+import numpy as np
+
+from repro import ESSGrid
+from repro.optimizer.optimizer import Optimizer
+from tests.conftest import make_star_query, make_toy_query
+
+
+def _sweep(query, num_dims, resolution):
+    grid = ESSGrid(num_dims, resolution=resolution, sel_min=1e-6)
+    optimizer = Optimizer(query)
+    result = optimizer.optimize(grid.environment(),
+                                num_points=grid.num_points)
+    return grid, result
+
+
+class TestDedupReconstruction:
+    def test_matches_per_point_recursion_toy(self):
+        grid, result = _sweep(make_toy_query(), 2, 16)
+        keys, pool = result.plans()
+        for point in range(grid.num_points):
+            assert keys[point] == result.plan_at(point).key
+
+    def test_matches_per_point_recursion_star(self):
+        grid, result = _sweep(make_star_query(3), 3, 7)
+        keys, pool = result.plans()
+        for point in range(grid.num_points):
+            assert keys[point] == result.plan_at(point).key
+
+    def test_pool_contains_exactly_the_full_plans(self):
+        grid, result = _sweep(make_star_query(3), 3, 7)
+        keys, pool = result.plans()
+        assert set(keys) == set(pool)
+        full_tables = result._optimizer.all_tables
+        for plan in pool.values():
+            assert plan.tables == full_tables
+
+    def test_single_point_sweep(self):
+        query = make_toy_query()
+        optimizer = Optimizer(query)
+        result = optimizer.optimize({0: 1e-4, 1: 1e-3}, num_points=1)
+        keys, pool = result.plans()
+        assert len(keys) == 1
+        assert keys[0] == result.plan_at(0).key
+
+    def test_left_deep_space(self):
+        query = make_toy_query()
+        grid = ESSGrid(2, resolution=12, sel_min=1e-6)
+        optimizer = Optimizer(query, left_deep=True)
+        result = optimizer.optimize(grid.environment(),
+                                    num_points=grid.num_points)
+        keys, _ = result.plans()
+        for point in range(grid.num_points):
+            assert keys[point] == result.plan_at(point).key
