@@ -1,4 +1,4 @@
-"""The perf-trajectory benchmark: ``repro bench --json BENCH_pr1.json``.
+"""The perf-trajectory benchmark: ``repro bench --json BENCH_pr2.json``.
 
 Measures the performance layer end to end and writes a JSON artifact so
 every PR can append a comparable data point:
@@ -7,8 +7,14 @@ every PR can append a comparable data point:
   load (persistent-archive hit) for one workload, with an equivalence
   check (optimal costs, plan ids and plan keys must round-trip
   bit-identically);
-* **sweeps** — serial vs multiprocess exhaustive SB/AB evaluation with
-  the max absolute sub-optimality deviation between the two paths;
+* **sweeps** — the per-location reference loop vs the frontier-batched
+  engine for PB/SB/AB exhaustive evaluation, timed best-of-N on fresh
+  instances (cold memo caches both sides), with a bit-identity check
+  (``np.array_equal``, not a tolerance) between the two paths;
+* **parallel** — the multiprocess fan-out *decision* and, only when the
+  cost guard lets fan-out proceed, its timings.  On hosts where the
+  guard keeps the sweep serial (single CPU, small sweep) the artifact
+  records the skip and its reason rather than a meaningless 1x;
 * **timers** — the process-global phase profile (ess_build / contour /
   sweep timings, cache hit counters) accumulated while benchmarking.
 
@@ -28,13 +34,25 @@ import numpy as np
 from repro.bench import workloads
 from repro.core.aligned_bound import AlignedBound
 from repro.core.mso import evaluate_algorithm
+from repro.core.plan_bouquet import PlanBouquet
 from repro.core.spill_bound import SpillBound
 from repro.ess.persistence import ess_cache_key
 from repro.perf import cache as ess_cache
+from repro.perf.parallel import fanout_decision
 from repro.perf.timers import TIMERS
 
-#: Schema version of the BENCH json artifact.
-BENCH_SCHEMA_VERSION = 1
+#: Schema version of the BENCH json artifact.  v2: ``sweeps`` compares
+#: the reference loop against the frontier-batched engine (was serial vs
+#: multiprocess) and the fan-out measurement moved to ``parallel`` with
+#: an explicit skip/skip_reason record.
+BENCH_SCHEMA_VERSION = 2
+
+#: Timing repeats per engine; the minimum is reported (the minimum is
+#: the least noise-contaminated observation of a deterministic
+#: computation — the ``timeit`` rationale).
+SWEEP_REPEATS = 5
+
+_ALGORITHMS = {"pb": PlanBouquet, "sb": SpillBound, "ab": AlignedBound}
 
 
 def _disk_key(instance):
@@ -96,38 +114,96 @@ def _fresh_instance(name, profile, resolution):
     return workloads.load(name, profile=profile, resolution=resolution)
 
 
-def bench_sweep(name, profile, workers, algorithms=("sb", "ab"),
-                resolution=None):
-    """Serial vs parallel exhaustive evaluation for SB/AB."""
-    classes = {"sb": SpillBound, "ab": AlignedBound}
+def _timed_sweep(cls, name, profile, resolution, engine, workers=None):
+    """One fresh-instance exhaustive sweep on the given engine."""
+    instance = _fresh_instance(name, profile, resolution)
+    algorithm = cls(instance.ess, instance.contours)
+    start = time.perf_counter()
+    evaluation = evaluate_algorithm(algorithm, workers=workers,
+                                    engine=engine)
+    return time.perf_counter() - start, evaluation, instance
+
+
+def bench_sweep(name, profile, algorithms=("pb", "sb", "ab"),
+                resolution=None, repeats=SWEEP_REPEATS):
+    """Reference loop vs frontier-batched exhaustive evaluation.
+
+    Each engine runs ``repeats`` times on a fresh instance (cold memo
+    caches every run) and the minimum is reported; the two engines'
+    sub-optimality arrays must be bit-identical (``np.array_equal``).
+    """
     out = {}
     for key in algorithms:
-        cls = classes[key]
-        instance = _fresh_instance(name, profile, resolution)
-        serial_algo = cls(instance.ess, instance.contours)
-        start = time.perf_counter()
-        serial = evaluate_algorithm(serial_algo, workers=1)
-        serial_s = time.perf_counter() - start
-
-        instance = _fresh_instance(name, profile, resolution)
-        parallel_algo = cls(instance.ess, instance.contours)
-        start = time.perf_counter()
-        par = evaluate_algorithm(parallel_algo, workers=workers)
-        parallel_s = time.perf_counter() - start
-
-        deviation = float(
-            np.max(np.abs(serial.suboptimality - par.suboptimality))
+        cls = _ALGORITHMS[key]
+        loop_s = batch_s = float("inf")
+        loop_eval = batch_eval = instance = None
+        for _ in range(repeats):
+            elapsed, loop_eval, instance = _timed_sweep(
+                cls, name, profile, resolution, "loop")
+            loop_s = min(loop_s, elapsed)
+            elapsed, batch_eval, _ = _timed_sweep(
+                cls, name, profile, resolution, "batch")
+            batch_s = min(batch_s, elapsed)
+        identical = np.array_equal(
+            loop_eval.suboptimality, batch_eval.suboptimality
         )
         out[key] = {
             "grid_points": int(instance.ess.grid.num_points),
-            "serial_s": serial_s,
-            "parallel_s": parallel_s,
-            "workers": int(workers),
-            "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
-            "max_abs_deviation": deviation,
-            "mso": float(serial.mso),
-            "aso": float(serial.aso),
+            "loop_s": loop_s,
+            "batch_s": batch_s,
+            "repeats": int(repeats),
+            "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+            "batch_identical": bool(identical),
+            "max_abs_deviation": float(np.max(np.abs(
+                loop_eval.suboptimality - batch_eval.suboptimality
+            ))),
+            "mso": float(loop_eval.mso),
+            "aso": float(loop_eval.aso),
         }
+    return out
+
+
+def bench_parallel(name, profile, workers, algorithms=("sb",),
+                   resolution=None):
+    """The multiprocess fan-out, reported honestly.
+
+    :func:`repro.perf.parallel.fanout_decision` is consulted first; when
+    it keeps the sweep serial, the entry records the skip and its reason
+    instead of timing a fan-out the engine would never run.  Only when
+    fan-out proceeds are serial-vs-parallel timings (and their max
+    absolute deviation, expected 0.0) measured.
+    """
+    out = {}
+    for key in algorithms:
+        cls = _ALGORITHMS[key]
+        instance = _fresh_instance(name, profile, resolution)
+        num_points = int(instance.ess.grid.num_points)
+        effective, skip = fanout_decision(num_points, workers)
+        entry = {
+            "grid_points": num_points,
+            "workers_requested": int(workers),
+            "workers_effective": int(effective),
+            "skipped": skip is not None,
+            "skip_reason": skip,
+        }
+        if skip is None:
+            serial_s, serial_eval, _ = _timed_sweep(
+                cls, name, profile, resolution, "batch")
+            start_instance = _fresh_instance(name, profile, resolution)
+            algorithm = cls(start_instance.ess, start_instance.contours)
+            start = time.perf_counter()
+            par = evaluate_algorithm(algorithm, workers=effective,
+                                     engine="parallel")
+            parallel_s = time.perf_counter() - start
+            entry.update({
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+                "max_abs_deviation": float(np.max(np.abs(
+                    serial_eval.suboptimality - par.suboptimality
+                ))),
+            })
+        out[key] = entry
     return out
 
 
@@ -137,16 +213,18 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
 
     Args:
         json_path: where to write the BENCH json (None: don't write).
-        query: workload for both the cache and sweep measurements.
+        query: workload for the cache, sweep and parallel measurements.
         profile: resolution profile (None: ``REPRO_PROFILE`` default).
-        workers: process count for the parallel sweep.
+        workers: requested process count for the parallel sweep (the
+            fan-out cost guard may clamp or skip it).
         resolution: optional explicit grid resolution (bigger grids
-            give both the cache and the parallel sweep more to chew).
+            give every measurement more to chew).
     """
     TIMERS.reset()
     cache_stats = bench_cache(query, profile, resolution=resolution)
-    sweep_stats = bench_sweep(query, profile, workers,
-                              resolution=resolution)
+    sweep_stats = bench_sweep(query, profile, resolution=resolution)
+    parallel_stats = bench_parallel(query, profile, workers,
+                                    resolution=resolution)
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -158,6 +236,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "parallel_speedup_achievable": (os.cpu_count() or 1) > 1,
         "cache": cache_stats,
         "sweeps": sweep_stats,
+        "parallel": parallel_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

@@ -10,8 +10,9 @@ Gives the library's main flows a no-code entry point:
 * ``experiment`` — regenerate a specific paper table/figure;
 * ``wallclock`` — the Section 6.3 actual-execution experiment;
 * ``advise`` — the native-vs-robust deployment advisor;
-* ``bench`` — the perf-trajectory benchmark (cache + parallel sweeps),
-  optionally written to a ``BENCH_*.json`` artifact.
+* ``bench`` — the perf-trajectory benchmark (ESS cache, loop vs
+  batched sweep engines, fan-out decision), optionally written to a
+  ``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
@@ -239,10 +240,23 @@ def cmd_bench(args):
              "bit-identical" if cache["roundtrip_identical"] else "MISMATCH"]]
     for algo, stats in payload["sweeps"].items():
         rows.append([
-            f"{algo} sweep x{stats['workers']} workers",
-            f"{stats['speedup']:.2f}x",
-            f"max dev {stats['max_abs_deviation']:.2e}",
+            f"{algo} batched sweep vs loop",
+            f"{stats['speedup']:.1f}x",
+            "bit-identical" if stats["batch_identical"] else "MISMATCH",
         ])
+    for algo, stats in payload["parallel"].items():
+        if stats["skipped"]:
+            rows.append([
+                f"{algo} parallel sweep x{stats['workers_requested']}",
+                "skipped",
+                stats["skip_reason"],
+            ])
+        else:
+            rows.append([
+                f"{algo} parallel sweep x{stats['workers_effective']}",
+                f"{stats['speedup']:.2f}x",
+                f"max dev {stats['max_abs_deviation']:.2e}",
+            ])
     print(format_table(
         f"perf bench on {cache['query']} "
         f"({cache['grid_points']} locations, "

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.discovery import (
+    BUDGET_EPS,
     NORMAL,
     SPILL,
     DiscoveryResult,
@@ -46,7 +47,7 @@ from repro.core.spill_bound import SpillBound, learnable_index
 from repro.errors import DiscoveryError
 from repro.ess.contours import DEFAULT_COST_RATIO
 
-_EPS = 1e-9
+_EPS = BUDGET_EPS
 
 
 def set_partitions(items):
@@ -86,6 +87,12 @@ class PartStep:
     curve: np.ndarray
     penalty: float
     native: bool
+
+    @property
+    def exec_dim(self):
+        """The dimension this execution learns (uniform step interface
+        shared with SpillBound's :class:`~repro.core.spill_bound.SpillStep`)."""
+        return self.leader
 
 
 class AlignedBound(SpillBound):
@@ -164,6 +171,45 @@ class AlignedBound(SpillBound):
     # PSA per part
     # ------------------------------------------------------------------
 
+    def _seed_singleton_parts(self, contour_index, learned_key, active,
+                              coords, plan_ids, point_spill):
+        """Precompute every singleton part's step in one vectorized pass.
+
+        A singleton part's PSA always holds natively (each member spills
+        on the part's only dimension), so its step only needs the first
+        extreme-coordinate member per dimension — one masked argmax over
+        an ``(active, contour)`` matrix resolves all of them at once,
+        instead of a mask/gather round-trip per part.  Seeds
+        ``_part_cache`` so the partition enumeration's
+        :meth:`_evaluate_part` calls hit for singletons.
+        """
+        if not active:
+            return
+        budget = self.contours.budget(contour_index)
+        eq = point_spill[None, :] == np.asarray(active)[:, None]
+        cols = coords[:, active].T
+        first_rows = np.where(eq, cols, -1).argmax(axis=1)
+        for k, dim in enumerate(active):
+            key = (contour_index, learned_key, (dim,))
+            if key in self._part_cache:
+                continue
+            row = int(first_rows[k])
+            max_j = int(coords[row, dim])
+            pid = int(plan_ids[row])
+            location = tuple(int(c) for c in coords[row])
+            curve = self.ess.spill_cost_curve(pid, dim, location)
+            self._part_cache[key] = PartStep(
+                dims=(dim,),
+                leader=dim,
+                plan_id=pid,
+                location=location,
+                budget=budget,
+                learn_idx=learnable_index(curve, budget, max_j),
+                curve=curve,
+                penalty=1.0,
+                native=True,
+            )
+
     def _evaluate_part(self, contour_index, learned_key, part, context):
         """Best (leader, plan, penalty) for one candidate part ``T``.
 
@@ -176,13 +222,14 @@ class AlignedBound(SpillBound):
 
         coords, plan_ids, point_spill, remaining_key = context
         budget = self.contours.budget(contour_index)
-        in_part = np.isin(point_spill, part)
+        in_part = point_spill == part[0]
+        for dim in part[1:]:
+            in_part |= point_spill == dim
         best = None
         if in_part.any():
-            part_points = np.flatnonzero(in_part)
             for leader in part:
                 step = self._leader_step(
-                    leader, part, part_points, coords, plan_ids, point_spill,
+                    leader, part, in_part, coords, plan_ids, point_spill,
                     budget, remaining_key, contour_index,
                 )
                 if step is None:
@@ -195,17 +242,31 @@ class AlignedBound(SpillBound):
         self._part_cache[cache_key] = best
         return best
 
-    def _leader_step(self, leader, part, part_points, coords, plan_ids,
+    def _leader_step(self, leader, part, in_part, coords, plan_ids,
                      point_spill, budget, remaining_key, contour_index):
         """PSA for part ``T`` with a specific leader dimension."""
-        lead_coords = coords[part_points, leader]
-        max_j = int(lead_coords.max())
-        at_max = part_points[lead_coords == max_j]
-        native = at_max[point_spill[at_max] == leader]
-        if len(native):
+        lead_col = coords[:, leader]
+        if len(part) == 1:
+            # Every member of a singleton part spills on its only
+            # dimension, so PSA always holds natively at the first
+            # extreme-coordinate location (masked argmax returns the
+            # first member row achieving the maximum).
+            row = int(np.where(in_part, lead_col, -1).argmax())
+            max_j = int(lead_col[row])
+        else:
+            max_j = int(np.where(in_part, lead_col, -1).max())
+            # First part member at the extreme coordinate that spills on
+            # the leader; a masked argmax over the leader-spillers gives
+            # the first such row, valid only if it reaches max_j.
+            cand = int(np.where(
+                in_part & (point_spill == leader), lead_col, -1
+            ).argmax())
+            native = (point_spill[cand] == leader and in_part[cand]
+                      and int(lead_col[cand]) == max_j)
+            row = cand if native else -1
+        if row >= 0:
             # PSA holds natively: the extreme location's plan already
             # spills on the leader.
-            row = int(native[0])
             pid = int(plan_ids[row])
             location = tuple(int(c) for c in coords[row])
             curve = self.ess.spill_cost_curve(pid, leader, location)
@@ -229,22 +290,23 @@ class AlignedBound(SpillBound):
         s_rows = np.flatnonzero(coords[:, leader] == max_j)
         if len(s_rows) == 0:
             return None
-        s_flat = np.fromiter(
-            (self.ess.grid.flat_index(tuple(int(c) for c in coords[r]))
-             for r in s_rows),
-            dtype=np.int64,
-            count=len(s_rows),
+        s_flat = coords[s_rows].astype(np.int64) @ np.asarray(
+            self.ess.grid.strides, dtype=np.int64
         )
-        best_cost = np.inf
-        best_pid = None
-        best_row = None
-        for pid in pool:
-            costs = self.ess.plan_cost_at_points(pid, s_flat)
-            k = int(np.argmin(costs))
-            if costs[k] < best_cost:
-                best_cost = float(costs[k])
-                best_pid = pid
-                best_row = int(s_rows[k])
+        costs = np.empty((len(pool), s_flat.size), dtype=float)
+        if self.ess.grid.num_points <= self.ess.POINTWISE_EVAL_MIN_GRID:
+            for k, pid in enumerate(pool):
+                costs[k] = self._cost_surface(pid)[s_flat]
+        else:
+            for k, pid in enumerate(pool):
+                costs[k] = self.ess.plan_cost_at_points(pid, s_flat)
+        # Flat argmin scans row-major: first pool plan, then first
+        # location, achieving the minimum — the scalar search's
+        # tie-breaking order.
+        flat_min = int(np.argmin(costs))
+        best_cost = float(costs.flat[flat_min])
+        best_pid = pool[flat_min // s_flat.size]
+        best_row = int(s_rows[flat_min % s_flat.size])
         exec_budget = max(budget, best_cost)
         location = tuple(int(c) for c in coords[best_row])
         curve = self.ess.spill_cost_curve(best_pid, leader, location)
@@ -277,18 +339,13 @@ class AlignedBound(SpillBound):
         if len(coords):
             remaining = [d for d in range(self.num_dims) if d not in learned]
             remaining_key = tuple(remaining)
-            spill_of_plan = {
-                int(pid): self.ess.spill_dimension(int(pid), remaining)
-                for pid in np.unique(plan_ids)
-            }
-            point_spill = np.fromiter(
-                (spill_of_plan[int(pid)] if spill_of_plan[int(pid)] is not None
-                 else -1 for pid in plan_ids),
-                dtype=np.int64,
-                count=len(plan_ids),
-            )
-            active = sorted(int(d) for d in np.unique(point_spill) if d >= 0)
+            point_spill = self._point_spill(plan_ids, learned)
+            active = sorted(set(point_spill.tolist()) - {-1})
             context = (coords, plan_ids, point_spill, remaining_key)
+            self._seed_singleton_parts(
+                contour_index, learned_key, active, coords, plan_ids,
+                point_spill,
+            )
             best_steps = None
             best_cost = np.inf
             for partition in set_partitions(active):
@@ -323,6 +380,10 @@ class AlignedBound(SpillBound):
             steps = best_steps
         self._partition_cache[key] = steps
         return steps
+
+    def contour_steps(self, contour_index, learned):
+        """The chosen partition's steps (uniform step interface)."""
+        return self._plan_partition(contour_index, learned)
 
     # ------------------------------------------------------------------
     # Discovery (Algorithm 2)
@@ -368,10 +429,9 @@ class AlignedBound(SpillBound):
                     f"AlignedBound ascended past the last contour at {coords}"
                 )
 
-            steps = self._plan_partition(contour_index, learned)
             learnt_this_pass = False
-            for step in steps:
-                dim = step.leader
+            for step in self.contour_steps(contour_index, learned):
+                dim = step.exec_dim
                 fresh = (contour_index, dim) not in executed_on_contour
                 executed_on_contour.add((contour_index, dim))
                 if not fresh:

@@ -23,6 +23,19 @@ from dataclasses import dataclass, field
 SPILL = "spill"
 NORMAL = "normal"
 
+#: Relative slack for budget comparisons — floating point only, shared
+#: by every discovery algorithm and by the batched sweep engine so both
+#: paths make bit-identical completion decisions.
+BUDGET_EPS = 1e-9
+
+
+def budget_covers(cost, budget):
+    """Whether a budgeted execution completes: ``cost <= budget`` up to
+    the shared floating-point slack.  Works elementwise on arrays, so
+    the scalar ``run(qa)`` walk and the vectorized sweep engine share
+    one completion predicate."""
+    return cost <= budget * (1.0 + BUDGET_EPS)
+
 
 @dataclass(frozen=True)
 class ExecutionRecord:

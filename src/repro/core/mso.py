@@ -62,18 +62,33 @@ def _parallel_sweep(algorithm, flats, workers):
     return parallel_suboptimality(spec, flats, workers)
 
 
-def evaluate_algorithm(algorithm, points=None, workers=None):
+def _batched_sweep(algorithm, points):
+    """Try the frontier-batched engine; None means "not covered"."""
+    from repro.perf.batch import batched_suboptimality
+
+    return batched_suboptimality(algorithm, points)
+
+
+#: Sweep-engine choices accepted by :func:`evaluate_algorithm`.
+SWEEP_ENGINES = ("auto", "batch", "parallel", "loop")
+
+
+def evaluate_algorithm(algorithm, points=None, workers=None, engine="auto"):
     """Exhaustively evaluate a discovery algorithm over the ESS.
 
     Every grid location is treated in turn as the actual selectivity
     location ``qa`` (the paper's "explicitly and exhaustively considering
     each and every location", Section 6.2.3).
 
-    When more than one worker is requested (the ``workers`` argument, or
-    the ``REPRO_WORKERS`` environment knob) and the algorithm's ESS
-    carries registry provenance, the sweep fans out across worker
-    processes via :mod:`repro.perf.parallel`; the results are identical
-    to the serial sweep, which remains the fallback for everything else.
+    Three sweep engines exist (see ``docs/performance.md``): the
+    frontier-batched engine of :mod:`repro.perf.batch` (visits each
+    discovery state once, partitioning location sets with array
+    arithmetic — bit-identical to the loop and preferred whenever it
+    covers the algorithm), the multiprocess fan-out of
+    :mod:`repro.perf.parallel` (workers chunk the location set and
+    propagate each chunk through the shared state machine, so per-worker
+    work scales with states touched, not points), and the per-location
+    reference loop.
 
     Args:
         algorithm: object exposing either ``evaluate_all() -> (N,) array``
@@ -81,22 +96,37 @@ def evaluate_algorithm(algorithm, points=None, workers=None):
         points: optional iterable of flat indices to restrict the sweep
             (used by sampled ablations); default is the full grid.
         workers: worker-process count; default from ``REPRO_WORKERS``.
+        engine: ``"auto"`` (batched when covered, then multiprocess when
+            its cost guard says fan-out can win, then serial),
+            ``"batch"`` (batched or serial fallback), ``"parallel"``
+            (force the fan-out attempt), or ``"loop"`` (force the
+            per-location reference loop — the benchmark baseline).
 
     Returns:
         :class:`Evaluation`.
     """
     from repro.perf.parallel import worker_count
 
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; choose from {SWEEP_ENGINES}"
+        )
     grid = algorithm.ess.grid
     flat_list = (
         list(range(grid.num_points)) if points is None else list(points)
     )
-    workers = worker_count(workers)
     sub = None
-    if workers > 1:
-        sub = _parallel_sweep(algorithm, flat_list, workers)
+    if engine in ("auto", "batch"):
+        sub = _batched_sweep(
+            algorithm, None if points is None else flat_list
+        )
+    if sub is None and engine in ("auto", "parallel"):
+        workers = worker_count(workers)
+        if workers > 1:
+            sub = _parallel_sweep(algorithm, flat_list, workers)
     if sub is None:
-        if points is None and hasattr(algorithm, "evaluate_all"):
+        if (engine != "loop" and points is None
+                and hasattr(algorithm, "evaluate_all")):
             sub = np.asarray(algorithm.evaluate_all(), dtype=float)
         else:
             sub = np.empty(len(flat_list), dtype=float)

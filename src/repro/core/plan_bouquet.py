@@ -14,9 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.discovery import (
+    BUDGET_EPS,
     NORMAL,
     DiscoveryResult,
     ExecutionRecord,
+    budget_covers,
     normalize_location,
 )
 from repro.errors import DiscoveryError
@@ -24,7 +26,7 @@ from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
 from repro.ess.reduction import DEFAULT_LAMBDA, AnorexicReduction
 
 #: Relative slack for budget comparisons (floating point only).
-_EPS = 1e-9
+_EPS = BUDGET_EPS
 
 
 class PlanBouquet:
@@ -85,7 +87,7 @@ class PlanBouquet:
             budget = rc.inflated_budget
             for pid in rc.plan_ids:
                 cost_here = self.ess.plan_cost_at(pid, flat)
-                completed = cost_here <= budget * (1.0 + _EPS)
+                completed = budget_covers(cost_here, budget)
                 charged = cost_here if completed else budget
                 total += charged
                 num_exec += 1
@@ -115,28 +117,28 @@ class PlanBouquet:
             "does not reach the query's contour (inconsistent state)"
         )
 
-    def evaluate_all(self):
+    def evaluate_all(self, points=None):
         """Vectorized exhaustive sweep: sub-optimality for every ``qa``.
 
-        One pass per bouquet plan per contour, entirely in numpy — the
+        Delegates to the batched sweep engine (:mod:`repro.perf.batch`):
+        one pass per bouquet plan per contour, entirely in numpy — the
         completion test for a plan is just an array comparison of its
-        (cached) cost surface against the contour budget.
+        (cached) cost surface against the contour budget.  Subclasses
+        the engine does not cover fall back to the per-location loop.
+
+        Args:
+            points: optional flat indices restricting the sweep.
         """
-        n = self.ess.grid.num_points
-        total = np.zeros(n, dtype=float)
-        active = np.ones(n, dtype=bool)
-        for rc in self.reduction.reduced:
-            if not active.any():
-                break
-            budget = rc.inflated_budget
-            for pid in rc.plan_ids:
-                if not active.any():
-                    break
-                cost = self.ess.plan_cost_array(pid)
-                completes = active & (cost <= budget * (1.0 + _EPS))
-                total[completes] += cost[completes]
-                active &= ~completes
-                total[active] += budget
-        if active.any():
-            raise DiscoveryError("PlanBouquet sweep left unfinished locations")
-        return total / self.ess.optimal_cost
+        from repro.perf.batch import batched_suboptimality
+
+        sub = batched_suboptimality(self, points)
+        if sub is not None:
+            return sub
+        flats = (
+            range(self.ess.grid.num_points) if points is None
+            else list(points)
+        )
+        out = np.empty(len(flats), dtype=float)
+        for k, flat in enumerate(flats):
+            out[k] = self.run(flat).suboptimality
+        return out

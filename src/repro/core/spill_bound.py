@@ -36,16 +36,61 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.discovery import (
+    BUDGET_EPS,
     NORMAL,
     SPILL,
     DiscoveryResult,
     ExecutionRecord,
+    budget_covers,
     normalize_location,
 )
 from repro.errors import DiscoveryError
 from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
 
-_EPS = 1e-9
+_EPS = BUDGET_EPS
+
+
+def band_trials(bands, plan_ids):
+    """Trial order of the 1-D bouquet along effective lines (vectorized).
+
+    The classic tail executes, per contour in ascending order, each plan
+    optimal somewhere in that contour's slice of the line — ordered by
+    the plan's first position along the line, each plan tried once per
+    contour.  This function derives exactly that (band, plan) trial
+    sequence for ``S`` lines at once.
+
+    Args:
+        bands: ``(S, R)`` int array, 0-based contour band per position.
+        plan_ids: ``(S, R)`` int array, optimal plan per position.
+
+    Returns:
+        ``(line, band, pid)`` int64 arrays in trial order: line-major,
+        then band-major, then first-occurrence position within the band.
+        Both the scalar tail's per-contour plan lists
+        (:meth:`SpillBound._line_plans`) and the batched engine's global
+        tail drain are derived from this single implementation.
+    """
+    bands = np.ascontiguousarray(bands, dtype=np.int64)
+    plan_ids = np.ascontiguousarray(plan_ids, dtype=np.int64)
+    num_lines, length = bands.shape
+    flat_bands = bands.reshape(-1)
+    flat_pids = plan_ids.reshape(-1)
+    line = np.repeat(np.arange(num_lines, dtype=np.int64), length)
+    num_bands = int(flat_bands.max()) + 1 if flat_bands.size else 1
+    num_pids = int(flat_pids.max()) + 1 if flat_pids.size else 1
+    # Stable sort on (line, band, pid) keeps position order within each
+    # key, so dropping duplicate keys keeps each plan's first position.
+    key = (line * num_bands + flat_bands) * num_pids + flat_pids
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    keep = np.empty(sorted_key.size, dtype=bool)
+    if keep.size:
+        keep[0] = True
+        keep[1:] = sorted_key[1:] != sorted_key[:-1]
+    first = order[keep]
+    # Re-rank the surviving trials by position within (line, band).
+    final = first[np.lexsort((first % length, flat_bands[first], line[first]))]
+    return line[final], flat_bands[final], flat_pids[final]
 
 
 @dataclass(frozen=True)
@@ -74,6 +119,12 @@ class SpillStep:
     curve: np.ndarray
     penalty: float = 1.0
 
+    @property
+    def exec_dim(self):
+        """The dimension this execution learns (uniform step interface
+        shared with AlignedBound's :class:`PartStep`)."""
+        return self.dim
+
 
 def learnable_index(curve, budget, floor_idx):
     """Largest grid index whose spill cost fits ``budget``.
@@ -101,6 +152,8 @@ class SpillBound:
         self.contours = contour_set or ContourSet(ess, cost_ratio)
         self._step_cache = {}
         self._line_cache = {}
+        self._effective_cache = {}
+        self._cost_surfaces = {}
 
     # ------------------------------------------------------------------
     # Guarantees
@@ -139,18 +192,58 @@ class SpillBound:
         """Contour locations matching the learnt coordinates exactly.
 
         Returns ``(coords_matrix, plan_ids)`` of the effective search
-        space (paper Section 4.2), possibly empty.
+        space (paper Section 4.2), possibly empty.  Cached per state and
+        computed incrementally — a state's arrays are the parent state's
+        (one fewer learnt coordinate) masked by the newest constraint,
+        so repeated exhaustive sweeps never re-mask the full contour.
         """
-        contour = self.contours.contour(contour_index)
-        coords = contour.coords
-        plan_ids = contour.plan_ids
-        if learned and len(coords):
-            mask = np.ones(len(coords), dtype=bool)
-            for dim, idx in learned.items():
-                mask &= coords[:, dim] == idx
-            coords = coords[mask]
-            plan_ids = plan_ids[mask]
-        return coords, plan_ids
+        if not learned:
+            contour = self.contours.contour(contour_index)
+            return contour.coords, contour.plan_ids
+        items = tuple(sorted(learned.items()))
+        key = (contour_index, items)
+        cached = self._effective_cache.get(key)
+        if cached is None:
+            dim, idx = items[-1]
+            coords, plan_ids = self._effective_contour(
+                contour_index, dict(items[:-1])
+            )
+            if len(coords):
+                mask = coords[:, dim] == idx
+                coords = coords[mask]
+                plan_ids = plan_ids[mask]
+            cached = (coords, plan_ids)
+            self._effective_cache[key] = cached
+        return cached
+
+    def _cost_surface(self, plan_id):
+        """A plan's full-grid cost surface as a plain float array.
+
+        Thin ref cache over :meth:`~repro.ess.ocs.ESS.plan_cost_array`:
+        the replacement searches and the batched tail drain gather from
+        these surfaces thousands of times per sweep, and the ESS cache's
+        per-hit LRU bookkeeping dominated those lookups.
+        """
+        arr = self._cost_surfaces.get(plan_id)
+        if arr is None:
+            arr = np.asarray(self.ess.plan_cost_array(plan_id), dtype=float)
+            self._cost_surfaces[plan_id] = arr
+        return arr
+
+    def _point_spill(self, plan_ids, learned):
+        """First unlearned spill dimension per contour location.
+
+        Vectorized equivalent of calling
+        :meth:`~repro.ess.ocs.ESS.spill_dimension` per location
+        (``-1`` where the plan's whole spill order is already learnt).
+        """
+        orders = self.ess.spill_order_matrix()[plan_ids]
+        valid = orders >= 0
+        for dim in learned:
+            valid &= orders != dim
+        first = valid.argmax(axis=1)
+        rows = np.arange(len(orders))
+        return np.where(valid[rows, first], orders[rows, first], -1)
 
     def _plan_steps(self, contour_index, learned):
         """The ``{dim: SpillStep}`` map for a discovery state (cached)."""
@@ -163,16 +256,7 @@ class SpillBound:
         steps = {}
         if len(coords):
             remaining = [d for d in range(self.num_dims) if d not in learned]
-            spill_of_plan = {
-                int(pid): self.ess.spill_dimension(int(pid), remaining)
-                for pid in np.unique(plan_ids)
-            }
-            point_spill = np.fromiter(
-                (spill_of_plan[int(pid)] if spill_of_plan[int(pid)] is not None
-                 else -1 for pid in plan_ids),
-                dtype=np.int64,
-                count=len(plan_ids),
-            )
+            point_spill = self._point_spill(plan_ids, learned)
             budget = self.contours.budget(contour_index)
             for dim in remaining:
                 candidates = np.flatnonzero(point_spill == dim)
@@ -193,6 +277,21 @@ class SpillBound:
         self._step_cache[key] = steps
         return steps
 
+    def contour_steps(self, contour_index, learned):
+        """The ordered budgeted executions crossing a contour in a state.
+
+        The uniform step interface consumed by both the scalar
+        :meth:`run` walk and the frontier-batched sweep engine
+        (:mod:`repro.perf.batch`): each step exposes ``exec_dim``,
+        ``budget``, ``learn_idx``, ``curve`` and ``penalty``, and an
+        execution at actual location ``qa`` completes iff
+        ``qa``'s ``exec_dim`` grid index is ``<= learn_idx`` (charging
+        ``curve[idx]``; the budget otherwise).  AlignedBound overrides
+        this with its partition-cover steps.
+        """
+        steps = self._plan_steps(contour_index, learned)
+        return [steps[key] for key in sorted(steps)]
+
     # ------------------------------------------------------------------
     # The 1-D PlanBouquet tail
     # ------------------------------------------------------------------
@@ -211,13 +310,13 @@ class SpillBound:
             return cached
         grid = self.ess.grid
         line = grid.line_indices(learned, free_dim)
-        bands = self.contours.band[line]
-        plan_ids = self.ess.plan_ids[line]
+        _, trial_bands, trial_pids = band_trials(
+            self.contours.band[line][None, :],
+            self.ess.plan_ids[line][None, :],
+        )
         per_contour = [[] for _ in range(self.contours.num_contours)]
-        for band, pid in zip(bands, plan_ids):
-            bucket = per_contour[int(band)]
-            if int(pid) not in bucket:
-                bucket.append(int(pid))
+        for band, pid in zip(trial_bands.tolist(), trial_pids.tolist()):
+            per_contour[band].append(pid)
         self._line_cache[key] = per_contour
         return per_contour
 
@@ -234,7 +333,7 @@ class SpillBound:
             budget = self.contours.budget(index)
             for pid in per_contour[index - 1]:
                 cost_here = self.ess.plan_cost_at(pid, flat)
-                completed = cost_here <= budget * (1.0 + _EPS)
+                completed = budget_covers(cost_here, budget)
                 charged = cost_here if completed else budget
                 total += charged
                 num_exec += 1
@@ -315,11 +414,9 @@ class SpillBound:
                     completed_plan_key=plan_key,
                 )
 
-            steps = self._plan_steps(contour_index, learned)
             learnt_this_pass = False
-            for key in sorted(steps):
-                step = steps[key]
-                dim = step.dim  # keys order execution; dims come from steps
+            for step in self.contour_steps(contour_index, learned):
+                dim = step.exec_dim  # steps carry their own dimension
                 fresh = (contour_index, dim) not in executed_on_contour
                 executed_on_contour.add((contour_index, dim))
                 if not fresh:
@@ -364,10 +461,28 @@ class SpillBound:
             f"SpillBound ascended past the last contour at {coords}"
         )
 
-    def evaluate_all(self):
-        """Exhaustive sweep: sub-optimality for every grid location."""
-        n = self.ess.grid.num_points
-        sub = np.empty(n, dtype=float)
-        for flat in range(n):
-            sub[flat] = self.run(flat).suboptimality
-        return sub
+    def evaluate_all(self, points=None):
+        """Exhaustive sweep: sub-optimality for every grid location.
+
+        Prefers the frontier-batched engine (:mod:`repro.perf.batch`),
+        which visits each discovery state once and partitions location
+        *sets* with array arithmetic; subclasses the engine does not
+        cover fall back to the per-location reference loop.
+
+        Args:
+            points: optional flat indices restricting the sweep;
+                default is the full grid.
+        """
+        from repro.perf.batch import batched_suboptimality
+
+        sub = batched_suboptimality(self, points)
+        if sub is not None:
+            return sub
+        flats = (
+            range(self.ess.grid.num_points) if points is None
+            else list(points)
+        )
+        out = np.empty(len(flats), dtype=float)
+        for k, flat in enumerate(flats):
+            out[k] = self.run(flat).suboptimality
+        return out

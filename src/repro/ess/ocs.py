@@ -42,7 +42,9 @@ class ESS:
         self._cost_arrays = {}
         self._point_costs = {}
         self._spill_orders = {}
+        self._spill_order_matrix = None
         self._subtree_costs = {}
+        self._subtree_dim_cache = {}
 
     @classmethod
     def build(cls, query, grid=None, cost_model=DEFAULT_COST_MODEL,
@@ -94,9 +96,23 @@ class ESS:
     #: predictable memory on queries with large POSPs.
     COST_CACHE_LIMIT = 512
 
+    def _cost_array_hit(self, plan_id):
+        """Cache lookup with an LRU recency refresh on hit.
+
+        Eviction pops the dict's first entry, so hits must move their
+        key to the end — otherwise the cache degrades to FIFO and
+        AlignedBound's revisit-heavy replacement searches thrash on
+        plans that were inserted early but stay hot.
+        """
+        cached = self._cost_arrays.get(plan_id)
+        if cached is not None:
+            del self._cost_arrays[plan_id]
+            self._cost_arrays[plan_id] = cached
+        return cached
+
     def plan_cost_array(self, plan_id):
         """``Cost(P, q)`` for a fixed plan, over the whole grid (cached)."""
-        cached = self._cost_arrays.get(plan_id)
+        cached = self._cost_array_hit(plan_id)
         if cached is None:
             plan = self.plans[plan_id]
             cached = np.broadcast_to(
@@ -115,21 +131,34 @@ class ESS:
         """``Cost(P, q)`` for a plan at one grid location."""
         return float(self.plan_cost_array(plan_id)[flat])
 
+    #: Grids at or below this many points always evaluate plan costs as
+    #: one full-grid vectorized pass (amortized across every later
+    #: lookup of the same plan) instead of the point-wise memo path.
+    POINTWISE_EVAL_MIN_GRID = 1 << 18
+
     def plan_cost_at_points(self, plan_id, flat_indices):
         """``Cost(P, q)`` at a restricted set of locations.
 
-        Evaluates the plan's cost expression over just those points —
+        On small grids this is a gather from the plan's cached full-grid
+        cost array — one vectorized evaluation serves every later lookup
+        of the same plan, which is what AlignedBound's replacement-plan
+        searches do thousands of times per sweep.  Above
+        :data:`POINTWISE_EVAL_MIN_GRID` points the plan's cost
+        expression is evaluated over just the requested points —
         O(len(flat_indices)) instead of a full-grid sweep — which keeps
-        large-POSP queries (6-D) tractable for AlignedBound's
-        replacement-plan searches.  Per-plan results are memoized in a
-        flat ndarray plus a validity mask (the searches revisit
-        heavily-overlapping point sets across discovery states), so both
-        the hit and miss paths are single vectorized gathers instead of
-        per-element dict round-trips.
+        large-POSP queries (6-D) tractable.  Point-wise results are
+        memoized in a flat ndarray plus a validity mask (the searches
+        revisit heavily-overlapping point sets across discovery states),
+        so both the hit and miss paths are single vectorized gathers
+        instead of per-element dict round-trips.
         """
-        cached = self._cost_arrays.get(plan_id)
+        cached = self._cost_array_hit(plan_id)
         if cached is not None:
             return np.asarray(cached[flat_indices], dtype=float)
+        if self.grid.num_points <= self.POINTWISE_EVAL_MIN_GRID:
+            return np.asarray(
+                self.plan_cost_array(plan_id)[flat_indices], dtype=float
+            )
         flats = np.asarray(flat_indices, dtype=np.int64)
         memo = self._point_costs.get(plan_id)
         if memo is None:
@@ -169,6 +198,24 @@ class ESS:
                 return dim
         return None
 
+    def spill_order_matrix(self):
+        """All spill orders as one ``(|POSP|, D)`` int matrix (cached).
+
+        Row ``pid`` holds :meth:`spill_order` padded with ``-1``; the
+        batched sweep engines resolve "first unlearned dimension in the
+        spill order" for whole contours with a couple of array ops
+        instead of a per-location Python loop.
+        """
+        if self._spill_order_matrix is None:
+            matrix = np.full(
+                (self.posp_size, self.grid.num_dims), -1, dtype=np.int64
+            )
+            for pid in range(self.posp_size):
+                order = self.spill_order(pid)
+                matrix[pid, : len(order)] = order
+            self._spill_order_matrix = matrix
+        return self._spill_order_matrix
+
     def spill_cost_curve(self, plan_id, dim, fixed_coords):
         """Spill-subtree cost of a plan as a function of one epp.
 
@@ -205,7 +252,12 @@ class ESS:
         return cached
 
     def _subtree_dims(self, plan_id, dim):
-        """ESS dimensions of the epps inside the spilled subtree."""
+        """ESS dimensions of the epps inside the spilled subtree (cached:
+        :meth:`spill_cost_curve` rebuilds its cache key from this on
+        every call, and the plan-tree walk dominated that lookup)."""
+        cached = self._subtree_dim_cache.get((plan_id, dim))
+        if cached is not None:
+            return cached
         from repro.optimizer.plans import find_epp_node  # local to avoid cycle
 
         plan = self.plans[plan_id]
@@ -216,6 +268,8 @@ class ESS:
             for pred in sub.applied_preds:
                 if pred.error_prone:
                     dims.add(self.query.epp_dimension(pred.name))
+        dims = tuple(sorted(dims))
+        self._subtree_dim_cache[(plan_id, dim)] = dims
         return dims
 
     def suboptimality_surface(self, plan_id):

@@ -1,9 +1,17 @@
-"""Performance layer: parallel sweeps, persistent ESS cache, timers.
+"""Performance layer: sweep engines, persistent ESS cache, timers.
 
-Three coordinated pieces (see ``docs/performance.md``):
+Four coordinated pieces (see ``docs/performance.md``):
 
+* :mod:`repro.perf.batch` — frontier-batched discovery simulation: the
+  exhaustive sweep visits each discovery state once and partitions
+  location *sets* with vectorized comparisons, bit-identical to the
+  per-location loop; preferred by
+  :func:`repro.core.mso.evaluate_algorithm` whenever it covers the
+  algorithm;
 * :mod:`repro.perf.parallel` — multiprocess exhaustive-sweep engine
-  (``REPRO_WORKERS``), wired into :func:`repro.core.mso.evaluate_algorithm`;
+  (``REPRO_WORKERS``) with a fan-out cost guard; workers chunk the
+  location set and propagate each chunk through the shared state
+  machine;
 * :mod:`repro.perf.cache` — persistent content-keyed ESS archive cache
   (``REPRO_CACHE_DIR`` / ``REPRO_CACHE``), wired into
   :func:`repro.bench.workloads.load`;
@@ -11,9 +19,11 @@ Three coordinated pieces (see ``docs/performance.md``):
   ``BENCH_*.json`` perf-trajectory artifacts.
 """
 
+from repro.perf.batch import batched_suboptimality
 from repro.perf.cache import archive_path, cache_dir, cache_enabled
 from repro.perf.parallel import (
     SweepSpec,
+    fanout_decision,
     parallel_suboptimality,
     spec_for,
     worker_count,
@@ -25,8 +35,10 @@ __all__ = [
     "PhaseTimer",
     "SweepSpec",
     "archive_path",
+    "batched_suboptimality",
     "cache_dir",
     "cache_enabled",
+    "fanout_decision",
     "parallel_suboptimality",
     "spec_for",
     "worker_count",

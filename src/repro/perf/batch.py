@@ -1,0 +1,353 @@
+"""Frontier-batched discovery simulation: the vectorized sweep engine.
+
+The paper's whole evaluation (Figures 8-13) rests on *exhaustive*
+sub-optimality sweeps: every ESS grid location is treated as the actual
+selectivity ``qa`` and discovery is re-run from scratch.  Discovery for
+a given ``qa`` is deterministic, and its path is a walk through a small
+shared state machine whose states are ``(contour index, learned
+coordinates)`` pairs — exactly the states SpillBound already memoizes
+plan steps for.  Instead of running N independent walks, this engine
+propagates *sets* of grid locations through that state machine:
+
+* each distinct discovery state is visited **once**, carrying the set
+  of locations currently in it (the frontier);
+* a budgeted execution's outcome partitions the set with one vectorized
+  comparison — locations whose grid index along the step's dimension is
+  ``<= learn_idx`` complete (fully learning the epp, charged from the
+  spill-cost curve), the rest are charged the budget and half-space
+  pruned past the step (Lemma 3.1 / 4.3);
+* completions split by their learnt coordinate and advance to the
+  ``(same contour, learned + {dim: idx})`` state; survivors of a whole
+  contour crossing advance to ``(contour + 1, learned)``;
+* once one epp remains, the group's 1-D PlanBouquet tail is *deferred*:
+  after the walk, all tail states drain together in one globally
+  vectorized pass — per-line (contour, plan) trial sequences from the
+  shared :func:`~repro.core.spill_bound.band_trials`, plan-cost gathers
+  grouped per plan, and one completion ``argmax`` per location.
+
+States are processed in lexicographic ``(contour, |learned|)`` order —
+every transition strictly increases that key, so a state's location set
+is complete when it is popped, and each location's charges accumulate
+in exactly the order the scalar ``run(qa)`` walk would apply them
+(the tail is each location's final, separately-subtotalled charge in
+both walks, so draining it last preserves that order).  Contours whose
+effective slice plans no steps are crossed without charges, exactly as
+the scalar walk does — the engine fast-forwards through them without
+touching the heap.  Charges, budgets, learn thresholds and spill
+curves all come from the same ``contour_steps`` / ``band_trials``
+caches the scalar walk uses, so the resulting sub-optimality array is
+**bit-identical** to the per-location loop (pinned by
+``tests/test_perf_batch.py``).
+
+Coverage is gated on the exact algorithm type: :class:`PlanBouquet`
+(whose regular-mode sweep is a pure contour/plan/budget pass),
+:class:`SpillBound` and :class:`AlignedBound`.  Subclasses (randomized
+step orders, SI-violating worlds) keep the per-location reference loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.core.discovery import budget_covers
+from repro.errors import DiscoveryError
+from repro.perf.timers import TIMERS
+
+
+def batched_suboptimality(algorithm, points=None):
+    """Sub-optimality for every requested location, in one batched pass.
+
+    Args:
+        algorithm: a discovery algorithm instance.
+        points: optional iterable of flat grid indices (any order,
+            duplicates allowed); default is the full grid.
+
+    Returns:
+        ``(len(points),)`` float array aligned with the input order
+        (grid order for the full sweep), or ``None`` when the engine
+        does not cover the algorithm — callers fall back to the
+        per-location loop.
+    """
+    engine = _engine_for(algorithm)
+    if engine is None:
+        return None
+    grid = algorithm.ess.grid
+    if points is None:
+        flats = np.arange(grid.num_points, dtype=np.int64)
+        unique = flats
+    else:
+        flats = np.asarray(list(points), dtype=np.int64)
+        if flats.size == 0:
+            return np.empty(0, dtype=float)
+        unique = np.unique(flats)
+    with TIMERS.phase("batched_sweep"):
+        total = engine(algorithm, unique)
+    TIMERS.incr("batched_sweeps")
+    TIMERS.incr("batched_sweep_points", int(flats.size))
+    optimal = np.asarray(algorithm.ess.optimal_cost, dtype=float)
+    return total[flats] / optimal[flats]
+
+
+def _engine_for(algorithm):
+    """The batched engine for an algorithm, or None (exact-type gate:
+    subclasses override walk behaviour the engine cannot see)."""
+    from repro.core.aligned_bound import AlignedBound
+    from repro.core.plan_bouquet import PlanBouquet
+    from repro.core.spill_bound import SpillBound
+
+    kind = type(algorithm)
+    if kind is PlanBouquet:
+        return _sweep_bouquet
+    if kind in (SpillBound, AlignedBound):
+        return _sweep_frontier
+    return None
+
+
+# ----------------------------------------------------------------------
+# PlanBouquet: regular-mode contour ascent, one mask per plan
+# ----------------------------------------------------------------------
+
+def _sweep_bouquet(algorithm, flats):
+    """Total charged cost per location for PlanBouquet's sweep.
+
+    Every location ascends the same reduced-contour/plan sequence until
+    its first completion, so the whole sweep is one boolean-mask pass
+    per bouquet plan against that plan's cached cost surface.
+    """
+    ess = algorithm.ess
+    total = np.zeros(ess.grid.num_points, dtype=float)
+    active = np.zeros(ess.grid.num_points, dtype=bool)
+    active[flats] = True
+    for rc in algorithm.reduction.reduced:
+        if not active.any():
+            break
+        budget = rc.inflated_budget
+        for pid in rc.plan_ids:
+            if not active.any():
+                break
+            cost = ess.plan_cost_array(pid)
+            completes = active & budget_covers(cost, budget)
+            total[completes] += cost[completes]
+            active &= ~completes
+            total[active] += budget
+    if active.any():
+        raise DiscoveryError("PlanBouquet sweep left unfinished locations")
+    return total
+
+
+# ----------------------------------------------------------------------
+# SpillBound / AlignedBound: the frontier walk
+# ----------------------------------------------------------------------
+
+def _sweep_frontier(algorithm, flats):
+    """Total charged cost per location for the spill-mode algorithms."""
+    ess = algorithm.ess
+    grid = ess.grid
+    contours = algorithm.contours
+    num_contours = contours.num_contours
+    num_dims = grid.num_dims
+    total = np.zeros(grid.num_points, dtype=float)
+    coord = [grid.coord_array(d) for d in range(num_dims)]
+    contour_steps = algorithm.contour_steps
+
+    # state key -> list of location arrays awaiting the state's visit.
+    frontier = {}
+    heap = []
+    tick = itertools.count()
+    tails = []  # deferred 1-D states: (free_dim, start_contour, group)
+
+    def push(contour_index, learned_key, group):
+        state = (contour_index, learned_key)
+        bucket = frontier.get(state)
+        if bucket is None:
+            frontier[state] = [group]
+            heapq.heappush(
+                heap, (contour_index, len(learned_key), next(tick), state)
+            )
+        else:
+            bucket.append(group)
+
+    push(1, (), flats)
+    max_penalty = 1.0
+    num_states = 0
+    while heap:
+        _, _, _, state = heapq.heappop(heap)
+        contour_index, learned_key = state
+        groups = frontier.pop(state)
+        group = groups[0] if len(groups) == 1 else np.concatenate(groups)
+        num_states += 1
+        learned = dict(learned_key)
+        remaining = num_dims - len(learned)
+        if remaining == 0:
+            raise DiscoveryError("all epps learnt before the 1-D phase")
+        if remaining == 1:
+            tails.append((
+                next(d for d in range(num_dims) if d not in learned),
+                contour_index,
+                group,
+            ))
+            continue
+        # Fast-forward contours whose effective slice plans no steps:
+        # the scalar walk crosses those without charges too.
+        while True:
+            if contour_index > num_contours:
+                # The scalar walk invokes the ladder-exhausted hook
+                # here; for the stock algorithms that raises (Lemma 3.2
+                # / the slice-terminus argument under SI).
+                raise DiscoveryError(
+                    f"sweep ascended past the last contour (state {state})"
+                )
+            steps = contour_steps(contour_index, learned)
+            if steps:
+                break
+            contour_index += 1
+
+        active = group
+        for step in steps:
+            if active.size == 0:
+                break
+            if step.penalty > max_penalty:
+                max_penalty = step.penalty
+            idx = coord[step.exec_dim][active]
+            done = idx <= step.learn_idx
+            completed = active[done]
+            if completed.size:
+                done_idx = idx[done]
+                total[completed] += np.asarray(
+                    step.curve, dtype=float
+                )[done_idx]
+                # Completions split by the coordinate they learnt.
+                for value in np.unique(done_idx):
+                    next_key = tuple(sorted(
+                        learned_key + ((int(step.exec_dim), int(value)),)
+                    ))
+                    push(contour_index, next_key,
+                         completed[done_idx == value])
+            active = active[~done]
+            total[active] += step.budget
+        if active.size:
+            # Nothing learnt: qa lies beyond this contour (Lemma 4.3).
+            push(contour_index + 1, learned_key, active)
+
+    _drain_tails(algorithm, tails, total)
+    if hasattr(algorithm, "observed_max_penalty"):
+        # Mirror the scalar walk's side effect (Table 4 reads it).
+        algorithm.observed_max_penalty = max(
+            algorithm.observed_max_penalty, max_penalty
+        )
+    TIMERS.incr("batched_sweep_states", num_states)
+    return total
+
+
+def _drain_tails(algorithm, tails, total):
+    """Drain every deferred 1-D PlanBouquet tail in one vectorized pass.
+
+    A tail state is a line (the learnt coordinates plus one free
+    dimension), an entry contour, and the locations that reached it.
+    Grouped by free dimension, the (contour, plan) trial sequences of
+    all lines come from one :func:`~repro.core.spill_bound.band_trials`
+    call — the same implementation behind the scalar tail's per-contour
+    plan lists — and every location's charge reduces to the prefix sum
+    of failed-trial budgets plus the completing plan's cost.
+
+    The scalar walk sums the tail into its own accumulator and adds the
+    subtotal once (``total += tail_total``); the prefix-plus-completion
+    form reproduces that float64 association exactly (``cumsum`` along
+    a trial row is the same left-to-right addition chain).
+    """
+    from repro.core.spill_bound import band_trials
+
+    if not tails:
+        return
+    ess = algorithm.ess
+    grid = ess.grid
+    budgets = np.asarray(algorithm.contours.budgets, dtype=float)
+    band = algorithm.contours.band
+    plan_ids = ess.plan_ids
+    cost_cache = {}
+
+    by_dim = {}
+    for free_dim, start, group in tails:
+        by_dim.setdefault(free_dim, []).append((start, group))
+
+    for free_dim, entries in by_dim.items():
+        stride = grid.strides[free_dim]
+        length = grid.resolution[free_dim]
+        coord = grid.coord_array(free_dim)
+        num_lines = len(entries)
+        starts = np.fromiter(
+            (s for s, _ in entries), dtype=np.int64, count=num_lines
+        )
+        groups = [g for _, g in entries]
+        counts = np.fromiter(
+            (g.size for g in groups), dtype=np.int64, count=num_lines
+        )
+        flats = np.concatenate(groups)
+        ent_off = np.cumsum(counts) - counts
+        # One representative member locates each state's line.
+        anchors = flats[ent_off]
+        bases = anchors - coord[anchors].astype(np.int64) * stride
+        lines = bases[:, None] + stride * np.arange(length, dtype=np.int64)
+        t_line, t_band, t_pid = band_trials(band[lines], plan_ids[lines])
+        # Trials on contours below a state's entry contour never run.
+        keep = t_band >= (starts - 1)[t_line]
+        t_line, t_band, t_pid = t_line[keep], t_band[keep], t_pid[keep]
+        t_budget = budgets[t_band]
+        t_count = np.bincount(t_line, minlength=num_lines)
+        if (t_count == 0).any():
+            raise DiscoveryError(
+                f"1-D bouquet failed to terminate (dim {free_dim})"
+            )
+        t_off = np.cumsum(t_count) - t_count
+        t_rank = np.arange(t_line.size, dtype=np.int64) - t_off[t_line]
+        width = int(t_count.max())
+        # Per-state running budget totals, identical to the scalar
+        # walk's sequential additions.
+        cum_budget = np.zeros((num_lines, width), dtype=float)
+        cum_budget[t_line, t_rank] = t_budget
+        np.cumsum(cum_budget, axis=1, out=cum_budget)
+        # Expand each trial over its state's entrants.
+        rep = counts[t_line]
+        num_pairs = int(rep.sum())
+        pair_trial = np.repeat(np.arange(t_line.size), rep)
+        rep_off = np.cumsum(rep) - rep
+        pair_ent = (
+            np.arange(num_pairs, dtype=np.int64)
+            - rep_off[pair_trial]
+            + ent_off[t_line[pair_trial]]
+        )
+        pair_flat = flats[pair_ent]
+        # Plan-cost gathers grouped per plan: a handful of big fancy
+        # gathers instead of one tiny one per (state, contour, plan).
+        pair_cost = np.empty(num_pairs, dtype=float)
+        pair_pid = t_pid[pair_trial]
+        order = np.argsort(pair_pid, kind="stable")
+        sorted_pid = pair_pid[order]
+        cuts = np.flatnonzero(np.diff(sorted_pid)) + 1
+        for seg in np.split(order, cuts):
+            pid = int(pair_pid[seg[0]])
+            arr = cost_cache.get(pid)
+            if arr is None:
+                arr = np.asarray(ess.plan_cost_array(pid), dtype=float)
+                cost_cache[pid] = arr
+            pair_cost[seg] = arr[pair_flat[seg]]
+        pair_ok = budget_covers(pair_cost, t_budget[pair_trial])
+        # First completing trial per entrant.
+        ok = np.zeros((flats.size, width), dtype=bool)
+        costm = np.zeros((flats.size, width), dtype=float)
+        cols = t_rank[pair_trial]
+        ok[pair_ent, cols] = pair_ok
+        costm[pair_ent, cols] = pair_cost
+        if not ok.any(axis=1).all():
+            raise DiscoveryError(
+                f"1-D bouquet failed to terminate (dim {free_dim})"
+            )
+        first = ok.argmax(axis=1)
+        ent_state = np.repeat(np.arange(num_lines), counts)
+        prefix = np.where(
+            first > 0, cum_budget[ent_state, first - 1], 0.0
+        )
+        total[flats] += prefix + costm[np.arange(flats.size), first]

@@ -1,22 +1,39 @@
 """Multiprocess exhaustive-sweep engine.
 
 The evaluation pipeline (Figures 8-13) is dominated by exhaustive
-per-grid-location discovery sweeps — pure-Python ``run(flat)`` loops
-over every ESS location.  This module fans those sweeps across worker
-processes: the flat-index range is chunked, each worker *reconstructs*
-its ESS and algorithm from the persistent archive / workload registry
-(a picklable :class:`SweepSpec` — live plan trees are never pickled
-across the process boundary), evaluates its chunks, and the parent
-reassembles the per-location sub-optimality array in order.
+per-grid-location discovery sweeps.  This module fans those sweeps
+across worker processes: the flat-index range is chunked, each worker
+*reconstructs* its ESS and algorithm from the persistent archive /
+workload registry (a picklable :class:`SweepSpec` — live plan trees are
+never pickled across the process boundary), evaluates its chunks, and
+the parent reassembles the per-location sub-optimality array in order.
+Inside each worker the chunk is evaluated with the frontier-batched
+engine of :mod:`repro.perf.batch` when it covers the algorithm — the
+chunk's locations propagate as a set through the shared discovery state
+machine, so a worker's cost scales with the *states* its chunk touches,
+not with its point count — falling back to the per-point loop otherwise.
 
 Results are exactly the serial ones: discovery is deterministic given
 the ESS surface, and the persisted archive round-trips the surface
 bit-identically.
 
+Fan-out only happens when it can win.  :func:`fanout_decision` is the
+cost guard: it keeps the sweep serial on single-CPU hosts, for sweeps
+under :data:`MIN_PARALLEL_POINTS` locations, and when the per-worker
+share falls under :data:`MIN_POINTS_PER_WORKER` (pool startup plus
+per-worker ESS reconstruction would dominate — the PR-1 benchmark
+measured fan-out at 0.62-0.67x of serial on a 1-CPU host).  Every skip
+is recorded in ``TIMERS`` counters (``parallel_sweep_skipped`` plus a
+``parallel_sweep_skip_<reason>`` breakdown) so BENCH artifacts report
+the decision honestly.
+
 Knobs:
 
 * ``REPRO_WORKERS`` — worker processes for exhaustive sweeps.  Unset,
   ``0`` or ``1`` keep the serial path; ``auto`` uses the CPU count.
+* ``REPRO_FORCE_PARALLEL`` — ``1`` bypasses the cost guard (benchmark
+  and test harnesses that must exercise the pool machinery regardless
+  of the host).
 * serial fallback — any worker-side failure (unpicklable spec, missing
   archive, pool start failure) silently falls back to the serial sweep.
 """
@@ -34,6 +51,10 @@ from repro.perf.timers import TIMERS
 #: Sweeps smaller than this stay serial even when workers are enabled —
 #: pool startup plus per-worker ESS reconstruction would dominate.
 MIN_PARALLEL_POINTS = 256
+
+#: Minimum locations per worker for fan-out to amortize its overheads;
+#: the worker count is clamped down (or fan-out skipped) below it.
+MIN_POINTS_PER_WORKER = 64
 
 #: Chunks per worker: >1 so faster workers steal the tail of the grid.
 CHUNKS_PER_WORKER = 4
@@ -54,6 +75,41 @@ def worker_count(explicit=None):
         raise ValueError(
             f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}"
         ) from None
+
+
+def force_parallel():
+    """Whether ``REPRO_FORCE_PARALLEL`` bypasses the fan-out cost guard."""
+    raw = os.environ.get("REPRO_FORCE_PARALLEL", "").strip().lower()
+    return raw in ("1", "true", "on", "yes")
+
+
+def fanout_decision(num_points, workers, cpus=None):
+    """The fan-out cost guard: can a multiprocess sweep win here?
+
+    Returns ``(effective_workers, skip_reason)``: a worker count > 1
+    with ``skip_reason=None`` when fan-out is worth attempting, or
+    ``(1, reason)`` when the sweep should stay serial — because only
+    one worker was requested (``"one_worker"``), the host exposes a
+    single CPU (``"single_cpu"``), the sweep is too small overall
+    (``"small_sweep"``), or the per-worker share is below amortization
+    (``"below_amortization"``).  ``REPRO_FORCE_PARALLEL=1`` bypasses
+    everything but the worker-count floor.
+    """
+    workers = min(int(workers), max(1, int(num_points)))
+    if workers <= 1:
+        return 1, "one_worker"
+    if force_parallel():
+        return workers, None
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return 1, "single_cpu"
+    if num_points < MIN_PARALLEL_POINTS:
+        return 1, "small_sweep"
+    affordable = int(num_points) // MIN_POINTS_PER_WORKER
+    if affordable < 2:
+        return 1, "below_amortization"
+    return min(workers, affordable), None
 
 
 @dataclass(frozen=True)
@@ -159,6 +215,14 @@ def _build_algorithm(spec):
 def _evaluate_chunk(task):
     spec, flats = task
     algorithm = _build_algorithm(spec)
+    # Workers chunk *states*, not points: the chunk's locations propagate
+    # as a set through the shared discovery state machine, so the cost of
+    # a chunk scales with the states it touches.
+    from repro.perf.batch import batched_suboptimality
+
+    sub = batched_suboptimality(algorithm, flats)
+    if sub is not None:
+        return np.asarray(sub, dtype=float)
     out = np.empty(len(flats), dtype=float)
     for i, flat in enumerate(flats):
         out[i] = algorithm.run(int(flat)).suboptimality
@@ -177,8 +241,10 @@ def parallel_suboptimality(spec, flats, workers):
     the serial loop).
     """
     flats = np.asarray(flats, dtype=np.int64)
-    workers = min(int(workers), max(1, len(flats)))
-    if workers <= 1 or len(flats) < MIN_PARALLEL_POINTS:
+    workers, skip = fanout_decision(len(flats), workers)
+    if skip is not None:
+        TIMERS.incr("parallel_sweep_skipped")
+        TIMERS.incr(f"parallel_sweep_skip_{skip}")
         return None
     num_chunks = min(len(flats), workers * CHUNKS_PER_WORKER)
     chunks = np.array_split(flats, num_chunks)

@@ -68,3 +68,24 @@ class TestEvaluateAlgorithm:
     def test_mso_at_least_aso(self, toy_sb):
         evaluation = evaluate_algorithm(toy_sb)
         assert evaluation.mso >= evaluation.aso >= 1.0 - 1e-9
+
+
+class TestSweepEngines:
+    def test_unknown_engine_rejected(self, toy_sb):
+        with pytest.raises(ValueError, match="sweep engine"):
+            evaluate_algorithm(toy_sb, engine="warp")
+
+    @pytest.mark.parametrize("fixture", ["toy_pb", "toy_sb", "toy_ab"])
+    def test_loop_and_batch_bit_identical(self, request, fixture):
+        algorithm = request.getfixturevalue(fixture)
+        loop = evaluate_algorithm(algorithm, engine="loop")
+        batch = evaluate_algorithm(algorithm, engine="batch")
+        assert np.array_equal(loop.suboptimality, batch.suboptimality)
+        assert loop.mso == batch.mso
+        assert loop.worst_location == batch.worst_location
+
+    def test_auto_matches_loop_on_restricted_points(self, toy_ab):
+        points = [2, 40, 40, 317]
+        auto = evaluate_algorithm(toy_ab, points=points)
+        loop = evaluate_algorithm(toy_ab, points=points, engine="loop")
+        assert np.array_equal(auto.suboptimality, loop.suboptimality)

@@ -61,8 +61,17 @@ class TestSmokeBench:
         assert payload["cache"]["roundtrip_identical"] is True
         assert payload["cache"]["cache_hit"] is True
         assert payload["cache"]["warm_load_s"] > 0
+        assert set(payload["sweeps"]) == {"pb", "sb", "ab"}
         for stats in payload["sweeps"].values():
+            assert stats["batch_identical"] is True
             assert stats["max_abs_deviation"] == 0.0
+            assert stats["loop_s"] > 0 and stats["batch_s"] > 0
+        for stats in payload["parallel"].values():
+            assert stats["workers_requested"] == 2
+            if stats["skipped"]:
+                assert stats["skip_reason"]
+            else:
+                assert stats["max_abs_deviation"] == 0.0
         assert "ess_build" in on_disk["phases"]
         assert on_disk["hardware"]["cpu_count"] >= 1
 

@@ -78,49 +78,85 @@ class TestSpecDerivation:
         assert dict(spec.algo_kwargs)["lam"] == 0.5
 
 
+class TestFanoutDecision:
+    def test_one_worker(self):
+        assert par.fanout_decision(10_000, 1) == (1, "one_worker")
+
+    def test_single_cpu(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        assert par.fanout_decision(10_000, 4, cpus=1) == (1, "single_cpu")
+
+    def test_small_sweep(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        assert par.fanout_decision(100, 4, cpus=4) == (1, "small_sweep")
+
+    def test_below_amortization(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        monkeypatch.setattr(par, "MIN_POINTS_PER_WORKER", 300)
+        assert par.fanout_decision(500, 4, cpus=4) == (
+            1, "below_amortization")
+
+    def test_workers_clamped_to_amortizable_share(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        assert par.fanout_decision(300, 16, cpus=8) == (4, None)
+
+    def test_force_bypasses_guard(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        assert par.fanout_decision(10, 4, cpus=1) == (4, None)
+
+    def test_skips_are_counted(self, isolated_cache, monkeypatch):
+        from repro.perf.timers import TIMERS
+
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        instance = workloads.load("2D_Q91", profile="smoke")
+        spec = par.spec_for(SpillBound(instance.ess, instance.contours))
+        TIMERS.reset()
+        # 100 points < MIN_PARALLEL_POINTS (or 1 CPU): the guard declines
+        # and the caller falls back to the serial path.
+        assert par.parallel_suboptimality(spec, range(100), 4) is None
+        assert TIMERS.counter("parallel_sweep_skipped") == 1
+
+
 class TestParallelSweep:
+    @pytest.fixture
+    def forced_pool(self, monkeypatch):
+        """Make the fan-out actually run on any host (1-CPU CI included)."""
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
     @pytest.mark.parametrize("algo_key", ["pb", "sb", "ab"])
-    def test_parallel_matches_serial_exactly(self, isolated_cache,
-                                             monkeypatch, algo_key):
+    def test_parallel_matches_loop_exactly(self, isolated_cache,
+                                           forced_pool, algo_key):
         from repro.core.aligned_bound import AlignedBound
         from repro.core.plan_bouquet import PlanBouquet
 
-        monkeypatch.setattr(par, "MIN_PARALLEL_POINTS", 1)
         classes = {"pb": PlanBouquet, "sb": SpillBound, "ab": AlignedBound}
         instance = workloads.load("2D_Q91", profile="smoke")
         cls = classes[algo_key]
         serial = evaluate_algorithm(cls(instance.ess, instance.contours),
-                                    workers=1)
+                                    engine="loop")
         parallel = evaluate_algorithm(cls(instance.ess, instance.contours),
-                                      workers=2)
+                                      workers=2, engine="parallel")
         assert np.array_equal(serial.suboptimality, parallel.suboptimality)
         assert serial.mso == parallel.mso
         assert serial.worst_location == parallel.worst_location
 
-    def test_restricted_points_parallel(self, isolated_cache, monkeypatch):
-        monkeypatch.setattr(par, "MIN_PARALLEL_POINTS", 1)
+    def test_restricted_points_parallel(self, isolated_cache, forced_pool):
         instance = workloads.load("2D_Q91", profile="smoke")
         points = [3, 17, 50, 77, 99]
         serial = evaluate_algorithm(
             SpillBound(instance.ess, instance.contours),
-            points=points, workers=1,
+            points=points, engine="loop",
         )
         parallel = evaluate_algorithm(
             SpillBound(instance.ess, instance.contours),
-            points=points, workers=2,
+            points=points, workers=2, engine="parallel",
         )
         assert np.array_equal(serial.suboptimality, parallel.suboptimality)
         assert parallel.worst_location in points
 
-    def test_small_sweeps_skip_the_pool(self, isolated_cache):
-        instance = workloads.load("2D_Q91", profile="smoke")
-        spec = par.spec_for(SpillBound(instance.ess, instance.contours))
-        # 100 points < MIN_PARALLEL_POINTS: the engine declines and the
-        # caller falls back to the serial path.
-        assert par.parallel_suboptimality(spec, range(100), 4) is None
-
-    def test_serial_default_unchanged(self, isolated_cache):
+    def test_serial_default_unchanged(self, isolated_cache, monkeypatch):
         """Without REPRO_WORKERS the sweep never touches a process pool."""
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
         instance = workloads.load("2D_Q91", profile="smoke")
         evaluation = evaluate_algorithm(
             SpillBound(instance.ess, instance.contours)
