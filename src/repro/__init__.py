@@ -71,7 +71,7 @@ from repro.engine.driver import (
     native_run,
     oracle_run,
 )
-from repro.engine.spill import execute_plan
+from repro.engine.spill import ENGINES, execute_plan, resolve_engine
 from repro.errors import (
     BudgetExhausted,
     DiscoveryError,
@@ -133,7 +133,8 @@ __all__ = [
     # results and metrics
     "DiscoveryResult", "ExecutionRecord", "Evaluation", "evaluate_algorithm",
     # engine
-    "execute_plan", "EngineDiscoveryDriver", "oracle_run", "native_run",
+    "execute_plan", "ENGINES", "resolve_engine",
+    "EngineDiscoveryDriver", "oracle_run", "native_run",
     "measured_location",
     # errors
     "ReproError", "SchemaError", "QueryError", "OptimizerError",

@@ -301,24 +301,38 @@ def run_fig7(name="2D_Q91", qa=(0.04, 0.1), profile=None):
 # Section 6.3: the wall-clock (actual execution) experiment
 # ----------------------------------------------------------------------
 
-def run_wallclock(name="mini4d", row_budget=40_000, seed=11):
+def run_wallclock(name="mini4d", row_budget=40_000, seed=11, engine="auto",
+                  resolution=None, setup=None):
     """Native vs SpillBound vs AlignedBound on real engine executions.
 
     The paper runs 4D Q91 on 100 GB; we run a down-scaled generated
     instance (documented substitution) with the same mechanics: real
     budgeted executions, spill-mode monitoring, and actual costs.
+
+    Args:
+        engine: execution engine selector (``auto`` / ``vector`` /
+            ``volcano``) threaded into every engine run.
+        resolution: optional ESS grid resolution override.
+        setup: a pre-built :func:`~repro.bench.wallclock
+            .build_wallclock_setup` result to reuse (the benchmark
+            harness shares one setup across engine timings).
     """
     from repro.bench.wallclock import build_wallclock_setup
 
-    setup = build_wallclock_setup(row_budget=row_budget, seed=seed)
+    if setup is None:
+        kwargs = {} if resolution is None else {"resolution": resolution}
+        setup = build_wallclock_setup(row_budget=row_budget, seed=seed,
+                                      **kwargs)
     ess, contours, gen, query = (
         setup.ess, setup.contours, setup.generator, setup.query
     )
     qa = measured_location(gen, query)
-    oracle = oracle_run(ess, gen, qa)
-    native = native_run(ess, gen)
-    sb_report = EngineDiscoveryDriver(SpillBound(ess, contours), gen).run()
-    ab_report = EngineDiscoveryDriver(AlignedBound(ess, contours), gen).run()
+    oracle = oracle_run(ess, gen, qa, engine=engine)
+    native = native_run(ess, gen, engine=engine)
+    sb_report = EngineDiscoveryDriver(SpillBound(ess, contours), gen,
+                                      engine=engine).run()
+    ab_report = EngineDiscoveryDriver(AlignedBound(ess, contours), gen,
+                                      engine=engine).run()
     return {
         "qa": qa,
         "oracle_cost": oracle.cost_spent,

@@ -15,6 +15,11 @@ every PR can append a comparable data point:
   cost guard lets fan-out proceed, its timings.  On hosts where the
   guard keeps the sweep serial (single CPU, small sweep) the artifact
   records the skip and its reason rather than a meaningless 1x;
+* **wallclock** — the Section 6.3 actual-execution experiment on the
+  Volcano interpreter vs the columnar vector engine
+  (:mod:`repro.engine.vector`), best-of-N on one shared setup, with an
+  identity flag asserting both engines produced bit-identical results
+  (costs via ``repr`` so NaNs and the last float bit both count);
 * **timers** — the process-global phase profile (ess_build / contour /
   sweep timings, cache hit counters) accumulated while benchmarking.
 
@@ -44,8 +49,10 @@ from repro.perf.timers import TIMERS
 #: Schema version of the BENCH json artifact.  v2: ``sweeps`` compares
 #: the reference loop against the frontier-batched engine (was serial vs
 #: multiprocess) and the fan-out measurement moved to ``parallel`` with
-#: an explicit skip/skip_reason record.
-BENCH_SCHEMA_VERSION = 2
+#: an explicit skip/skip_reason record.  v3: adds ``wallclock`` —
+#: Volcano-vs-vector engine timings on the Section 6.3 experiment with
+#: an identity flag.
+BENCH_SCHEMA_VERSION = 3
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -207,6 +214,69 @@ def bench_parallel(name, profile, workers, algorithms=("sb",),
     return out
 
 
+def _wallclock_fingerprint(result):
+    """Everything comparable about one wall-clock run, bit-exactly.
+
+    Floats go through ``repr`` so the identity check is exact to the
+    last bit and NaN learned-selectivities (killed spill steps) compare
+    equal instead of poisoning ``==``.
+    """
+    fp = {k: repr(result[k]) for k in (
+        "qa", "oracle_cost", "oracle_rows", "native_cost", "sb_cost",
+        "sb_steps", "ab_cost", "ab_steps", "rows_match",
+    )}
+    for label in ("sb_report", "ab_report"):
+        fp[label] = [
+            (s.contour, s.plan_key, s.mode, s.spill_epp, repr(s.budget),
+             repr(s.cost_spent), s.completed, repr(s.learned_selectivity))
+            for s in result[label].steps
+        ]
+    return fp
+
+
+def bench_wallclock(row_budget=40_000, seed=11, resolution=None,
+                    repeats=SWEEP_REPEATS):
+    """Volcano vs vector engine on the Section 6.3 experiment.
+
+    One wall-clock setup (data + ESS + contours) is built up front and
+    shared, and the true location memo is warmed, so the timed region is
+    exactly the engine-bound discovery work.  Each engine runs
+    ``repeats`` times and the minimum is reported; the identity flag
+    asserts both engines returned bit-identical experiment results,
+    step-by-step (:func:`_wallclock_fingerprint`).
+    """
+    from repro.bench.harness import run_wallclock
+    from repro.bench.wallclock import build_wallclock_setup
+    from repro.engine.driver import measured_location
+
+    kwargs = {} if resolution is None else {"resolution": resolution}
+    setup = build_wallclock_setup(row_budget=row_budget, seed=seed, **kwargs)
+    measured_location(setup.generator, setup.query)  # warm the qa memo
+    timings, fingerprints = {}, {}
+    for engine in ("volcano", "vector"):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_wallclock(engine=engine, setup=setup)
+            best = min(best, time.perf_counter() - start)
+        timings[engine] = best
+        fingerprints[engine] = _wallclock_fingerprint(result)
+    return {
+        "query": setup.query.name,
+        "row_budget": int(row_budget),
+        "seed": int(seed),
+        "grid_points": int(setup.ess.grid.num_points),
+        "repeats": int(repeats),
+        "volcano_s": timings["volcano"],
+        "vector_s": timings["vector"],
+        "speedup": (timings["volcano"] / timings["vector"]
+                    if timings["vector"] > 0 else float("inf")),
+        "identical": fingerprints["volcano"] == fingerprints["vector"],
+        "vector_fallbacks": int(TIMERS.counter("vector_fallback")),
+    }
+
+
 def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
               resolution=None):
     """Run the full perf benchmark and (optionally) write the artifact.
@@ -218,13 +288,16 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         workers: requested process count for the parallel sweep (the
             fan-out cost guard may clamp or skip it).
         resolution: optional explicit grid resolution (bigger grids
-            give every measurement more to chew).
+            give every measurement more to chew).  The wall-clock
+            engine comparison always runs its own 4D workload at that
+            experiment's default resolution.
     """
     TIMERS.reset()
     cache_stats = bench_cache(query, profile, resolution=resolution)
     sweep_stats = bench_sweep(query, profile, resolution=resolution)
     parallel_stats = bench_parallel(query, profile, workers,
                                     resolution=resolution)
+    wallclock_stats = bench_wallclock()
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -237,6 +310,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "cache": cache_stats,
         "sweeps": sweep_stats,
         "parallel": parallel_stats,
+        "wallclock": wallclock_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

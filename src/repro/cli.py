@@ -204,9 +204,11 @@ def cmd_experiment(args):
 
 
 def cmd_wallclock(args):
-    result = harness.run_wallclock(row_budget=args.rows, seed=args.seed)
+    result = harness.run_wallclock(row_budget=args.rows, seed=args.seed,
+                                   engine=args.engine,
+                                   resolution=args.resolution)
     print(format_table(
-        "Section 6.3: engine-measured costs",
+        f"Section 6.3: engine-measured costs ({args.engine})",
         ["strategy", "cost", "vs oracle"],
         [["oracle", result["oracle_cost"], 1.0],
          ["native", result["native_cost"], result["native_subopt"]],
@@ -257,6 +259,12 @@ def cmd_bench(args):
                 f"{stats['speedup']:.2f}x",
                 f"max dev {stats['max_abs_deviation']:.2e}",
             ])
+    wc = payload["wallclock"]
+    rows.append([
+        "wallclock vector vs volcano engine",
+        f"{wc['speedup']:.1f}x",
+        "bit-identical" if wc["identical"] else "MISMATCH",
+    ])
     print(format_table(
         f"perf bench on {cache['query']} "
         f"({cache['grid_points']} locations, "
@@ -322,6 +330,11 @@ def build_parser():
     p = sub.add_parser("wallclock", help="the actual-execution experiment")
     p.add_argument("--rows", type=int, default=40_000)
     p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "vector", "volcano"],
+                   help="execution engine for every plan run")
+    p.add_argument("--resolution", type=int, default=None,
+                   help="explicit grid resolution for the workload")
 
     p = sub.add_parser("figures", help="render all figures as SVG")
     p.add_argument("--outdir", default="results/figures")

@@ -13,6 +13,7 @@ expiry, and learns selectivities from the run-time monitors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -20,13 +21,27 @@ from repro.core.spill_bound import SpillBound
 from repro.engine.spill import execute_plan, spill_root_key
 from repro.errors import DiscoveryError
 
+#: Memo for measured selectivities: data provider -> {(query name, pred
+#: name): selectivity}.  Keyed weakly on the provider so dropping a
+#: DataGenerator frees its entries; repeated wall-clock runs over the
+#: same instance then recover qa without re-scanning the joins.
+_MEASURED_CACHE = WeakKeyDictionary()
+
 
 def measured_join_selectivity(data_provider, query, pred):
     """The *true* normalized selectivity of a join over generated data.
 
     ``|L_f JOIN R_f| / (|L_f| * |R_f|)`` with the query's filters applied
-    to both sides — the quantity the ESS axes range over.
+    to both sides — the quantity the ESS axes range over.  Results are
+    memoized per (data provider, query, predicate).
     """
+    try:
+        memo = _MEASURED_CACHE.setdefault(data_provider, {})
+    except TypeError:  # provider not weak-referenceable: skip the memo
+        memo = {}
+    memo_key = (query.name, pred.name)
+    if memo_key in memo:
+        return memo[memo_key]
     counts = []
     sizes = []
     for table in pred.tables:
@@ -53,10 +68,13 @@ def measured_join_selectivity(data_provider, query, pred):
         uniques, freq = np.unique(kept, return_counts=True)
         counts.append(dict(zip(uniques.tolist(), freq.tolist())))
     if 0 in sizes:
+        memo[memo_key] = 0.0
         return 0.0
     small, large = sorted(counts, key=len)
     matches = sum(freq * large.get(key, 0) for key, freq in small.items())
-    return matches / (sizes[0] * sizes[1])
+    selectivity = matches / (sizes[0] * sizes[1])
+    memo[memo_key] = selectivity
+    return selectivity
 
 
 def measured_location(data_provider, query):
@@ -107,11 +125,14 @@ class EngineDiscoveryDriver:
             :class:`~repro.core.aligned_bound.AlignedBound`) instance —
             supplies contour structure and per-state plan choices.
         data_provider: ``table(name) -> TableData``.
+        engine: execution engine selector passed to every
+            :func:`~repro.engine.spill.execute_plan` call.
     """
 
-    def __init__(self, simulator, data_provider):
+    def __init__(self, simulator, data_provider, engine="auto"):
         self.simulator = simulator
         self.data_provider = data_provider
+        self.engine = engine
         self.ess = simulator.ess
         self.query = simulator.ess.query
 
@@ -131,7 +152,7 @@ class EngineDiscoveryDriver:
         plan = self.ess.plans[step.plan_id]
         outcome = execute_plan(
             plan, self.query, self.data_provider, self.ess.cost_model,
-            budget=step.budget, spill_epp=epp_name,
+            budget=step.budget, spill_epp=epp_name, engine=self.engine,
         )
         learned_sel = float("nan")
         if outcome.completed:
@@ -162,7 +183,7 @@ class EngineDiscoveryDriver:
                 plan = self.ess.plans[pid]
                 outcome = execute_plan(
                     plan, self.query, self.data_provider,
-                    self.ess.cost_model, budget=budget,
+                    self.ess.cost_model, budget=budget, engine=self.engine,
                 )
                 report.total_cost += outcome.cost_spent
                 report.steps.append(EngineStep(
@@ -211,7 +232,7 @@ class EngineDiscoveryDriver:
         flat = self.ess.grid.flat_index(coords)
         plan = self.ess.plans[int(self.ess.plan_ids[flat])]
         outcome = execute_plan(plan, self.query, self.data_provider,
-                               self.ess.cost_model)
+                               self.ess.cost_model, engine=self.engine)
         report.total_cost += outcome.cost_spent
         report.rows_out = outcome.rows_out
         report.completed_plan_key = plan.key
@@ -223,18 +244,20 @@ class EngineDiscoveryDriver:
         return report
 
 
-def oracle_run(ess, data_provider, qa_selectivities):
+def oracle_run(ess, data_provider, qa_selectivities, engine="auto"):
     """Execute the oracle's plan (optimal at the true location) fully."""
     coords = ess.grid.snap(qa_selectivities)
     flat = ess.grid.flat_index(coords)
     plan = ess.plans[int(ess.plan_ids[flat])]
-    return execute_plan(plan, ess.query, data_provider, ess.cost_model)
+    return execute_plan(plan, ess.query, data_provider, ess.cost_model,
+                        engine=engine)
 
 
-def native_run(ess, data_provider, qe=None):
+def native_run(ess, data_provider, qe=None, engine="auto"):
     """Execute the native optimizer's plan (chosen at estimate ``qe``,
     default the ESS origin) fully, whatever the data holds."""
     grid = ess.grid
     flat = grid.flat_index(qe if qe is not None else grid.origin)
     plan = ess.plans[int(ess.plan_ids[flat])]
-    return execute_plan(plan, ess.query, data_provider, ess.cost_model)
+    return execute_plan(plan, ess.query, data_provider, ess.cost_model,
+                        engine=engine)

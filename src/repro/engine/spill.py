@@ -6,9 +6,20 @@ of :mod:`repro.engine.iterators`, optionally *truncated at a spill node*
 (paper Section 3.1.2: keep only the subtree rooted at the epp's node,
 discard its output), runs it under a cost budget, and returns the
 monitored outcome.
+
+Two interchangeable engines sit behind :func:`execute_plan`: the
+row-at-a-time Volcano interpreter (ground truth) and the columnar
+vector engine of :mod:`repro.engine.vector`, which is charge-equivalent
+to it — identical :class:`~repro.engine.executor.ExecutionOutcome` on
+completed and budget-killed runs alike.  ``engine="auto"`` resolves via
+the ``REPRO_ENGINE`` environment variable (default: vector); whenever
+the vector engine declines an execution it falls back to Volcano, so
+callers never see a behavioral difference.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.engine.executor import CostMeter, ExecutionOutcome, OperatorStats
 from repro.engine.iterators import (
@@ -21,6 +32,10 @@ from repro.engine.iterators import (
 )
 from repro.errors import BudgetExhausted, ExecutionError
 from repro.optimizer import plans as planlib
+from repro.perf.timers import TIMERS
+
+#: Engine names accepted by :func:`execute_plan`.
+ENGINES = ("auto", "vector", "volcano")
 
 
 def _join_key_pairs(node):
@@ -77,8 +92,29 @@ def _build_operator(node, query, data_provider, model, meter, stats_sink):
     raise ExecutionError(f"unknown join operator {node.op!r}")
 
 
+def resolve_engine(engine):
+    """Resolve an engine selector to a concrete engine name.
+
+    ``"auto"`` (or None) defers to the ``REPRO_ENGINE`` environment
+    variable and defaults to the vector engine; unknown values of the
+    *argument* are an error, unknown values of the environment variable
+    silently mean the default (so a stale env never breaks runs).
+    """
+    if engine is None:
+        engine = "auto"
+    if engine not in ENGINES:
+        raise ExecutionError(
+            f"unknown engine {engine!r} (expected one of {ENGINES})"
+        )
+    if engine == "auto":
+        engine = os.environ.get("REPRO_ENGINE", "vector")
+        if engine not in ("vector", "volcano"):
+            engine = "vector"
+    return engine
+
+
 def execute_plan(plan, query, data_provider, cost_model, budget=None,
-                 spill_epp=None):
+                 spill_epp=None, engine="auto"):
     """Run a plan over generated data, optionally spilled and budgeted.
 
     Args:
@@ -90,6 +126,9 @@ def execute_plan(plan, query, data_provider, cost_model, budget=None,
         budget: optional cost budget; exceeding it kills the run.
         spill_epp: epp *name* to spill on — the execution then runs only
             the subtree rooted at that epp's node and discards output.
+        engine: ``"auto"`` / ``"vector"`` / ``"volcano"`` — both
+            non-auto engines produce identical outcomes; auto resolves
+            via ``REPRO_ENGINE`` (default vector).
 
     Returns:
         :class:`~repro.engine.executor.ExecutionOutcome`; when spilled
@@ -103,6 +142,16 @@ def execute_plan(plan, query, data_provider, cost_model, budget=None,
             raise ExecutionError(
                 f"plan {plan.key} does not apply epp {spill_epp!r}"
             )
+    if resolve_engine(engine) == "vector":
+        from repro.engine import vector
+
+        try:
+            return vector.execute_vectorized(
+                root, query, data_provider, cost_model, budget=budget,
+                spilled_epp=spill_epp or "",
+            )
+        except vector.VectorFallback:
+            TIMERS.incr("vector_fallback")
     meter = CostMeter(budget)
     stats_sink = {}
     operator = _build_operator(root, query, data_provider, cost_model, meter,

@@ -1,0 +1,811 @@
+"""Columnar vectorized execution: the charge-equivalent batch engine.
+
+The Volcano interpreter in :mod:`repro.engine.iterators` charges the
+shared :class:`~repro.engine.executor.CostMeter` once per tuple from
+pure Python — after PR 1 made ESS builds cached and PR 2 made discovery
+sweeps frontier-batched, that per-row interpreter dominates the
+Section 6.3 wall-clock experiment.  This module executes the same plans
+over numpy column arrays instead of Python tuples, with one hard
+guarantee: **charge equivalence**.  For any plan, budget, and spill
+mode, the vectorized engine returns an
+:class:`~repro.engine.executor.ExecutionOutcome` identical to the
+Volcano engine's — same ``completed`` flag, same ``rows_out``, the same
+``cost_spent`` to the last bit, and the same per-operator
+:class:`~repro.engine.executor.OperatorStats`, on completed *and*
+budget-killed runs alike.
+
+How: instead of metering as it goes, the engine reconstructs the exact
+*micro-charge stream* the Volcano interpreter would emit — every
+``meter.charge(...)`` call, in pull order — as one flat float64 array,
+assembled compositionally:
+
+* each operator contributes its own charges plus, for every row a child
+  yields, a consumption block spliced in at the yield position
+  (:func:`_splice` computes the interleaving with cumsum arithmetic);
+* every run-time monitor increment becomes a *stat event* carrying the
+  number of completed charges required before it fires;
+* budget enforcement is a cumulative sum over the stream (numpy's
+  ``cumsum`` accumulates sequentially, so partial sums are bit-identical
+  to the meter's one-at-a-time additions) plus a ``searchsorted`` for
+  the first crossing; stats and the top-level row count are truncated at
+  that exact micro-charge, reproducing the mid-row abort points of the
+  row-at-a-time meter.
+
+Budgeted runs stop *constructing* the stream shortly past the budget:
+every truncation keeps an **exact prefix** of the true charge sequence
+(probe phases are cut at an outer-yield boundary, never mid-splice), so
+whenever the kill point falls inside the built prefix the truncated
+stats are exact.  The cut heuristics use a 1%-plus-constant margin over
+the budget; in the (defensive) case where a truncated stream turns out
+not to contain the kill, or a stream would exceed
+``REPRO_VECTOR_MAX_CHARGES``, the engine raises :class:`VectorFallback`
+and the caller re-runs on the Volcano interpreter — correctness never
+depends on the vector path being taken.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from repro.engine.executor import ExecutionOutcome, OperatorStats
+from repro.errors import ExecutionError
+from repro.optimizer import plans as planlib
+from repro.perf.timers import TIMERS
+
+#: Ceiling on the number of micro-charges the engine will materialize
+#: for one execution; streams that would exceed it (quadratic
+#: nested-loop blowups, astronomically large budgets) fall back to the
+#: Volcano interpreter instead of exhausting memory.
+MAX_CHARGES = int(os.environ.get("REPRO_VECTOR_MAX_CHARGES", 1 << 25))
+
+#: Pair-expansion chunk size for nested-loop joins: outer rows are
+#: processed in morsels of about this many candidate pairs so the
+#: boolean match matrix never exceeds a few MB at a time.
+MORSEL_PAIRS = 1 << 22
+
+#: Kill-scan chunk: the budget crossing search cumsums the stream in
+#: morsels of this many charges (with an exact scalar carry between
+#: chunks) so killed runs stop scanning shortly past the budget.
+MORSEL_CHARGES = 1 << 20
+
+
+class VectorFallback(Exception):
+    """The vector engine declined this execution; use Volcano instead."""
+
+
+def _cumsum0(values):
+    """Exclusive cumulative sum with a leading zero (length ``n + 1``)."""
+    out = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+class _Stream:
+    """The reconstructed micro-charge stream of one operator subtree.
+
+    Attributes:
+        charges: float64 array, one entry per ``meter.charge`` call, in
+            exact Volcano pull order.
+        yields: int64 array, strictly increasing; ``yields[i]`` is the
+            number of completed charges at which output row ``i`` is
+            handed to the consumer.
+        events: list of ``(node_key, field, reqs, deltas)`` stat events;
+            the counter gains ``deltas[j]`` (1 each when ``deltas`` is
+            None) once ``reqs[j]`` charges have completed.
+        columns: list of numpy arrays, the output rows (only the rows
+            yielded before any truncation point).
+        layout: tuple of ``(table, column)`` pairs naming ``columns``.
+        truncated: True when construction stopped early because the
+            budget cap was crossed — the stream is then an exact
+            *prefix* of the true charge sequence, expected (but not
+            required) to contain the kill point.
+    """
+
+    __slots__ = ("charges", "yields", "events", "columns", "layout",
+                 "truncated")
+
+    def __init__(self, charges, yields, events, columns, layout,
+                 truncated=False):
+        self.charges = charges
+        self.yields = yields
+        self.events = events
+        self.columns = columns
+        self.layout = layout
+        self.truncated = truncated
+
+
+class _BuildContext:
+    """Tracks the charge mass built so far and enforces the ceilings.
+
+    ``cap`` is the budget inflated by a 1%-plus-constant safety margin
+    (float cumsum error over any realistic stream is orders of magnitude
+    smaller): once a prefix's mass exceeds it, the budget crossing
+    provably lies inside that prefix and construction may stop.
+    ``MAX_CHARGES`` bounds memory regardless of budget.
+    """
+
+    __slots__ = ("cap", "spent", "count")
+
+    def __init__(self, budget):
+        self.cap = (float("inf") if budget is None
+                    else float(budget) * 1.01 + 256.0)
+        self.spent = 0.0
+        self.count = 0
+
+    def add(self, total, count):
+        self.spent += float(total)
+        self.count += int(count)
+        if self.count > MAX_CHARGES:
+            raise VectorFallback(
+                f"charge stream exceeds {MAX_CHARGES} micro-charges"
+            )
+
+    def check_count(self, extra):
+        if self.count + int(extra) > MAX_CHARGES:
+            raise VectorFallback(
+                f"charge stream would exceed {MAX_CHARGES} micro-charges"
+            )
+
+    def row_cut(self, per_row_charges, base):
+        """Leading rows to keep of a contiguous per-row charge phase.
+
+        ``base`` is a lower bound on the true mass preceding the phase
+        (see :func:`_probe_cut` for why a lower bound is the safe
+        direction).  Returns the full length when the cap is never
+        crossed; otherwise the crossing row is included so the kept
+        prefix mass strictly exceeds the cap.
+        """
+        n = len(per_row_charges)
+        if self.cap == float("inf") or n == 0:
+            return n
+        mass = np.cumsum(per_row_charges) + base
+        if mass[-1] <= self.cap:
+            return n
+        return int(np.searchsorted(mass, self.cap, side="right")) + 1
+
+
+def _probe_cut(ctx, local_before, outer_s, per_row):
+    """Row cut for a probe phase interleaved with the outer's charges.
+
+    ``local_before`` is the mass of this node's own stream preceding the
+    probe segment — startup plus any build/materialization phases.
+    Ancestor charges that will precede this subtree once it is spliced
+    into the final stream are unknown during bottom-up construction and
+    are deliberately *not* estimated: under-estimating the preceding
+    mass only lengthens the kept prefix (the budget crossing stays
+    inside it), whereas over-estimating — e.g. counting sibling-subtree
+    mass that actually lands *after* this phase — could cut the prefix
+    short of the kill point and force a Volcano fallback.
+    """
+    n = int(len(per_row))
+    if ctx.cap == float("inf") or n == 0:
+        return n
+    out_cum = np.concatenate(([0.0], np.cumsum(outer_s.charges)))
+    mass = local_before + out_cum[outer_s.yields] + np.cumsum(per_row)
+    if mass[-1] <= ctx.cap:
+        return n
+    return int(np.searchsorted(mass, ctx.cap, side="right")) + 1
+
+
+# ----------------------------------------------------------------------
+# Stream composition
+# ----------------------------------------------------------------------
+
+def _splice(child, block_sizes, blocks_flat, offset):
+    """Insert per-yield consumption blocks into a child's stream.
+
+    The consumer receives child row ``i`` after ``child.yields[i]``
+    charges and immediately issues ``block_sizes[i]`` charges of its own
+    (``blocks_flat`` holds them row-major).  Returns the combined charge
+    segment plus, in final-stream coordinates (``offset`` = number of
+    charges preceding the segment):
+
+    * ``block_starts`` — index of each block's first charge;
+    * ``map_req`` — maps a child-coordinate stat requirement to its
+      final-stream value (events with ``req == yields[i]`` fire before
+      block ``i``, exactly as the interpreter's post-charge increments
+      precede the consumer's resumption).
+    """
+    y = child.yields
+    b = np.asarray(block_sizes, dtype=np.int64)
+    prefix_b = _cumsum0(b)
+    m = child.charges.size
+    out = np.empty(m + int(prefix_b[-1]), dtype=np.float64)
+    if m:
+        # yields_before[j] = #{i : y[i] <= j}, the searchsorted result,
+        # via a linear bincount scan (y is strictly increasing in [1, m]).
+        yields_before = np.cumsum(np.bincount(y, minlength=m + 1))[:m]
+        out[np.arange(m, dtype=np.int64)
+            + prefix_b[yields_before]] = child.charges
+    block_starts = y + prefix_b[:-1]
+    if blocks_flat.size:
+        within = (np.arange(blocks_flat.size, dtype=np.int64)
+                  - np.repeat(prefix_b[:-1], b))
+        out[np.repeat(block_starts, b) + within] = blocks_flat
+
+    def map_req(req):
+        return req + prefix_b[np.searchsorted(y, req, side="left")] + offset
+
+    return out, block_starts + offset, map_req
+
+
+def _mapped_events(events, map_req):
+    return [(key, field, map_req(reqs), deltas)
+            for key, field, reqs, deltas in events]
+
+
+def _shifted_events(events, offset):
+    return [(key, field, reqs + offset, deltas)
+            for key, field, reqs, deltas in events]
+
+
+def _col_index(layout, node_key, table, column):
+    try:
+        return layout.index((table, column))
+    except ValueError:
+        raise ExecutionError(
+            f"operator {node_key}: no column {table}.{column}"
+        ) from None
+
+
+def _join_key_indices(node, outer_layout, inner_layout):
+    """Per-side column positions for a join node's key pairs."""
+    outer_tables = node.outer.tables
+    outer_idx, inner_idx = [], []
+    for pred in node.applied_preds:
+        left, right = pred.tables
+        if left in outer_tables:
+            o_ref, i_ref = (left, pred.column_for(left)), \
+                (right, pred.column_for(right))
+        else:
+            o_ref, i_ref = (right, pred.column_for(right)), \
+                (left, pred.column_for(left))
+        outer_idx.append(_col_index(outer_layout, node.key, *o_ref))
+        inner_idx.append(_col_index(inner_layout, node.key, *i_ref))
+    return outer_idx, inner_idx
+
+
+# ----------------------------------------------------------------------
+# Vectorized predicates and key grouping
+# ----------------------------------------------------------------------
+
+def _filter_mask(op, values, constant):
+    if op == "=":
+        return values == constant
+    if op == "<":
+        return values < constant
+    if op == "<=":
+        return values <= constant
+    if op == ">":
+        return values > constant
+    if op == ">=":
+        return values >= constant
+    if op == "between":
+        low, high = constant
+        return (values >= low) & (values <= high)
+    raise ExecutionError(f"unsupported filter op {op!r}")
+
+
+def _apply_filters(arrays, names, filters, num_rows):
+    mask = np.ones(num_rows, dtype=bool)
+    for f in filters:
+        mask &= _filter_mask(f.op, arrays[names.index(f.column)], f.value)
+    return mask
+
+
+def _group_ids(left_cols, right_cols):
+    """Consistent group ids: equal key tuples share an id across sides."""
+    n_left = left_cols[0].size
+    if len(left_cols) == 1:
+        combined = np.concatenate((left_cols[0], right_cols[0]))
+        _, inverse = np.unique(combined, return_inverse=True)
+    else:
+        combined = np.stack(
+            [np.concatenate((a, b)) for a, b in zip(left_cols, right_cols)],
+            axis=1,
+        )
+        _, inverse = np.unique(combined, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1).astype(np.int64, copy=False)
+    return inverse[:n_left], inverse[n_left:]
+
+
+def _match_counts(gid_probe, gid_build):
+    """Per probe row: how many build rows share its key (plus lookup
+    tables for the row-major expansion)."""
+    n_groups = int(max(gid_probe.max(initial=-1),
+                       gid_build.max(initial=-1))) + 1
+    build_order = np.argsort(gid_build, kind="stable")
+    group_counts = np.bincount(gid_build, minlength=max(n_groups, 1))
+    group_starts = _cumsum0(group_counts)[:-1]
+    counts = (group_counts[gid_probe].astype(np.int64, copy=False)
+              if gid_probe.size else np.zeros(0, dtype=np.int64))
+    return counts, group_starts, build_order
+
+
+def _expand_matches(gid_probe, counts, group_starts, build_order):
+    """Row-major ``(probe_row, build_row)`` match pairs, build rows in
+    original (insertion) order within each probe row — the hash-table
+    bucket order of the interpreter."""
+    total = int(counts.sum())
+    rep = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        _cumsum0(counts)[:-1], counts)
+    flat = build_order[group_starts[gid_probe[rep]] + within]
+    return rep, within, flat
+
+
+# ----------------------------------------------------------------------
+# Operator stream builders
+# ----------------------------------------------------------------------
+
+def _empty_columns(layout):
+    return [np.empty(0, dtype=np.int64) for _ in layout]
+
+
+def _seq_scan_stream(table_name, data, filters, model, ctx, key):
+    names = list(data.columns)
+    arrays = [data.column(n) for n in names]
+    n = data.num_rows
+    ctx.check_count(1 + 2 * n)
+    mask = _apply_filters(arrays, names, filters, n)
+    n_pass = int(mask.sum())
+    passes_before = np.cumsum(mask) - mask  # exclusive per-row pass count
+    seq_pos = 1 + np.arange(n, dtype=np.int64) + passes_before
+    total = 1 + n + n_pass
+    charges = np.empty(total, dtype=np.float64)
+    charges[0] = model.startup
+    charges[seq_pos] = model.seq_tuple
+    out_pos = seq_pos[mask] + 1
+    charges[out_pos] = model.output_tuple
+    yields = out_pos + 1
+    events = [
+        (key, "rows_outer", seq_pos + 1, None),
+        (key, "rows_out", out_pos + 1, None),
+    ]
+    ctx.add(model.startup + model.seq_tuple * n + model.output_tuple * n_pass,
+            total)
+    columns = [arr[mask] for arr in arrays]
+    layout = tuple((table_name, c) for c in names)
+    return _Stream(charges, yields, events, columns, layout)
+
+
+def _index_scan_stream(table_name, data, filters, model, ctx, key):
+    names = list(data.columns)
+    arrays = [data.column(n) for n in names]
+    indexed = [f for f in filters if f.op == "=" and f.column in names]
+    if not indexed:
+        # The interpreter's fallback re-enters SeqScan.rows(), which
+        # charges its own startup — the double charge is reproduced.
+        ctx.add(model.startup, 1)
+        sub = _seq_scan_stream(table_name, data, filters, model, ctx, key)
+        charges = np.concatenate(([model.startup], sub.charges))
+        return _Stream(charges, sub.yields + 1, _shifted_events(sub.events, 1),
+                       sub.columns, sub.layout, sub.truncated)
+    lead = indexed[0]
+    matches = np.flatnonzero(arrays[names.index(lead.column)] == lead.value)
+    residual = [f for f in filters if f is not lead]
+    gathered = [arr[matches] for arr in arrays]
+    m = matches.size
+    ctx.check_count(2 + 2 * m)
+    mask = _apply_filters(gathered, names, residual, m)
+    n_pass = int(mask.sum())
+    descend = model.index_lookup * math.log2(max(data.num_rows, 2))
+    passes_before = np.cumsum(mask) - mask
+    fetch_pos = 2 + np.arange(m, dtype=np.int64) + passes_before
+    total = 2 + m + n_pass
+    charges = np.empty(total, dtype=np.float64)
+    charges[0] = model.startup
+    charges[1] = descend
+    charges[fetch_pos] = model.index_fetch
+    out_pos = fetch_pos[mask] + 1
+    charges[out_pos] = model.output_tuple
+    yields = out_pos + 1
+    events = [
+        (key, "rows_outer", fetch_pos + 1, None),
+        (key, "rows_out", out_pos + 1, None),
+    ]
+    ctx.add(model.startup + descend + model.index_fetch * m
+            + model.output_tuple * n_pass, total)
+    columns = [arr[mask] for arr in gathered]
+    layout = tuple((table_name, c) for c in names)
+    return _Stream(charges, yields, events, columns, layout)
+
+
+def _hash_join_stream(node, outer_s, inner_s, model, ctx, key):
+    layout = outer_s.layout + inner_s.layout
+    outer_idx, inner_idx = _join_key_indices(node, outer_s.layout,
+                                             inner_s.layout)
+    ctx.add(model.startup, 1)
+
+    # Build phase: one hash_build charge per inner row, at its yield.
+    n_inner = inner_s.yields.size
+    build_blocks = np.full(n_inner, model.hash_build)
+    ctx.add(model.hash_build * n_inner, n_inner)
+    build_seg, build_starts, map_inner = _splice(
+        inner_s, np.ones(n_inner, dtype=np.int64), build_blocks, 1)
+    events = _mapped_events(inner_s.events, map_inner)
+    events.append((key, "rows_inner", build_starts + 1, None))
+    local_before = model.startup + float(build_seg.sum())
+    if inner_s.truncated or local_before > ctx.cap:
+        charges = np.concatenate(([model.startup], build_seg))
+        return _Stream(charges, np.empty(0, dtype=np.int64), events,
+                       _empty_columns(layout), layout, truncated=True)
+
+    # Probe phase: per outer row a hash_probe then an output_tuple per
+    # bucket match (insertion order = inner row order).
+    probe_offset = 1 + build_seg.size
+    n_outer = outer_s.yields.size
+    gid_outer, gid_inner = _group_ids(
+        [outer_s.columns[i] for i in outer_idx],
+        [inner_s.columns[i] for i in inner_idx],
+    )
+    counts, group_starts, build_order = _match_counts(gid_outer, gid_inner)
+    per_row = model.hash_probe + model.output_tuple * counts
+    cut = _probe_cut(ctx, local_before, outer_s, per_row)
+    truncated = outer_s.truncated or cut < n_outer
+    counts = counts.copy()
+    counts[cut:] = 0
+    block_sizes = 1 + counts
+    block_sizes[cut:] = 0
+    flat_total = int(block_sizes.sum())
+    ctx.check_count(flat_total)
+    blocks = np.full(flat_total, model.output_tuple)
+    blocks[_cumsum0(block_sizes)[:-1][:cut]] = model.hash_probe
+    ctx.add(float(per_row[:cut].sum()), flat_total)
+    probe_seg, probe_starts, map_outer = _splice(
+        outer_s, block_sizes, blocks, probe_offset)
+    if cut < n_outer:
+        # Cut at the yield of the first dropped row so the stream stays
+        # an exact prefix (the true stream has a probe block there).
+        probe_seg = probe_seg[:int(outer_s.yields[cut]) + flat_total]
+    events.extend(_mapped_events(outer_s.events, map_outer))
+    events.append((key, "rows_outer", probe_starts[:cut] + 1, None))
+    rep, within, flat_inner = _expand_matches(
+        gid_outer[:cut], counts[:cut], group_starts, build_order)
+    out_req = probe_starts[rep] + within + 2
+    events.append((key, "rows_out", out_req, None))
+    charges = np.concatenate(([model.startup], build_seg, probe_seg))
+    columns = ([arr[rep] for arr in outer_s.columns]
+               + [arr[flat_inner] for arr in inner_s.columns])
+    return _Stream(charges, out_req, events, columns, layout, truncated)
+
+
+def _merge_join_stream(node, outer_s, inner_s, model, ctx, key):
+    layout = outer_s.layout + inner_s.layout
+    outer_idx, inner_idx = _join_key_indices(node, outer_s.layout,
+                                             inner_s.layout)
+    segments = [np.array([model.startup])]
+    events = []
+    offset = 1
+    local = model.startup  # this node's stream mass built so far
+    ctx.add(model.startup, 1)
+    sorted_sides = []
+    for child, idx, field in (
+            (outer_s, outer_idx, "rows_outer"),
+            (inner_s, inner_idx, "rows_inner")):
+        # Drain (uncharged per row, monitored at each yield), then one
+        # sort charge covering the whole materialized side.
+        segments.append(child.charges)
+        events.extend(_shifted_events(child.events, offset))
+        events.append((key, field, child.yields + offset, None))
+        offset += child.charges.size
+        local += float(child.charges.sum())
+        if child.truncated:
+            return _Stream(np.concatenate(segments),
+                           np.empty(0, dtype=np.int64), events,
+                           _empty_columns(layout), layout, truncated=True)
+        n_side = child.yields.size
+        per_row = model.sort_unit * math.log2(max(n_side, 2))
+        sort_charge = per_row * n_side
+        segments.append(np.array([sort_charge]))
+        ctx.add(sort_charge, 1)
+        offset += 1
+        local += sort_charge
+        order = (np.lexsort(tuple(child.columns[i] for i in reversed(idx)))
+                 if n_side else np.empty(0, dtype=np.int64))
+        sorted_sides.append((child, order))
+        if local > ctx.cap:
+            return _Stream(np.concatenate(segments),
+                           np.empty(0, dtype=np.int64), events,
+                           _empty_columns(layout), layout, truncated=True)
+
+    (left, left_order), (right, right_order) = sorted_sides
+    merge_charge = model.merge_unit * (left_order.size + right_order.size)
+    segments.append(np.array([merge_charge]))
+    ctx.add(merge_charge, 1)
+    offset += 1
+    local += merge_charge
+    if local > ctx.cap:
+        return _Stream(np.concatenate(segments),
+                       np.empty(0, dtype=np.int64), events,
+                       _empty_columns(layout), layout, truncated=True)
+
+    gid_left, gid_right = _group_ids(
+        [left.columns[i][left_order] for i in outer_idx],
+        [right.columns[i][right_order] for i in inner_idx],
+    )
+    counts, group_starts, build_order = _match_counts(gid_left, gid_right)
+    cut = ctx.row_cut(model.output_tuple * counts, local)
+    truncated = cut < counts.size
+    rep, _, flat_right = _expand_matches(
+        gid_left[:cut], counts[:cut], group_starts, build_order)
+    total_out = rep.size
+    ctx.check_count(total_out)
+    segments.append(np.full(total_out, model.output_tuple))
+    ctx.add(model.output_tuple * total_out, total_out)
+    yields = offset + 1 + np.arange(total_out, dtype=np.int64)
+    events.append((key, "rows_out", yields.copy(), None))
+    columns = ([arr[left_order][rep] for arr in left.columns]
+               + [arr[right_order][flat_right] for arr in right.columns])
+    return _Stream(np.concatenate(segments), yields, events, columns, layout,
+                   truncated)
+
+
+def _nl_join_stream(node, outer_s, inner_s, model, ctx, key):
+    layout = outer_s.layout + inner_s.layout
+    outer_idx, inner_idx = _join_key_indices(node, outer_s.layout,
+                                             inner_s.layout)
+    ctx.add(model.startup, 1)
+    # Inner side is materialized uncharged, monitored at each yield.
+    events = _shifted_events(inner_s.events, 1)
+    events.append((key, "rows_inner", inner_s.yields + 1, None))
+    probe_offset = 1 + inner_s.charges.size
+    local_before = model.startup + float(inner_s.charges.sum())
+    if inner_s.truncated or local_before > ctx.cap:
+        charges = np.concatenate(([model.startup], inner_s.charges))
+        return _Stream(charges, np.empty(0, dtype=np.int64), events,
+                       _empty_columns(layout), layout, truncated=True)
+
+    n_outer = outer_s.yields.size
+    n_inner = inner_s.yields.size
+    gid_outer, gid_inner = _group_ids(
+        [outer_s.columns[i] for i in outer_idx],
+        [inner_s.columns[i] for i in inner_idx],
+    )
+    counts, _, _ = _match_counts(gid_outer, gid_inner)
+    per_row = model.nl_pair * n_inner + model.output_tuple * counts
+    cut = _probe_cut(ctx, local_before, outer_s, per_row)
+    truncated = outer_s.truncated or cut < n_outer
+    counts = counts.copy()
+    counts[cut:] = 0
+    block_sizes = np.full(n_outer, n_inner, dtype=np.int64) + counts
+    block_sizes[cut:] = 0
+    flat_total = int(block_sizes.sum())
+    ctx.check_count(flat_total)
+    ctx.add(float(per_row[:cut].sum()), flat_total)
+
+    # Pair expansion in morsels: per kept outer row, one nl_pair charge
+    # per inner row with an output_tuple spliced in after each match.
+    blocks = np.empty(flat_total, dtype=np.float64)
+    rel_starts = _cumsum0(block_sizes)[:-1]
+    out_rel_chunks, out_row_chunks, out_inner_chunks = [], [], []
+    step = max(1, MORSEL_PAIRS // max(n_inner, 1))
+    for lo in range(0, cut, step):
+        hi = min(cut, lo + step)
+        match = gid_outer[lo:hi, None] == gid_inner[None, :]
+        pair_rel = (np.arange(n_inner, dtype=np.int64)[None, :]
+                    + np.cumsum(match, axis=1) - match)
+        base = rel_starts[lo:hi, None]
+        blocks[(base + pair_rel).ravel()] = model.nl_pair
+        rows_m, inner_m = np.nonzero(match)
+        out_rel = base[rows_m, 0] + pair_rel[rows_m, inner_m] + 1
+        blocks[out_rel] = model.output_tuple
+        out_rel_chunks.append(out_rel)
+        out_row_chunks.append(rows_m + lo)
+        out_inner_chunks.append(inner_m)
+    empty = np.empty(0, dtype=np.int64)
+    out_rel = np.concatenate(out_rel_chunks) if out_rel_chunks else empty
+    out_rows = np.concatenate(out_row_chunks) if out_row_chunks else empty
+    out_inner = np.concatenate(out_inner_chunks) if out_inner_chunks else empty
+
+    probe_seg, probe_starts, map_outer = _splice(
+        outer_s, block_sizes, blocks, probe_offset)
+    if cut < n_outer:
+        probe_seg = probe_seg[:int(outer_s.yields[cut]) + flat_total]
+    events.extend(_mapped_events(outer_s.events, map_outer))
+    # rows_outer increments *before* any pair charge of its block.
+    events.append((key, "rows_outer", probe_starts[:cut], None))
+    delta = probe_starts - rel_starts - probe_offset  # per-row splice shift
+    out_abs = out_rel + probe_offset + delta[out_rows]
+    yields = out_abs + 1
+    events.append((key, "rows_out", yields.copy(), None))
+    charges = np.concatenate(([model.startup], inner_s.charges, probe_seg))
+    columns = ([arr[out_rows] for arr in outer_s.columns]
+               + [arr[out_inner] for arr in inner_s.columns])
+    return _Stream(charges, yields, events, columns, layout, truncated)
+
+
+def _index_nl_join_stream(node, outer_s, query, data_provider, model, ctx,
+                          key):
+    pred = node.applied_preds[0]
+    inner_table = next(iter(node.inner.tables))
+    data = data_provider.table(inner_table)
+    names = list(data.columns)
+    arrays = [data.column(n) for n in names]
+    layout = outer_s.layout + tuple((inner_table, c) for c in names)
+    left, right = pred.tables
+    outer_ref = ((left, pred.column_for(left)) if left in node.outer.tables
+                 else (right, pred.column_for(right)))
+    outer_key = _col_index(outer_s.layout, key, *outer_ref)
+    inner_col = pred.column_for(inner_table)
+    inner_filters = query.filters_on(inner_table)
+    residual_mask = _apply_filters(arrays, names, inner_filters,
+                                   data.num_rows)
+    inner_filtered = int(residual_mask.sum())
+    descend = model.index_lookup * math.log2(max(data.num_rows, 2)) * 0.25
+
+    ctx.add(model.startup, 1)
+    # rows_inner is *assigned* (not incremented) right after startup;
+    # the stats record starts at zero so a one-shot delta is identical.
+    events = [(key, "rows_inner", np.array([1], dtype=np.int64),
+               np.array([inner_filtered], dtype=np.int64))]
+    n_outer = outer_s.yields.size
+    gid_outer, gid_table = _group_ids(
+        [outer_s.columns[outer_key]],
+        [arrays[names.index(inner_col)]],
+    )
+    counts, group_starts, table_order = _match_counts(gid_outer, gid_table)
+    pass_by_group = np.bincount(gid_table[residual_mask],
+                                minlength=max(group_starts.size, 1))
+    out_counts = (pass_by_group[gid_outer].astype(np.int64, copy=False)
+                  if gid_outer.size else np.zeros(0, dtype=np.int64))
+
+    per_row = descend + model.index_fetch * counts \
+        + model.output_tuple * out_counts
+    cut = _probe_cut(ctx, model.startup, outer_s, per_row)
+    truncated = outer_s.truncated or cut < n_outer
+    counts = counts.copy()
+    counts[cut:] = 0
+    out_counts = out_counts.copy()
+    out_counts[cut:] = 0
+    block_sizes = 1 + counts + out_counts
+    block_sizes[cut:] = 0
+    flat_total = int(block_sizes.sum())
+    ctx.check_count(flat_total)
+    ctx.add(float(per_row[:cut].sum()), flat_total)
+
+    rep, within, flat_tbl = _expand_matches(
+        gid_outer[:cut], counts[:cut], group_starts, table_order)
+    passes = (residual_mask[flat_tbl] if flat_tbl.size
+              else np.empty(0, dtype=bool))
+    # Per candidate: exclusive count of earlier passing candidates in
+    # the same outer row's block (each added one output_tuple charge).
+    pass_all = _cumsum0(passes)
+    row_starts_in_exp = _cumsum0(counts[:cut])[:-1]
+    row_base = pass_all[row_starts_in_exp]
+    pass_before = pass_all[:-1] - np.repeat(row_base, counts[:cut])
+    rel_starts = _cumsum0(block_sizes)[:-1]
+    fetch_rel = 1 + within + pass_before  # after the descend charge
+    blocks = np.empty(flat_total, dtype=np.float64)
+    blocks[rel_starts[:cut]] = descend
+    blocks[rel_starts[rep] + fetch_rel] = model.index_fetch
+    blocks[rel_starts[rep[passes]] + fetch_rel[passes] + 1] = \
+        model.output_tuple
+
+    probe_seg, probe_starts, map_outer = _splice(
+        outer_s, block_sizes, blocks, 1)
+    if cut < n_outer:
+        probe_seg = probe_seg[:int(outer_s.yields[cut]) + flat_total]
+    events.extend(_mapped_events(outer_s.events, map_outer))
+    # rows_outer increments before the descend charge of its block.
+    events.append((key, "rows_outer", probe_starts[:cut], None))
+    delta = probe_starts - rel_starts - 1
+    out_abs = (rel_starts[rep[passes]] + fetch_rel[passes] + 2
+               + delta[rep[passes]])
+    yields = out_abs + 1
+    events.append((key, "rows_out", yields.copy(), None))
+    charges = np.concatenate(([model.startup], probe_seg))
+    columns = ([arr[rep[passes]] for arr in outer_s.columns]
+               + [arr[flat_tbl[passes]] for arr in arrays])
+    return _Stream(charges, yields, events, columns, layout, truncated)
+
+
+def _build_stream(node, query, data_provider, model, ctx, node_keys):
+    """Mirror of ``spill._build_operator`` producing charge streams."""
+    node_keys.append(node.key)
+    if isinstance(node, planlib.ScanNode):
+        data = data_provider.table(node.table)
+        builder = (_index_scan_stream if node.method == planlib.INDEX_SCAN
+                   else _seq_scan_stream)
+        return builder(node.table, data, node.applied_preds, model, ctx,
+                       node.key)
+
+    outer = _build_stream(node.outer, query, data_provider, model, ctx,
+                          node_keys)
+    if node.op == planlib.INDEX_NL_JOIN:
+        if len(node.applied_preds) != 1:
+            raise ExecutionError(
+                "index nested-loop join supports a single join predicate"
+            )
+        return _index_nl_join_stream(node, outer, query, data_provider,
+                                     model, ctx, node.key)
+    inner = _build_stream(node.inner, query, data_provider, model, ctx,
+                          node_keys)
+    if node.op == planlib.HASH_JOIN:
+        return _hash_join_stream(node, outer, inner, model, ctx, node.key)
+    if node.op == planlib.MERGE_JOIN:
+        return _merge_join_stream(node, outer, inner, model, ctx, node.key)
+    if node.op == planlib.NL_JOIN:
+        return _nl_join_stream(node, outer, inner, model, ctx, node.key)
+    raise ExecutionError(f"unknown join operator {node.op!r}")
+
+
+# ----------------------------------------------------------------------
+# Budget enforcement and outcome assembly
+# ----------------------------------------------------------------------
+
+def _kill_index(charges, budget):
+    """First micro-charge whose cumulative sum exceeds the budget.
+
+    Returns ``(kill, final_spent)``; ``kill`` is None for completed
+    runs.  The scan cumsums in morsels with an exact scalar carry, so
+    partial sums are bit-identical to the meter's sequential additions
+    and killed runs stop scanning shortly past the budget.
+    """
+    carry = 0.0
+    n = charges.size
+    for lo in range(0, n, MORSEL_CHARGES):
+        cum = np.cumsum(
+            np.concatenate(([carry], charges[lo:lo + MORSEL_CHARGES])))[1:]
+        if budget is not None and cum[-1] > budget:
+            return lo + int(np.searchsorted(cum, budget, side="right")), None
+        carry = float(cum[-1])
+    return None, carry
+
+
+def execute_vectorized(root, query, data_provider, cost_model, budget=None,
+                       spilled_epp=""):
+    """Run one (sub)plan on the vector engine.
+
+    Args:
+        root: plan subtree to execute (spill surgery already applied by
+            the caller).
+        query / data_provider / cost_model / budget: as in
+            :func:`repro.engine.spill.execute_plan`.
+        spilled_epp: label recorded on the outcome.
+
+    Returns:
+        An :class:`ExecutionOutcome` identical to the Volcano engine's.
+
+    Raises:
+        VectorFallback: when the execution is better served by the
+            interpreter — the charge stream would exceed
+            ``REPRO_VECTOR_MAX_CHARGES``, or (defensively) a truncated
+            stream turned out not to contain the budget crossing.
+    """
+    ctx = _BuildContext(budget)
+    node_keys = []
+    stream = _build_stream(root, query, data_provider, cost_model, ctx,
+                           node_keys)
+    kill, spent = _kill_index(stream.charges, budget)
+    if kill is None and stream.truncated:
+        # The cap margin makes this nearly unreachable; fall back rather
+        # than ever reporting a truncated stream as completed.
+        raise VectorFallback("truncated stream completed under budget")
+
+    stats = {k: OperatorStats(node_key=k) for k in node_keys}
+    for k, field, reqs, deltas in stream.events:
+        if kill is None:
+            count = int(reqs.size) if deltas is None else int(deltas.sum())
+        else:
+            idx = int(np.searchsorted(reqs, kill, side="right"))
+            count = idx if deltas is None else int(deltas[:idx].sum())
+        record = stats[k]
+        setattr(record, field, getattr(record, field) + count)
+    if kill is None:
+        rows_out = int(stream.yields.size)
+    else:
+        rows_out = int(np.searchsorted(stream.yields, kill, side="right"))
+    TIMERS.incr("vector_exec_killed" if kill is not None
+                else "vector_exec_completed")
+    return ExecutionOutcome(
+        completed=kill is None,
+        rows_out=rows_out,
+        cost_spent=budget if kill is not None else float(spent),
+        budget=budget,
+        stats=stats,
+        spilled_epp=spilled_epp,
+    )

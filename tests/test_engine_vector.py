@@ -1,0 +1,235 @@
+"""The vector engine's charge-equivalence contract, at its edges.
+
+The columnar engine (:mod:`repro.engine.vector`) promises an
+:class:`~repro.engine.executor.ExecutionOutcome` identical to the
+Volcano interpreter's for any plan, budget, and spill mode.  These tests
+target the places where that promise is hardest to keep: budgets landing
+exactly on a charge boundary (the meter's strict ``>``), kills inside
+MergeJoin's lump sort/merge charges vs inside its output loop, killed
+spill-mode runs, and the fallback path when the engine declines an
+execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DataGenerator,
+    ESS,
+    ESSGrid,
+    ForeignKey,
+    Schema,
+    SPJQuery,
+    Table,
+    execute_plan,
+    filter_pred,
+    fk_column,
+    join,
+    key_column,
+)
+from repro.engine import vector
+from repro.engine.spill import ENGINES, resolve_engine
+from repro.errors import ExecutionError
+from repro.optimizer import plans as planlib
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = Schema("vecdiff", tables=[
+        Table("a", 90, [key_column("a_id", 90), fk_column("a_x", 6)]),
+        Table("f", 1_500, [fk_column("f_a_id", 90, indexed=True),
+                           fk_column("f_b_id", 60, indexed=True)]),
+        Table("b", 60, [key_column("b_id", 60), fk_column("b_y", 5)]),
+    ], foreign_keys=[
+        ForeignKey("f", "f_a_id", "a", "a_id"),
+        ForeignKey("f", "f_b_id", "b", "b_id"),
+    ])
+    query = SPJQuery("vecdiff2d", schema, ["a", "f", "b"], joins=[
+        join("a", "a_id", "f", "f_a_id", selectivity=1 / 90,
+             error_prone=True),
+        join("b", "b_id", "f", "f_b_id", selectivity=1 / 60,
+             error_prone=True),
+    ], filters=[
+        filter_pred("a", "a_x", "=", 2, selectivity=1 / 6),
+        filter_pred("b", "b_y", "=", 1, selectivity=1 / 5),
+    ])
+    gen = DataGenerator(schema, seed=31)
+    gen.generate_table("a")
+    gen.generate_table("b")
+    gen.generate_table("f", fk_skew={"f_a_id": 0.8})
+    ess = ESS.build(query, ESSGrid(2, resolution=8, sel_min=1e-4))
+    return query, gen, ess
+
+
+def both(plan, query, gen, model, **kwargs):
+    v = execute_plan(plan, query, gen, model, engine="volcano", **kwargs)
+    w = execute_plan(plan, query, gen, model, engine="vector", **kwargs)
+    return v, w
+
+
+def assert_identical(v, w):
+    assert v.completed == w.completed
+    assert v.rows_out == w.rows_out
+    # repr catches last-bit drift that a tolerance would forgive.
+    assert repr(v.cost_spent) == repr(w.cost_spent)
+    assert v.spilled_epp == w.spilled_epp
+    assert set(v.stats) == set(w.stats)
+    for key in v.stats:
+        a, b = v.stats[key], w.stats[key]
+        assert (a.rows_outer, a.rows_inner, a.rows_out) == \
+            (b.rows_outer, b.rows_inner, b.rows_out), key
+
+
+def charge_prefix_sums(plan, query, gen, model):
+    """The meter's exact running totals, one per ``charge()`` call."""
+    ctx = vector._BuildContext(None)
+    stream = vector._build_stream(plan, query, gen, model, ctx, [])
+    assert not stream.truncated
+    return np.cumsum(stream.charges)
+
+
+def merge_join_plan(query):
+    ja, jb = query.epps
+    low = planlib.JoinNode(
+        planlib.MERGE_JOIN,
+        planlib.ScanNode("f", planlib.SEQ_SCAN),
+        planlib.ScanNode("a", planlib.SEQ_SCAN),
+        (ja,),
+    )
+    return planlib.JoinNode(
+        planlib.MERGE_JOIN, low,
+        planlib.ScanNode("b", planlib.SEQ_SCAN), (jb,),
+    )
+
+
+class TestEngineSelector:
+    def test_explicit_engines_resolve_to_themselves(self):
+        assert resolve_engine("vector") == "vector"
+        assert resolve_engine("volcano") == "volcano"
+
+    def test_auto_defaults_to_vector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine("auto") == "vector"
+        assert resolve_engine(None) == "vector"
+
+    def test_auto_honors_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "volcano")
+        assert resolve_engine("auto") == "volcano"
+
+    def test_stale_environment_value_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp-drive")
+        assert resolve_engine("auto") == "vector"
+
+    def test_unknown_argument_is_an_error(self):
+        with pytest.raises(ExecutionError):
+            resolve_engine("warp-drive")
+
+    def test_engines_tuple(self):
+        assert ENGINES == ("auto", "vector", "volcano")
+
+
+class TestBudgetBoundaries:
+    def test_budget_exactly_on_charge_boundary(self, setup):
+        """The meter kills on strict ``>``: a budget equal to a prefix
+        sum survives that charge and dies on the next one.  Both engines
+        must agree at the boundary and one ulp below it."""
+        query, gen, ess = setup
+        plan = ess.plans[0]
+        prefix = charge_prefix_sums(plan, query, gen, ess.cost_model)
+        picks = [0, 1, len(prefix) // 3, len(prefix) // 2, len(prefix) - 2]
+        for i in picks:
+            boundary = float(prefix[i])
+            for budget in (boundary, np.nextafter(boundary, -np.inf)):
+                v, w = both(plan, query, gen, ess.cost_model, budget=budget)
+                assert not v.completed
+                assert_identical(v, w)
+
+    def test_budget_equal_to_total_completes(self, setup):
+        query, gen, ess = setup
+        plan = ess.plans[0]
+        prefix = charge_prefix_sums(plan, query, gen, ess.cost_model)
+        v, w = both(plan, query, gen, ess.cost_model,
+                    budget=float(prefix[-1]))
+        assert v.completed and w.completed
+        assert_identical(v, w)
+
+    def test_kill_inside_merge_sort_charge_vs_merge_loop(self, setup):
+        """MergeJoin charges sorting as one lump per side and merging as
+        one lump, then per-row output charges; a kill landing *inside* a
+        lump and one landing in the output loop truncate differently and
+        both must match the interpreter."""
+        query, gen, ess = setup
+        model = ess.cost_model
+        plan = merge_join_plan(query)
+        ctx = vector._BuildContext(None)
+        stream = vector._build_stream(plan, query, gen, model, ctx, [])
+        prefix = np.cumsum(stream.charges)
+        # Lump charges are the ones much larger than any per-row charge.
+        lumps = np.flatnonzero(stream.charges > 4 * model.startup)
+        assert lumps.size >= 3, "expected sort/sort/merge lump charges"
+        for lump in lumps[:3]:
+            mid = float(prefix[lump]) - 0.5 * float(stream.charges[lump])
+            v, w = both(plan, query, gen, model, budget=mid)
+            assert not v.completed
+            assert_identical(v, w)
+        # Inside the output loop: past every lump, short of completion.
+        loop_budget = float(prefix[-1]) - 2 * model.output_tuple
+        v, w = both(plan, query, gen, model, budget=loop_budget)
+        assert not v.completed
+        assert_identical(v, w)
+
+    def test_spill_mode_kills_identical(self, setup):
+        query, gen, ess = setup
+        plan = ess.plans[0]
+        for epp in query.epps:
+            full = execute_plan(plan, query, gen, ess.cost_model,
+                                spill_epp=epp.name, engine="volcano")
+            assert full.completed
+            rng = np.random.default_rng(17)
+            for budget in rng.uniform(5.0, full.cost_spent,
+                                      size=8).tolist():
+                v, w = both(plan, query, gen, ess.cost_model,
+                            budget=budget, spill_epp=epp.name)
+                assert_identical(v, w)
+
+    def test_all_posp_plans_unbudgeted_identical(self, setup):
+        query, gen, ess = setup
+        for plan in ess.plans:
+            v, w = both(plan, query, gen, ess.cost_model)
+            assert v.completed
+            assert_identical(v, w)
+
+
+class TestFallback:
+    def test_max_charges_ceiling_falls_back_to_volcano(self, setup,
+                                                       monkeypatch):
+        """When the stream would exceed the charge ceiling the selector
+        silently reruns on Volcano — callers still get the exact
+        outcome."""
+        query, gen, ess = setup
+        plan = ess.plans[0]
+        reference = execute_plan(plan, query, gen, ess.cost_model,
+                                 engine="volcano")
+        monkeypatch.setattr(vector, "MAX_CHARGES", 16)
+        with pytest.raises(vector.VectorFallback):
+            vector.execute_vectorized(plan, query, gen, ess.cost_model)
+        outcome = execute_plan(plan, query, gen, ess.cost_model,
+                               engine="vector")
+        assert_identical(reference, outcome)
+
+    def test_vectorized_outcome_counts_every_operator(self, setup):
+        query, gen, ess = setup
+        plan = ess.plans[0]
+        outcome = execute_plan(plan, query, gen, ess.cost_model,
+                               engine="vector")
+        keys = set()
+
+        def walk(node):
+            keys.add(node.key)
+            if isinstance(node, planlib.JoinNode):
+                walk(node.outer)
+                if node.op != planlib.INDEX_NL_JOIN:
+                    walk(node.inner)
+
+        walk(plan)
+        assert keys == set(outcome.stats)
