@@ -40,6 +40,13 @@ from repro.catalog.tpcds import (
     suite_names,
     tpcds_schema,
 )
+from repro.conformance.monitors import (
+    ConformanceMonitor,
+    Violation,
+    active_monitor,
+    install_monitor,
+    monitoring,
+)
 from repro.core.advisor import (
     Advice,
     EppRecommendation,
@@ -122,6 +129,9 @@ __all__ = [
     "plan_diagram_stats", "switching_profile", "reduction_curve",
     "validate_ess", "validate_contours", "validate_discovery_result",
     "ValidationError",
+    # conformance monitors
+    "ConformanceMonitor", "Violation", "monitoring", "install_monitor",
+    "active_monitor",
     "CorrelationSpec", "CorrelatedSpillBound", "joint_correction",
     "correlated_plan_cost",
     # algorithms

@@ -353,6 +353,39 @@ def run_wallclock(name="mini4d", row_budget=40_000, seed=11, engine="auto",
 
 
 # ----------------------------------------------------------------------
+# Guarantee-conformance suite (the ``repro check`` experiment)
+# ----------------------------------------------------------------------
+
+def run_conformance(num_workloads=200, base_seed=0,
+                    engines=("loop", "batch", "parallel"), trace_samples=3,
+                    jsonl_path=None, use_cache=True, inject=None,
+                    progress=None):
+    """Seeded randomized workloads under runtime invariant monitors.
+
+    Runs PB/SB/AB across every requested sweep engine on
+    ``num_workloads`` seeded random workloads, checking the paper's
+    per-execution invariants and the engines' bit-identity (see
+    :mod:`repro.conformance.suite`).  ``inject`` corrupts one
+    observation for negative testing.
+
+    Returns a :class:`~repro.conformance.suite.SuiteReport`.
+    """
+    from repro.conformance.suite import run_suite
+
+    with TIMERS.phase("conformance_suite"):
+        return run_suite(
+            num_workloads=num_workloads,
+            base_seed=base_seed,
+            engines=engines,
+            trace_samples=trace_samples,
+            jsonl_path=jsonl_path,
+            use_cache=use_cache,
+            inject=inject,
+            progress=progress,
+        )
+
+
+# ----------------------------------------------------------------------
 # Section 6.5: the JOB benchmark experiment
 # ----------------------------------------------------------------------
 

@@ -12,7 +12,10 @@ Gives the library's main flows a no-code entry point:
 * ``advise`` — the native-vs-robust deployment advisor;
 * ``bench`` — the perf-trajectory benchmark (ESS cache, loop vs
   batched sweep engines, fan-out decision), optionally written to a
-  ``BENCH_*.json`` artifact.
+  ``BENCH_*.json`` artifact;
+* ``check`` — the guarantee-conformance suite: seeded randomized
+  workloads through every algorithm and sweep engine under runtime
+  invariant monitors, exiting nonzero on any violation.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.core.mso import evaluate_algorithm
 from repro.core.native import NativeOptimizer
 from repro.core.plan_bouquet import PlanBouquet
 from repro.core.spill_bound import SpillBound
+from repro.errors import ReproError
 
 _ALGORITHMS = {
     "pb": lambda inst: PlanBouquet(inst.ess, inst.contours),
@@ -43,6 +47,21 @@ _EXPERIMENTS = (
 
 def _parse_qa(text):
     return tuple(float(part) for part in text.split(","))
+
+
+def _resolution_arg(text):
+    """Argparse type for ``--resolution``: an integer grid side >= 2."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"grid resolution must be an integer, got {text!r}"
+        ) from None
+    if value < 2:
+        raise argparse.ArgumentTypeError(
+            f"grid resolution must be >= 2, got {value}"
+        )
+    return value
 
 
 def cmd_list(args):
@@ -277,6 +296,60 @@ def cmd_bench(args):
     return 0
 
 
+def cmd_check(args):
+    from repro.conformance.suite import INJECT_MODES, SUITE_ENGINES
+
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    unknown = set(engines) - set(SUITE_ENGINES)
+    if unknown:
+        print(f"error: unknown engine(s) {sorted(unknown)}; "
+              f"choose from {SUITE_ENGINES}", file=sys.stderr)
+        return 2
+    if args.inject is not None and args.inject not in INJECT_MODES:
+        print(f"error: unknown injection {args.inject!r}; "
+              f"choose from {INJECT_MODES}", file=sys.stderr)
+        return 2
+
+    def progress(done, total, outcome):
+        if args.verbose:
+            print(f"[{done}/{total}] seed {outcome.seed}: "
+                  f"D={outcome.num_epps} res={outcome.resolution} "
+                  f"ratio={outcome.cost_ratio} noise={outcome.cost_noise} "
+                  f"align={outcome.alignment_fraction:.2f} "
+                  f"{outcome.engines}")
+
+    report = harness.run_conformance(
+        num_workloads=args.workloads,
+        base_seed=args.base_seed,
+        engines=engines,
+        trace_samples=args.trace_samples,
+        jsonl_path=args.jsonl,
+        use_cache=not args.no_cache,
+        inject=args.inject,
+        progress=progress,
+    )
+    summary = report.summary()
+    print(format_table(
+        f"conformance suite ({summary['workloads']} workloads x pb/sb/ab)",
+        ["metric", "value"],
+        [[key, value] for key, value in summary.items()],
+    ))
+    for violation in report.monitor.violations[:20]:
+        print(f"VIOLATION [{violation.invariant}] "
+              f"{violation.algorithm}/{violation.engine}: "
+              f"{violation.message} {violation.details}")
+    remaining = len(report.monitor.violations) - 20
+    if remaining > 0:
+        print(f"... and {remaining} more")
+    if args.jsonl:
+        print(f"wrote {args.jsonl}")
+    if not report.ok:
+        print(f"conformance FAILED: {summary['violations']} violation(s)")
+        return 1
+    print("conformance ok: zero violations, zero bit-identity mismatches")
+    return 0
+
+
 def cmd_advise(args):
     from repro.core.advisor import RobustnessAdvisor
 
@@ -333,7 +406,7 @@ def build_parser():
     p.add_argument("--engine", default="auto",
                    choices=["auto", "vector", "volcano"],
                    help="execution engine for every plan run")
-    p.add_argument("--resolution", type=int, default=None,
+    p.add_argument("--resolution", type=_resolution_arg, default=None,
                    help="explicit grid resolution for the workload")
 
     p = sub.add_parser("figures", help="render all figures as SVG")
@@ -345,8 +418,25 @@ def build_parser():
     p.add_argument("--query", default="3D_Q91")
     p.add_argument("--workers", type=int, default=4,
                    help="process count for the parallel sweep")
-    p.add_argument("--resolution", type=int, default=None,
+    p.add_argument("--resolution", type=_resolution_arg, default=None,
                    help="explicit grid resolution for the bench workload")
+
+    p = sub.add_parser("check", help="guarantee-conformance suite")
+    p.add_argument("--workloads", type=int, default=200,
+                   help="number of seeded randomized workloads")
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--engines", default="loop,batch,parallel",
+                   help="comma-separated sweep engines to exercise")
+    p.add_argument("--trace-samples", type=int, default=3,
+                   help="traced scalar runs per (workload, algorithm)")
+    p.add_argument("--jsonl", default=None,
+                   help="write violation records to this JSONL path")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent ESS archive cache")
+    p.add_argument("--inject", default=None, choices=["mso", "learning"],
+                   help="inject a deliberate violation (negative test)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per workload")
 
     p = sub.add_parser("advise", help="native vs robust recommendation")
     p.add_argument("query")
@@ -369,12 +459,17 @@ _HANDLERS = {
     "figures": cmd_figures,
     "advise": cmd_advise,
     "bench": cmd_bench,
+    "check": cmd_check,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,28 @@
+"""Guarantee-conformance layer: runtime invariant monitors and the
+randomized conformance suite (``repro check``).
+
+Light by design: importing this package pulls in only the monitor
+machinery (which the sweep engines and the discovery driver import for
+their no-op-when-detached hooks); the suite and its workload generator
+load lazily.
+"""
+
+from repro.conformance.monitors import (
+    ConformanceMonitor,
+    Violation,
+    active_monitor,
+    install_monitor,
+    monitoring,
+    observe_engine_report,
+    observe_sweep,
+)
+
+__all__ = [
+    "ConformanceMonitor",
+    "Violation",
+    "active_monitor",
+    "install_monitor",
+    "monitoring",
+    "observe_engine_report",
+    "observe_sweep",
+]

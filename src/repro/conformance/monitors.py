@@ -1,0 +1,606 @@
+"""Runtime invariant monitors for the MSO guarantees.
+
+The paper's value proposition is *provable* robustness — PlanBouquet's
+behavioural ``MSO <= 4(1+lambda)rho`` (Dutt & Haritsa, TODS 2016) and
+SpillBound's structural ``MSO <= D^2 + 3D`` (Karthik et al., TKDE 2019).
+Both bounds rest on mechanically checkable per-execution invariants:
+cost-budget doubling between contours, half-space pruning (Lemma 3.1:
+each spill execution either learns an epp exactly or proves
+``qa.j > q_max^j.j``), anorexic-reduction lambda accounting, and
+repeat-execution counting (Lemma 4.4).  This module turns each of those
+into a runtime check.
+
+A :class:`ConformanceMonitor` is strictly *opt-in*: the sweep engines
+and the discovery driver call the module-level ``observe_*`` hooks,
+which are no-ops unless a monitor has been installed (via
+:func:`install_monitor` or the :func:`monitoring` context manager).
+Nothing in the normal production/test path pays more than a ``None``
+check — and worlds that legitimately break a bound (e.g. the
+SI-violating :class:`~repro.ess.dependence.CorrelatedSpillBound`)
+are unaffected because they never install a monitor.
+
+Violations are *recorded*, not raised: a conformance sweep should
+report every broken invariant it finds, not die on the first one.
+Each record is a structured :class:`Violation`; when the monitor is
+constructed with a ``jsonl_path`` every record is also appended to
+that file as one JSON line (the ``repro check`` artifact).
+
+Invariant names used in records:
+
+* ``contour-ladder`` — contour budgets form a geometric ladder at the
+  configured cost ratio, capped at ``C_max`` (paper Section 2.5);
+* ``mso-bound`` — a run's (or sweep's) sub-optimality exceeds the
+  algorithm's own guarantee, or beats the oracle (``< 1``);
+* ``lambda-accounting`` — a PlanBouquet execution budget differs from
+  the anorexically inflated contour cost, executes a plan outside the
+  reduced bouquet, or a contour runs more plans than ``rho``;
+* ``halfspace`` — a spill execution that neither learnt its epp nor
+  proved ``qa.j`` beyond the learnable bound, or a spill on an epp
+  already learnt exactly;
+* ``exact-learning`` — a completed spill execution whose learnt
+  selectivity is not bit-exactly the grid selectivity at ``qa``;
+* ``learned-monotonic`` — an epp's exact learning fell below a lower
+  bound established by an earlier failed spill;
+* ``budget-ladder`` — an execution budget inconsistent with the
+  contour cost (times the replacement penalty for AlignedBound);
+* ``charge-accounting`` — charges that disagree with the paper's
+  accounting (killed runs charged their budget, completed runs their
+  actual cost) or that do not sum to the reported total;
+* ``repeat-bound`` — more than ``D(D-1)/2`` repeat executions
+  (Lemma 4.4);
+* ``sequence`` — out-of-order contours, a completion that is not the
+  final execution, or no completion at all;
+* ``bit-identity`` — two sweep engines disagree on the sub-optimality
+  array (they must be bit-identical, ``np.array_equal``);
+* ``engine-budget`` — an engine execution overspent its kill budget,
+  or re-learnt an epp it had already learnt.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Relative slack for the monitors' floating-point comparisons.  Wider
+#: than :data:`repro.core.discovery.BUDGET_EPS` because totals are
+#: re-summed here in a different association order than the run built
+#: them in.
+RTOL = 1e-6
+
+#: Exact-comparison slack for quantities the algorithms compute through
+#: one shared code path (budgets, penalties): any drift is a real bug.
+STRICT_RTOL = 1e-9
+
+
+def _close(a, b, rtol=STRICT_RTOL):
+    a, b = float(a), float(b)
+    return abs(a - b) <= rtol * max(abs(a), abs(b), 1e-300)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays and tuples into JSON-safe values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _algo_label(algorithm):
+    """Short label (pb/sb/ab/class name) for a live algorithm object."""
+    if algorithm is None:
+        return ""
+    from repro.core.aligned_bound import AlignedBound
+    from repro.core.plan_bouquet import PlanBouquet
+    from repro.core.spill_bound import SpillBound
+
+    for label, cls in (("pb", PlanBouquet), ("ab", AlignedBound),
+                       ("sb", SpillBound)):
+        if type(algorithm) is cls:
+            return label
+    return type(algorithm).__name__
+
+
+@dataclass
+class Violation:
+    """One broken invariant, with enough context to reproduce it."""
+
+    invariant: str
+    message: str
+    algorithm: str = ""
+    engine: str = ""
+    details: dict = field(default_factory=dict)
+
+    def to_record(self):
+        record = {
+            "invariant": self.invariant,
+            "message": self.message,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+        }
+        record.update(_jsonable(self.details))
+        return record
+
+
+class ConformanceMonitor:
+    """Collects invariant checks and their violations.
+
+    Args:
+        jsonl_path: optional path; every violation is appended to it as
+            one JSON line.  The file is created (truncated) up front so
+            a clean run leaves an empty artifact rather than none.
+    """
+
+    def __init__(self, jsonl_path=None):
+        self.jsonl_path = jsonl_path
+        self.violations = []
+        self.counters = {}
+        self._context = {}
+        if jsonl_path:
+            with open(jsonl_path, "w"):
+                pass
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def _count(self, key, n=1):
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    @contextmanager
+    def context(self, **kv):
+        """Attach key/values (seed, workload name, ...) to every
+        violation recorded inside the block."""
+        previous = dict(self._context)
+        self._context.update(kv)
+        try:
+            yield self
+        finally:
+            self._context = previous
+
+    def record(self, invariant, message, algorithm=None, engine="",
+               **details):
+        merged = dict(self._context)
+        merged.update(details)
+        violation = Violation(
+            invariant=invariant,
+            message=message,
+            algorithm=(algorithm if isinstance(algorithm, str)
+                       else _algo_label(algorithm)),
+            engine=engine,
+            details=merged,
+        )
+        self.violations.append(violation)
+        self._count("violations")
+        self._count(f"violations[{invariant}]")
+        if self.jsonl_path:
+            with open(self.jsonl_path, "a") as fh:
+                fh.write(json.dumps(violation.to_record(),
+                                    sort_keys=True) + "\n")
+        return violation
+
+    def violations_by_invariant(self):
+        out = {}
+        for v in self.violations:
+            out.setdefault(v.invariant, []).append(v)
+        return out
+
+    # -- invariant checks ----------------------------------------------
+
+    def check_contour_ladder(self, contours, engine=""):
+        """Paper Section 2.5: budgets are a geometric ladder at the
+        configured ratio, first at ``C_min``, last capped at ``C_max``."""
+        self._count("ladders")
+        budgets = np.asarray(contours.budgets, dtype=float)
+        ratio = float(contours.cost_ratio)
+        ess = contours.ess
+        m = len(budgets)
+        if m == 0 or (np.diff(budgets) <= 0).any():
+            self.record("contour-ladder",
+                        "contour budgets are not strictly increasing",
+                        engine=engine, budgets=budgets)
+            return
+        if m > 1 and not _close(budgets[0], ess.min_cost):
+            self.record("contour-ladder",
+                        "first contour budget is not C_min",
+                        engine=engine, first=budgets[0],
+                        min_cost=ess.min_cost)
+        if not _close(budgets[-1], ess.max_cost):
+            self.record("contour-ladder",
+                        "last contour budget is not capped at C_max",
+                        engine=engine, last=budgets[-1],
+                        max_cost=ess.max_cost)
+        for i in range(1, m - 1):
+            if not _close(budgets[i], budgets[i - 1] * ratio):
+                self.record(
+                    "contour-ladder",
+                    f"budget CC_{i + 1} is not {ratio} x CC_{i}",
+                    engine=engine, contour=i + 1,
+                    budget=budgets[i], previous=budgets[i - 1],
+                )
+        if m > 1 and budgets[-1] > budgets[-2] * ratio * (1.0 + STRICT_RTOL):
+            self.record("contour-ladder",
+                        "capped last contour exceeds the geometric step",
+                        engine=engine, last=budgets[-1],
+                        previous=budgets[-2])
+
+    def check_sweep(self, suboptimality, algorithm, engine=""):
+        """A sweep's sub-optimality array against the algorithm's own
+        guarantee: every entry in ``[1, guarantee]`` (up to slack)."""
+        self._count("sweeps")
+        self._count(f"sweeps[{engine}]")
+        sub = np.asarray(suboptimality, dtype=float)
+        if sub.size == 0:
+            return
+        if not np.isfinite(sub).all():
+            self.record("mso-bound", "non-finite sub-optimality in sweep",
+                        algorithm, engine)
+            return
+        worst = int(np.argmax(sub))
+        if sub.min() < 1.0 - RTOL:
+            best = int(np.argmin(sub))
+            self.record(
+                "mso-bound", "sub-optimality below 1 (beats the oracle)",
+                algorithm, engine,
+                location=best, suboptimality=float(sub[best]),
+            )
+        guarantee = None
+        if hasattr(algorithm, "mso_guarantee"):
+            guarantee = float(algorithm.mso_guarantee())
+            if sub[worst] > guarantee * (1.0 + RTOL):
+                self.record(
+                    "mso-bound",
+                    f"sweep MSO {float(sub[worst]):.4g} exceeds the "
+                    f"guarantee {guarantee:.4g}",
+                    algorithm, engine,
+                    location=worst, suboptimality=float(sub[worst]),
+                    guarantee=guarantee,
+                )
+
+    def check_bit_identity(self, reference, other, algorithm,
+                           engines=("loop", "other")):
+        """Two sweep engines must agree bit-for-bit (np.array_equal)."""
+        self._count("bit_identity")
+        a = np.asarray(reference, dtype=float)
+        b = np.asarray(other, dtype=float)
+        if a.shape == b.shape and np.array_equal(a, b):
+            return True
+        if a.shape != b.shape:
+            self.record("bit-identity",
+                        f"{engines[1]} sweep shape {b.shape} != "
+                        f"{engines[0]} shape {a.shape}",
+                        algorithm, engine=engines[1])
+            return False
+        bad = np.flatnonzero(a != b)
+        self.record(
+            "bit-identity",
+            f"{engines[1]} sweep differs from {engines[0]} at "
+            f"{bad.size} location(s)",
+            algorithm, engine=engines[1],
+            num_mismatches=int(bad.size),
+            first_mismatch=int(bad[0]),
+            max_abs_deviation=float(np.abs(a - b).max()),
+        )
+        return False
+
+    def check_run(self, result, algorithm, engine="run"):
+        """All per-execution invariants of one traced discovery run."""
+        self._count("runs")
+        label = _algo_label(algorithm)
+        sub = result.suboptimality
+        guarantee = float(algorithm.mso_guarantee())
+        if not (1.0 - RTOL <= sub <= guarantee * (1.0 + RTOL)):
+            self.record(
+                "mso-bound",
+                f"run sub-optimality {sub:.4g} outside [1, {guarantee:.4g}]",
+                algorithm, engine, qa=result.qa_coords,
+                suboptimality=float(sub), guarantee=guarantee,
+            )
+        records = result.executions
+        if records is None:
+            return
+        self._check_sequence(result, records, algorithm, engine)
+        if label == "pb":
+            self._check_pb_records(result, records, algorithm, engine)
+        else:
+            self._check_spill_records(result, records, algorithm, engine)
+
+    # -- per-record helpers --------------------------------------------
+
+    def _check_sequence(self, result, records, algorithm, engine):
+        """Algorithm-independent record accounting."""
+        qa = result.qa_coords
+        if not records:
+            self.record("sequence", "traced run recorded no executions",
+                        algorithm, engine, qa=qa)
+            return
+        total = 0.0
+        for rec in records:
+            total += rec.charged
+        if not _close(total, result.total_cost, RTOL):
+            self.record(
+                "charge-accounting",
+                "record charges do not sum to the reported total cost",
+                algorithm, engine, qa=qa,
+                sum_charged=total, total_cost=result.total_cost,
+            )
+        last = 0
+        for k, rec in enumerate(records):
+            if rec.contour < last:
+                self.record(
+                    "sequence",
+                    f"contour order regressed ({last} -> {rec.contour})",
+                    algorithm, engine, qa=qa, execution=k,
+                )
+            last = rec.contour
+            if not rec.completed and not _close(rec.charged, rec.budget):
+                self.record(
+                    "charge-accounting",
+                    "killed execution not charged its full budget",
+                    algorithm, engine, qa=qa, execution=k,
+                    charged=rec.charged, budget=rec.budget,
+                )
+            if rec.completed and rec.charged > rec.budget * (1.0 + RTOL):
+                self.record(
+                    "charge-accounting",
+                    "completed execution charged beyond its budget",
+                    algorithm, engine, qa=qa, execution=k,
+                    charged=rec.charged, budget=rec.budget,
+                )
+        normal_done = [k for k, r in enumerate(records)
+                       if r.completed and r.mode == "normal"]
+        if records[-1].completed is False:
+            self.record("sequence",
+                        "run ended on a killed execution",
+                        algorithm, engine, qa=qa)
+        if len(normal_done) > 1:
+            self.record(
+                "sequence",
+                f"{len(normal_done)} completed normal-mode executions "
+                "(expected exactly one, the final result)",
+                algorithm, engine, qa=qa,
+            )
+
+    def _check_pb_records(self, result, records, algorithm, engine):
+        """PlanBouquet: anorexic lambda accounting (paper Section 2.6)."""
+        qa = result.qa_coords
+        reduced = {rc.index: rc for rc in algorithm.reduction.reduced}
+        rho = algorithm.rho
+        lam = algorithm.lam
+        per_contour = {}
+        for k, rec in enumerate(records):
+            if rec.mode != "normal" or rec.spill_dim is not None:
+                self.record("sequence",
+                            "PlanBouquet recorded a spill execution",
+                            algorithm, engine, qa=qa, execution=k)
+                continue
+            rc = reduced.get(rec.contour)
+            if rc is None:
+                self.record("lambda-accounting",
+                            f"execution on unknown contour {rec.contour}",
+                            algorithm, engine, qa=qa, execution=k)
+                continue
+            if not _close(rec.budget, rc.inflated_budget):
+                self.record(
+                    "lambda-accounting",
+                    f"budget is not the (1+lambda) inflated contour cost "
+                    f"(lambda={lam})",
+                    algorithm, engine, qa=qa, execution=k,
+                    budget=rec.budget, inflated=rc.inflated_budget,
+                )
+            if rec.plan_id not in rc.plan_ids:
+                self.record(
+                    "lambda-accounting",
+                    f"plan {rec.plan_id} is not in the reduced bouquet "
+                    f"of contour {rec.contour}",
+                    algorithm, engine, qa=qa, execution=k,
+                )
+            per_contour[rec.contour] = per_contour.get(rec.contour, 0) + 1
+        for contour, count in per_contour.items():
+            if count > rho:
+                self.record(
+                    "lambda-accounting",
+                    f"{count} executions on contour {contour} exceed the "
+                    f"reduced density rho={rho}",
+                    algorithm, engine, qa=qa, contour=contour,
+                )
+
+    def _check_spill_records(self, result, records, algorithm, engine):
+        """SpillBound/AlignedBound: half-space pruning (Lemma 3.1),
+        exact learning, learned-bound monotonicity, the budget ladder
+        with replacement penalties, and Lemma 4.4 repeat accounting."""
+        qa = result.qa_coords
+        grid = algorithm.ess.grid
+        contours = algorithm.contours
+        d = algorithm.num_dims
+        learned_exact = {}
+        lower_bound = {}
+        repeats = 0
+        for k, rec in enumerate(records):
+            cc = contours.budget(rec.contour)
+            if rec.mode == "normal":
+                # The 1-D PlanBouquet tail: plain contour budgets.
+                if not _close(rec.budget, cc):
+                    self.record(
+                        "budget-ladder",
+                        "1-D tail budget is not the contour cost",
+                        algorithm, engine, qa=qa, execution=k,
+                        budget=rec.budget, contour_cost=cc,
+                    )
+                continue
+            dim = rec.spill_dim
+            if not rec.fresh:
+                repeats += 1
+            if dim in learned_exact:
+                self.record(
+                    "halfspace",
+                    f"spill execution on epp {dim} after it was learnt "
+                    "exactly",
+                    algorithm, engine, qa=qa, execution=k, dim=dim,
+                )
+                continue
+            if rec.penalty < 1.0 - STRICT_RTOL:
+                self.record("budget-ladder",
+                            f"replacement penalty {rec.penalty} below 1",
+                            algorithm, engine, qa=qa, execution=k)
+            if not _close(rec.budget, rec.penalty * cc):
+                self.record(
+                    "budget-ladder",
+                    "spill budget is not penalty x contour cost",
+                    algorithm, engine, qa=qa, execution=k,
+                    budget=rec.budget, penalty=rec.penalty,
+                    contour_cost=cc,
+                )
+            qa_sel = float(grid.selectivity(dim, qa[dim]))
+            if rec.completed:
+                # Lemma 3.1, learning arm: the epp is learnt *exactly* —
+                # through the same grid lookup, so bit-exactly.
+                if float(rec.learned_selectivity) != qa_sel:
+                    self.record(
+                        "exact-learning",
+                        "completed spill did not learn the epp exactly",
+                        algorithm, engine, qa=qa, execution=k, dim=dim,
+                        learned=rec.learned_selectivity, actual=qa_sel,
+                    )
+                if lower_bound.get(dim, 0.0) > qa_sel * (1.0 + STRICT_RTOL):
+                    self.record(
+                        "learned-monotonic",
+                        "exact learning fell below an earlier failed-"
+                        "spill lower bound",
+                        algorithm, engine, qa=qa, execution=k, dim=dim,
+                        learned=qa_sel, prior_bound=lower_bound[dim],
+                    )
+                learned_exact[dim] = qa_sel
+            else:
+                # Lemma 3.1, pruning arm: the kill proves qa.j beyond
+                # the learnable bound q_max^j.j (strictly).
+                bound = float(rec.learned_selectivity)
+                if not qa_sel > bound * (1.0 - STRICT_RTOL):
+                    self.record(
+                        "halfspace",
+                        "killed spill did not prove qa beyond its "
+                        "learnable bound",
+                        algorithm, engine, qa=qa, execution=k, dim=dim,
+                        qa_selectivity=qa_sel, bound=bound,
+                    )
+                lower_bound[dim] = max(lower_bound.get(dim, 0.0), bound)
+        if repeats != result.num_repeat_executions:
+            self.record(
+                "repeat-bound",
+                "traced repeat count disagrees with the result counter",
+                algorithm, engine, qa=qa,
+                traced=repeats, counted=result.num_repeat_executions,
+            )
+        if result.num_repeat_executions > d * (d - 1) // 2:
+            self.record(
+                "repeat-bound",
+                f"{result.num_repeat_executions} repeat executions exceed "
+                f"the Lemma 4.4 bound D(D-1)/2 = {d * (d - 1) // 2}",
+                algorithm, engine, qa=qa,
+            )
+
+    # -- engine-driven discovery ---------------------------------------
+
+    def check_engine_report(self, report, simulator, engine="engine"):
+        """Invariants of an engine-driven discovery run
+        (:class:`~repro.engine.driver.EngineReport`): spend accounting,
+        budget kills, contour order, and no re-learning."""
+        self._count("engine_reports")
+        total = 0.0
+        last = 0
+        learnt_epps = set()
+        for k, step in enumerate(report.steps):
+            total += step.cost_spent
+            if step.contour < last:
+                self.record(
+                    "sequence",
+                    f"engine contour order regressed ({last} -> "
+                    f"{step.contour})",
+                    simulator, engine, execution=k,
+                )
+            last = step.contour
+            if step.cost_spent > step.budget * (1.0 + RTOL):
+                self.record(
+                    "engine-budget",
+                    "engine execution overspent its kill budget",
+                    simulator, engine, execution=k,
+                    cost_spent=step.cost_spent, budget=step.budget,
+                )
+            if step.mode == "spill" and step.completed:
+                if step.spill_epp in learnt_epps:
+                    self.record(
+                        "engine-budget",
+                        f"epp {step.spill_epp} learnt twice",
+                        simulator, engine, execution=k,
+                    )
+                learnt_epps.add(step.spill_epp)
+        if not _close(total, report.total_cost, RTOL):
+            self.record(
+                "charge-accounting",
+                "engine step spends do not sum to the reported total",
+                simulator, engine,
+                sum_spent=total, total_cost=report.total_cost,
+            )
+        if not report.completed_plan_key:
+            self.record("sequence",
+                        "engine discovery produced no completed plan",
+                        simulator, engine)
+
+
+# ----------------------------------------------------------------------
+# Module-level attachment: the hooks the engines call
+# ----------------------------------------------------------------------
+
+_ACTIVE = None
+
+
+def active_monitor():
+    """The currently installed monitor, or None."""
+    return _ACTIVE
+
+
+def install_monitor(monitor):
+    """Install ``monitor`` (or None to detach); returns the previous
+    monitor so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = monitor
+    return previous
+
+
+@contextmanager
+def monitoring(jsonl_path=None, monitor=None):
+    """Install a monitor for the duration of the block.
+
+    Yields the monitor; the previously installed one (usually None) is
+    restored on exit.
+    """
+    mon = monitor if monitor is not None else ConformanceMonitor(jsonl_path)
+    previous = install_monitor(mon)
+    try:
+        yield mon
+    finally:
+        install_monitor(previous)
+
+
+def observe_sweep(algorithm, suboptimality, engine):
+    """Sweep-engine hook: check a finished sweep if a monitor is live."""
+    if _ACTIVE is not None:
+        _ACTIVE.check_sweep(suboptimality, algorithm, engine=engine)
+
+
+def observe_engine_report(report, simulator):
+    """Discovery-driver hook: check an engine run if a monitor is live."""
+    if _ACTIVE is not None:
+        _ACTIVE.check_engine_report(report, simulator)

@@ -59,7 +59,12 @@ def _parallel_sweep(algorithm, flats, workers):
     spec = spec_for(algorithm)
     if spec is None:
         return None
-    return parallel_suboptimality(spec, flats, workers)
+    sub = parallel_suboptimality(spec, flats, workers)
+    if sub is not None:
+        from repro.conformance.monitors import observe_sweep
+
+        observe_sweep(algorithm, sub, "parallel")
+    return sub
 
 
 def _batched_sweep(algorithm, points):
@@ -132,6 +137,11 @@ def evaluate_algorithm(algorithm, points=None, workers=None, engine="auto"):
             sub = np.empty(len(flat_list), dtype=float)
             for k, flat in enumerate(flat_list):
                 sub[k] = algorithm.run(flat).suboptimality
+            # Batch/parallel sweeps are observed inside their own
+            # engines; the reference loop is observed here.
+            from repro.conformance.monitors import observe_sweep
+
+            observe_sweep(algorithm, sub, "loop")
     worst = int(flat_list[int(np.argmax(sub))])
     return Evaluation(
         suboptimality=sub,

@@ -203,6 +203,13 @@ class EngineDiscoveryDriver:
 
     def run(self):
         """Drive discovery to completion on the engine."""
+        from repro.conformance.monitors import observe_engine_report
+
+        report = self._drive()
+        observe_engine_report(report, self.simulator)
+        return report
+
+    def _drive(self):
         learned = {}
         report = EngineReport()
         num_dims = self.ess.grid.num_dims

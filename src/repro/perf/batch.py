@@ -52,6 +52,7 @@ import itertools
 
 import numpy as np
 
+from repro.conformance.monitors import observe_sweep
 from repro.core.discovery import budget_covers
 from repro.errors import DiscoveryError
 from repro.perf.timers import TIMERS
@@ -88,7 +89,9 @@ def batched_suboptimality(algorithm, points=None):
     TIMERS.incr("batched_sweeps")
     TIMERS.incr("batched_sweep_points", int(flats.size))
     optimal = np.asarray(algorithm.ess.optimal_cost, dtype=float)
-    return total[flats] / optimal[flats]
+    sub = total[flats] / optimal[flats]
+    observe_sweep(algorithm, sub, "batch")
+    return sub
 
 
 def _engine_for(algorithm):

@@ -119,7 +119,10 @@ class SweepSpec:
     ``kind`` selects the rebuild path: ``"workload"`` goes through
     :func:`repro.bench.workloads.load` (which hits the persistent ESS
     cache), ``"wallclock"`` through
-    :func:`repro.bench.wallclock.build_wallclock_setup`.  ``algorithm``
+    :func:`repro.bench.wallclock.build_wallclock_setup`, and
+    ``"conformance"`` through
+    :func:`repro.conformance.workloads.build_conformance_instance`
+    (the randomized conformance suite's seeded builds).  ``algorithm``
     names the discovery algorithm (``pb``/``sb``/``ab``) and
     ``algo_kwargs`` its extra constructor arguments.
     """
@@ -203,6 +206,11 @@ def _build_algorithm(spec):
 
         setup = build_wallclock_setup(**build_kwargs)
         ess, contours = setup.ess, setup.contours
+    elif spec.kind == "conformance":
+        from repro.conformance.workloads import build_conformance_instance
+
+        instance = build_conformance_instance(**build_kwargs)
+        ess, contours = instance.ess, instance.contours
     else:
         raise ValueError(f"unknown sweep spec kind {spec.kind!r}")
     factory = _factories()[spec.algorithm]

@@ -2,6 +2,11 @@
 
 ESS construction is the expensive step, so anything reusable is
 session-scoped.  Tests that need mutation build their own copies.
+
+Randomized tests draw their seed lists through :func:`fuzz_seeds`, so a
+failure anywhere in the fuzz/randomized/conformance suites can be
+replayed exactly by exporting ``REPRO_TEST_SEED=<seed>`` (the failing
+seed is printed in the test report).
 """
 
 from __future__ import annotations
@@ -12,6 +17,44 @@ import pytest
 
 # Keep workload-registry resolution small for everything test-shaped.
 os.environ.setdefault("REPRO_PROFILE", "smoke")
+
+
+def fuzz_seeds(defaults):
+    """The seed list for a randomized test module.
+
+    Returns ``defaults`` normally.  When ``REPRO_TEST_SEED`` is set, every
+    adopting test collapses to just that seed — the one-line reproduction
+    path for a fuzz failure::
+
+        REPRO_TEST_SEED=21 PYTHONPATH=src python -m pytest tests/test_fuzz.py
+    """
+    pinned = os.environ.get("REPRO_TEST_SEED", "").strip()
+    if pinned:
+        return [int(pinned)]
+    return list(defaults)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Print the failing seed of any seed-parametrized test.
+
+    The section shows up in the failure report so the seed can be fed
+    straight back through ``REPRO_TEST_SEED`` / :func:`fuzz_seeds`.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    callspec = getattr(item, "callspec", None)
+    if not callspec or "seed" not in callspec.params:
+        return
+    seed = callspec.params["seed"]
+    base_nodeid = item.nodeid.split("[")[0]
+    report.sections.append((
+        "randomized seed",
+        f"reproduce with: REPRO_TEST_SEED={seed} "
+        f"PYTHONPATH=src python -m pytest {base_nodeid}",
+    ))
 
 from repro import (  # noqa: E402  (env var must precede import)
     AlignedBound,

@@ -67,6 +67,49 @@ class TestExperiments:
         assert "Table 3" in out
 
 
+class TestErrorPaths:
+    """Bad inputs must fail loudly, with a nonzero exit and a message
+    on stderr — never a traceback and never a silent success."""
+
+    def test_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["wallclock", "--engine", "warp"])
+        assert excinfo.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["abc", "1", "0", "-3"])
+    def test_wallclock_bad_resolution_rejected(self, capsys, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["wallclock", "--resolution", bad])
+        assert excinfo.value.code == 2
+        assert "resolution" in capsys.readouterr().err
+
+    def test_bench_bad_resolution_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--resolution", "1"])
+        assert excinfo.value.code == 2
+        assert "resolution" in capsys.readouterr().err
+
+    def test_bench_unknown_workload_reports_error(self, capsys):
+        code = main(["--profile", "smoke", "bench", "--query", "NO_SUCH"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "NO_SUCH" in err
+
+    def test_describe_unknown_workload_reports_error(self, capsys):
+        code = main(["--profile", "smoke", "describe", "NO_SUCH_QUERY"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_check_unknown_engine_reports_error(self, capsys):
+        code = main(["check", "--workloads", "1", "--engines", "loop,bogus"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "loop" in err
+
+
 class TestBuildAndSave:
     def test_build(self, capsys):
         out = run_cli(capsys, "build", "3D_Q15")

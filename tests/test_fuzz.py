@@ -23,8 +23,9 @@ from repro.core.validate import (
     validate_discovery_result,
     validate_ess,
 )
+from tests.conftest import fuzz_seeds
 
-SEEDS = [1, 2, 3, 5, 8, 13, 21, 34]
+SEEDS = fuzz_seeds([1, 2, 3, 5, 8, 13, 21, 34])
 
 
 def build_small(seed):
@@ -119,7 +120,7 @@ class TestValidators:
 # Volcano vs vector engine: randomized differential fuzzing
 # ----------------------------------------------------------------------
 
-_ENGINE_SEEDS = [3, 11, 42]
+_ENGINE_SEEDS = fuzz_seeds([3, 11, 42])
 _ENGINE_INSTANCES = {}
 
 

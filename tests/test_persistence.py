@@ -1,10 +1,18 @@
 """Unit tests for ESS persistence (offline preprocessing, Section 7)."""
 
+import copy
+import shutil
+
 import numpy as np
 import pytest
 
 from repro import ContourSet, OptimizerError, QueryError, SpillBound
-from repro.ess.persistence import load_ess, parse_plan_key, save_ess
+from repro.ess.persistence import (
+    ess_cache_key,
+    load_ess,
+    parse_plan_key,
+    save_ess,
+)
 from tests.conftest import make_star_query, make_toy_query
 
 
@@ -73,3 +81,76 @@ class TestSaveLoad:
         fresh_query = make_toy_query()  # equal, separately constructed
         restored = load_ess(path, fresh_query)
         assert restored.posp_size == toy_ess.posp_size
+
+
+class TestDtypeRoundTrip:
+    """Format-v2 archives must round-trip bit-identically whatever
+    dtypes the surfaces were built with: the loader canonicalizes to
+    float64 costs / int32 plan ids, and the loaded arrays must equal the
+    deterministic casts of the saved ones exactly — no value drift."""
+
+    @pytest.mark.parametrize("ids_dtype", [np.int16, np.int32, np.int64])
+    @pytest.mark.parametrize("cost_dtype", [np.float32, np.float64])
+    def test_roundtrip_exact_across_dtypes(self, toy_ess, tmp_path,
+                                           ids_dtype, cost_dtype):
+        variant = copy.copy(toy_ess)
+        variant.plan_ids = toy_ess.plan_ids.astype(ids_dtype)
+        variant.optimal_cost = toy_ess.optimal_cost.astype(cost_dtype)
+        path = tmp_path / "variant.npz"
+        save_ess(variant, path)
+        restored = load_ess(path, toy_ess.query)
+        assert restored.optimal_cost.dtype == np.float64
+        assert np.array_equal(
+            restored.optimal_cost,
+            variant.optimal_cost.astype(np.float64),
+        )
+        assert restored.plan_ids.dtype == np.int32
+        assert np.array_equal(
+            restored.plan_ids, variant.plan_ids.astype(np.int32)
+        )
+        assert restored.plan_keys == toy_ess.plan_keys
+        for dim in range(toy_ess.grid.num_dims):
+            assert np.array_equal(restored.grid.values[dim],
+                                  toy_ess.grid.values[dim])
+
+    def test_float64_roundtrip_bit_identical(self, toy_ess, tmp_path):
+        path = tmp_path / "exact.npz"
+        save_ess(toy_ess, path)
+        restored = load_ess(path, toy_ess.query)
+        assert np.array_equal(restored.optimal_cost, toy_ess.optimal_cost)
+        assert np.array_equal(restored.plan_ids, toy_ess.plan_ids)
+
+
+class TestCacheRelocation:
+    """The persistent ESS cache is content-keyed, so archives survive a
+    wholesale relocation of the cache directory (backup/restore, CI
+    cache transplant): repointing ``REPRO_CACHE_DIR`` at the moved tree
+    must hit, bit-identically."""
+
+    def test_archive_survives_cache_dir_move(self, toy_ess, tmp_path,
+                                             monkeypatch):
+        from repro.perf import cache
+
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        grid = toy_ess.grid
+        key = ess_cache_key(
+            toy_ess.query.name,
+            grid.resolution,
+            [float(grid.values[d][0]) for d in range(grid.num_dims)],
+            toy_ess.cost_model.fingerprint(),
+        )
+        assert cache.store(toy_ess, key) is not None
+        assert cache.fetch(key, toy_ess.query, toy_ess.cost_model) is not None
+
+        shutil.move(str(tmp_path / "a"), str(tmp_path / "b"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        restored = cache.fetch(key, toy_ess.query, toy_ess.cost_model)
+        assert restored is not None
+        assert np.array_equal(restored.optimal_cost, toy_ess.optimal_cost)
+        assert np.array_equal(restored.plan_ids, toy_ess.plan_ids)
+        assert restored.plan_keys == toy_ess.plan_keys
+
+        # The old location is gone: repointing back misses cleanly.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        assert cache.fetch(key, toy_ess.query, toy_ess.cost_model) is None

@@ -7,11 +7,15 @@ from repro.core.randomized import (
     expected_suboptimality,
     randomized_game_expectation,
 )
+from tests.conftest import fuzz_seeds
+
+SEEDS = fuzz_seeds([3, 7, 19])
 
 
 class TestRandomizedSpillBound:
-    def test_guarantee_still_holds(self, toy_ess, toy_contours):
-        algorithm = RandomizedSpillBound(toy_ess, toy_contours, seed=3)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_guarantee_still_holds(self, toy_ess, toy_contours, seed):
+        algorithm = RandomizedSpillBound(toy_ess, toy_contours, seed=seed)
         for sample in range(4):
             algorithm.set_sample(sample)
             for flat in [0, 77, 210, 399]:
@@ -40,8 +44,9 @@ class TestRandomizedSpillBound:
         # The step planner must be restored after each run.
         assert "_plan_steps" not in algorithm.__dict__
 
-    def test_learning_still_exact(self, toy_ess, toy_contours):
-        algorithm = RandomizedSpillBound(toy_ess, toy_contours, seed=7)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_learning_still_exact(self, toy_ess, toy_contours, seed):
+        algorithm = RandomizedSpillBound(toy_ess, toy_contours, seed=seed)
         grid = toy_ess.grid
         coords = (grid.resolution[0] // 2, grid.resolution[1] - 2)
         result = algorithm.run(coords, trace=True)
