@@ -20,6 +20,9 @@ every PR can append a comparable data point:
   (:mod:`repro.engine.vector`), best-of-N on one shared setup, with an
   identity flag asserting both engines produced bit-identical results
   (costs via ``repr`` so NaNs and the last float bit both count);
+* **tracing** — the same batched sweep with span tracing off vs on
+  (the observability layer's overhead budget is <2% when disabled and
+  bit-identical results always), see :mod:`repro.obs.trace`;
 * **timers** — the process-global phase profile (ess_build / contour /
   sweep timings, cache hit counters) accumulated while benchmarking.
 
@@ -51,8 +54,10 @@ from repro.perf.timers import TIMERS
 #: multiprocess) and the fan-out measurement moved to ``parallel`` with
 #: an explicit skip/skip_reason record.  v3: adds ``wallclock`` —
 #: Volcano-vs-vector engine timings on the Section 6.3 experiment with
-#: an identity flag.
-BENCH_SCHEMA_VERSION = 3
+#: an identity flag.  v4: adds ``tracing`` — tracing-off vs tracing-on
+#: sweep timings with a bit-identity flag, plus the registry's
+#: ``gauges``/``histograms`` sections riding in the phase profile.
+BENCH_SCHEMA_VERSION = 4
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -277,6 +282,54 @@ def bench_wallclock(row_budget=40_000, seed=11, resolution=None,
     }
 
 
+def bench_tracing(name, profile, algorithm="sb", resolution=None,
+                  repeats=SWEEP_REPEATS):
+    """Tracing-off vs tracing-on exhaustive sweep on one workload.
+
+    The disabled path must be free (no tracer installed — an
+    instrumented call site costs a global load and a None check) and
+    the enabled path must not perturb results: both sweeps'
+    sub-optimality arrays are compared bit-exactly
+    (``np.array_equal``).  Timings are best-of-``repeats`` on fresh
+    instances, same protocol as :func:`bench_sweep`.
+    """
+    from repro.obs.trace import Tracer, install_tracer
+
+    cls = _ALGORITHMS[algorithm]
+    off_s = on_s = float("inf")
+    off_eval = on_eval = instance = None
+    spans = 0
+    for _ in range(repeats):
+        elapsed, off_eval, instance = _timed_sweep(
+            cls, name, profile, resolution, "batch")
+        off_s = min(off_s, elapsed)
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        try:
+            elapsed, on_eval, _ = _timed_sweep(
+                cls, name, profile, resolution, "batch")
+        finally:
+            install_tracer(previous)
+        on_s = min(on_s, elapsed)
+        spans = len(tracer.spans)
+    identical = np.array_equal(
+        off_eval.suboptimality, on_eval.suboptimality
+    )
+    return {
+        "query": name,
+        "algorithm": algorithm,
+        "engine": "batch",
+        "grid_points": int(instance.ess.grid.num_points),
+        "repeats": int(repeats),
+        "tracing_off_s": off_s,
+        "tracing_on_s": on_s,
+        "overhead_pct": ((on_s - off_s) / off_s * 100.0
+                         if off_s > 0 else 0.0),
+        "identical": bool(identical),
+        "spans_per_sweep": int(spans),
+    }
+
+
 def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
               resolution=None):
     """Run the full perf benchmark and (optionally) write the artifact.
@@ -298,6 +351,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
     parallel_stats = bench_parallel(query, profile, workers,
                                     resolution=resolution)
     wallclock_stats = bench_wallclock()
+    tracing_stats = bench_tracing(query, profile, resolution=resolution)
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -311,6 +365,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "sweeps": sweep_stats,
         "parallel": parallel_stats,
         "wallclock": wallclock_stats,
+        "tracing": tracing_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

@@ -462,15 +462,20 @@ def q3(schema=None):
 
 
 def q42(schema=None):
-    """TPC-DS Q42: store_sales with date and item (extended workload)."""
+    """TPC-DS Q42: store_sales with date, item and store (extended
+    workload).  The store join only enters the ESS in the 3D instance
+    (``EPP_SELECTIONS["3D_Q42"]``); the 2D instance keeps the original
+    date/item pair."""
     schema = schema or shared_schema()
     return SPJQuery(
-        "Q42", schema, ["store_sales", "date_dim", "item"],
+        "Q42", schema, ["store_sales", "date_dim", "item", "store"],
         joins=[
             join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk",
                  selectivity=1.4e-5, error_prone=True, name="j:ss-d"),
             join("store_sales", "ss_item_sk", "item", "i_item_sk",
                  selectivity=4.9e-6, error_prone=True, name="j:ss-i"),
+            join("store_sales", "ss_store_sk", "store", "s_store_sk",
+                 selectivity=2.5e-3, error_prone=True, name="j:ss-s"),
         ],
         filters=[
             filter_pred("date_dim", "d_year", "=", 2000, selectivity=0.005),
@@ -569,6 +574,7 @@ EPP_SELECTIONS = {
     "2D_Q3": ["j:ss-d", "j:ss-i"],
     "2D_Q12": ["j:cs-i", "j:cs-d"],
     "2D_Q42": ["j:ss-d", "j:ss-i"],
+    "3D_Q42": ["j:ss-d", "j:ss-i", "j:ss-s"],
     "2D_Q52": ["j:ss-d", "j:ss-i"],
     "3D_Q55": ["j:ss-d", "j:ss-i", "j:ss-s"],
     "3D_Q91": ["j:cr-d", "j:cr-c", "j:c-ca"],
@@ -604,4 +610,4 @@ def suite_names():
 def extended_suite_names():
     """Extra TPC-DS instances beyond the paper's figures — available to
     library users for broader studies."""
-    return ["2D_Q3", "2D_Q12", "2D_Q42", "2D_Q52", "3D_Q55"]
+    return ["2D_Q3", "2D_Q12", "2D_Q42", "3D_Q42", "2D_Q52", "3D_Q55"]

@@ -15,13 +15,22 @@ Gives the library's main flows a no-code entry point:
   ``BENCH_*.json`` artifact;
 * ``check`` — the guarantee-conformance suite: seeded randomized
   workloads through every algorithm and sweep engine under runtime
-  invariant monitors, exiting nonzero on any violation.
+  invariant monitors, exiting nonzero on any violation;
+* ``trace`` — one traced discovery run exported as a JSONL span trace
+  plus the budget-waterfall HTML viewer;
+* ``stats`` — the metrics registry as Prometheus text exposition.
+
+``repro run`` and ``repro wallclock`` accept ``--trace-out`` to write
+a JSONL span trace of the command; ``REPRO_TRACE=1`` (optionally with
+``REPRO_TRACE_OUT``) enables tracing for any command.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 
 from repro.bench import harness, workloads
 from repro.bench.report import format_histogram, format_table, format_value
@@ -62,6 +71,46 @@ def _resolution_arg(text):
             f"grid resolution must be >= 2, got {value}"
         )
     return value
+
+
+def _validate_trace_out(path):
+    """A usable ``--trace-out`` file path, or :class:`ReproError`."""
+    if os.path.isdir(path):
+        raise ReproError(
+            f"--trace-out {path!r} is a directory; give a file path"
+        )
+    directory = os.path.dirname(path)
+    if directory:
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot create trace output directory {directory!r}: {exc}"
+            ) from None
+
+
+@contextmanager
+def _trace_to(path):
+    """Scope a fresh tracer over a command, flushing JSONL to ``path``.
+
+    With a falsy path this is a no-op (tracing stays however the
+    environment configured it).
+    """
+    if not path:
+        yield None
+        return
+    from repro.obs.export import write_trace_jsonl
+    from repro.obs.trace import Tracer, install_tracer
+
+    _validate_trace_out(path)
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+        write_trace_jsonl(tracer, path)
+        print(f"wrote {path}")
 
 
 def cmd_list(args):
@@ -113,9 +162,16 @@ def cmd_run(args):
     instance = workloads.load(args.query, profile=args.profile)
     qa = _parse_qa(args.qa) if args.qa else instance.query.true_location()
     if args.algorithm == "native":
-        result = NativeOptimizer(instance.ess).run(qa, trace=True)
+        algorithm = NativeOptimizer(instance.ess)
     else:
-        result = _ALGORITHMS[args.algorithm](instance).run(qa, trace=True)
+        algorithm = _ALGORITHMS[args.algorithm](instance)
+    with _trace_to(args.trace_out):
+        if args.trace_out:
+            from repro.obs.runtrace import traced_run
+
+            result, _ = traced_run(algorithm, qa, name=args.algorithm)
+        else:
+            result = algorithm.run(qa, trace=True)
     print(f"{args.algorithm} on {args.query} at qa={qa}")
     rows = []
     for record in result.executions:
@@ -223,9 +279,10 @@ def cmd_experiment(args):
 
 
 def cmd_wallclock(args):
-    result = harness.run_wallclock(row_budget=args.rows, seed=args.seed,
-                                   engine=args.engine,
-                                   resolution=args.resolution)
+    with _trace_to(args.trace_out):
+        result = harness.run_wallclock(row_budget=args.rows, seed=args.seed,
+                                       engine=args.engine,
+                                       resolution=args.resolution)
     print(format_table(
         f"Section 6.3: engine-measured costs ({args.engine})",
         ["strategy", "cost", "vs oracle"],
@@ -283,6 +340,12 @@ def cmd_bench(args):
         "wallclock vector vs volcano engine",
         f"{wc['speedup']:.1f}x",
         "bit-identical" if wc["identical"] else "MISMATCH",
+    ])
+    tr = payload["tracing"]
+    rows.append([
+        "batched sweep tracing on vs off",
+        f"{tr['overhead_pct']:+.1f}%",
+        "bit-identical" if tr["identical"] else "MISMATCH",
     ])
     print(format_table(
         f"perf bench on {cache['query']} "
@@ -350,6 +413,99 @@ def cmd_check(args):
     return 0
 
 
+#: ``repro trace`` export formats.
+TRACE_FORMATS = ("all", "jsonl", "html")
+
+#: ``repro stats`` export formats.
+STATS_FORMATS = ("prom", "json")
+
+
+def cmd_trace(args):
+    from repro.obs.export import write_trace_jsonl
+    from repro.obs.runtrace import traced_run
+    from repro.obs.trace import Tracer, install_tracer
+    from repro.obs.waterfall import write_waterfall_html
+
+    if args.format not in TRACE_FORMATS:
+        raise ReproError(
+            f"unknown export format {args.format!r}; "
+            f"choose from {TRACE_FORMATS}"
+        )
+    out = args.out
+    if os.path.isfile(out):
+        raise ReproError(f"--out {out!r} exists and is not a directory")
+    try:
+        os.makedirs(out, exist_ok=True)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot create output directory {out!r}: {exc}"
+        ) from None
+
+    instance = workloads.load(args.query, profile=args.profile)
+    qa = _parse_qa(args.qa) if args.qa else instance.query.true_location()
+    if args.algorithm == "native":
+        algorithm = NativeOptimizer(instance.ess)
+    else:
+        algorithm = _ALGORITHMS[args.algorithm](instance)
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        result, rows = traced_run(algorithm, qa, name=args.algorithm)
+    finally:
+        install_tracer(previous)
+
+    print(f"{args.algorithm} on {args.query}: "
+          f"{result.num_executions} executions over "
+          f"{result.contours_visited} contours, "
+          f"sub-optimality {result.suboptimality:.2f}")
+    base = os.path.join(out, f"{args.query}_{args.algorithm}")
+    if args.format in ("all", "jsonl"):
+        path = write_trace_jsonl(tracer, f"{base}.trace.jsonl")
+        print(f"wrote {path}")
+    if args.format in ("all", "html"):
+        meta = {
+            "query": args.query,
+            "algorithm": args.algorithm,
+            "qa": ",".join(f"{v:.4g}" for v in qa),
+            "suboptimality": result.suboptimality,
+            "total_cost": result.total_cost,
+            "optimal_cost": result.optimal_cost,
+            "executions": result.num_executions,
+            "contours_visited": result.contours_visited,
+        }
+        path = write_waterfall_html(
+            f"{base}.waterfall.html", rows, meta=meta,
+            title=f"budget waterfall: {args.algorithm} on {args.query}",
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_stats(args):
+    from repro.obs.export import prometheus_text
+    from repro.obs.metrics import REGISTRY
+
+    if args.format not in STATS_FORMATS:
+        raise ReproError(
+            f"unknown export format {args.format!r}; "
+            f"choose from {STATS_FORMATS}"
+        )
+    if args.query:
+        from repro.obs.runtrace import traced_run
+
+        instance = workloads.load(args.query, profile=args.profile)
+        algorithm = _ALGORITHMS[args.algorithm](instance)
+        traced_run(algorithm, instance.query.true_location(),
+                   name=args.algorithm)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(REGISTRY.summary(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(prometheus_text(REGISTRY))
+    return 0
+
+
 def cmd_advise(args):
     from repro.core.advisor import RobustnessAdvisor
 
@@ -392,6 +548,8 @@ def build_parser():
                    choices=["pb", "sb", "ab", "native"])
     p.add_argument("--qa", default=None,
                    help="comma-separated actual selectivities")
+    p.add_argument("--trace-out", default=None,
+                   help="write a JSONL span trace of the run to this file")
 
     p = sub.add_parser("evaluate", help="exhaustive MSO/ASO evaluation")
     p.add_argument("query")
@@ -408,6 +566,29 @@ def build_parser():
                    help="execution engine for every plan run")
     p.add_argument("--resolution", type=_resolution_arg, default=None,
                    help="explicit grid resolution for the workload")
+    p.add_argument("--trace-out", default=None,
+                   help="write a JSONL span trace of the run to this file")
+
+    p = sub.add_parser("trace", help="trace one discovery run "
+                       "(JSONL + budget-waterfall HTML)")
+    p.add_argument("--query", required=True)
+    p.add_argument("--algorithm", default="sb",
+                   choices=["pb", "sb", "ab", "native"])
+    p.add_argument("--qa", default=None,
+                   help="comma-separated actual selectivities")
+    p.add_argument("--out", default="trace",
+                   help="output directory for the artifacts")
+    p.add_argument("--format", default="all",
+                   help="artifacts to emit: all, jsonl or html")
+
+    p = sub.add_parser("stats", help="export the metrics registry "
+                       "(Prometheus text exposition)")
+    p.add_argument("--query", default=None,
+                   help="first run one discovery on this workload "
+                   "so the registry has run-level series")
+    p.add_argument("--algorithm", default="sb", choices=["pb", "sb", "ab"])
+    p.add_argument("--format", default="prom",
+                   help="output format: prom or json")
 
     p = sub.add_parser("figures", help="render all figures as SVG")
     p.add_argument("--outdir", default="results/figures")
@@ -456,6 +637,8 @@ _HANDLERS = {
     "evaluate": cmd_evaluate,
     "experiment": cmd_experiment,
     "wallclock": cmd_wallclock,
+    "trace": cmd_trace,
+    "stats": cmd_stats,
     "figures": cmd_figures,
     "advise": cmd_advise,
     "bench": cmd_bench,
@@ -470,6 +653,11 @@ def main(argv=None):
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # REPRO_TRACE=1 + REPRO_TRACE_OUT=<path> without any flag.
+        from repro.obs.trace import flush_env_tracer
+
+        flush_env_tracer()
 
 
 if __name__ == "__main__":

@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.conformance.monitors import ConformanceMonitor, install_monitor
 from repro.conformance.workloads import build_conformance_instance
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 from repro.core.aligned_bound import AlignedBound, contour_alignment_stats
 from repro.core.mso import evaluate_algorithm
 from repro.core.plan_bouquet import PlanBouquet
@@ -149,6 +151,7 @@ def run_workload(seed, monitor, engines=SUITE_ENGINES, trace_samples=3,
 
     Returns a :class:`WorkloadOutcome`.
     """
+    REGISTRY.incr("conformance_workloads")
     instance = build_conformance_instance(seed, use_cache=use_cache)
     ess, contours = instance.ess, instance.contours
     num_points = ess.grid.num_points
@@ -163,7 +166,9 @@ def run_workload(seed, monitor, engines=SUITE_ENGINES, trace_samples=3,
         alignment_fraction=contour_alignment_stats(
             ess, contours).fraction_aligned(1.0),
     )
-    with monitor.context(seed=seed, workload=instance.name):
+    with obs_span("conformance.workload", seed=seed,
+                  workload=instance.name, grid_points=num_points), \
+            monitor.context(seed=seed, workload=instance.name):
         monitor.check_contour_ladder(contours)
         rng = np.random.default_rng([seed, 0xA11])
         samples = set()

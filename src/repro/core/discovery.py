@@ -101,6 +101,17 @@ class DiscoveryResult:
         """The run's sub-optimality (paper Equation 3)."""
         return self.total_cost / self.optimal_cost
 
+    def waterfall_rows(self, query=None):
+        """Flatten a traced run onto the cumulative cost timeline.
+
+        Requires ``executions`` (run with ``trace=True``); see
+        :func:`repro.obs.runtrace.run_records` for the row schema the
+        budget-waterfall viewer consumes.
+        """
+        from repro.obs.runtrace import run_records
+
+        return run_records(self, query)
+
 
 def normalize_location(grid, qa):
     """Accept a flat index, an integer coords tuple, or a selectivity

@@ -110,6 +110,8 @@ def evaluate_algorithm(algorithm, points=None, workers=None, engine="auto"):
     Returns:
         :class:`Evaluation`.
     """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import span as obs_span
     from repro.perf.parallel import worker_count
 
     if engine not in SWEEP_ENGINES:
@@ -120,28 +122,41 @@ def evaluate_algorithm(algorithm, points=None, workers=None, engine="auto"):
     flat_list = (
         list(range(grid.num_points)) if points is None else list(points)
     )
-    sub = None
-    if engine in ("auto", "batch"):
-        sub = _batched_sweep(
-            algorithm, None if points is None else flat_list
-        )
-    if sub is None and engine in ("auto", "parallel"):
-        workers = worker_count(workers)
-        if workers > 1:
-            sub = _parallel_sweep(algorithm, flat_list, workers)
-    if sub is None:
-        if (engine != "loop" and points is None
-                and hasattr(algorithm, "evaluate_all")):
-            sub = np.asarray(algorithm.evaluate_all(), dtype=float)
-        else:
-            sub = np.empty(len(flat_list), dtype=float)
-            for k, flat in enumerate(flat_list):
-                sub[k] = algorithm.run(flat).suboptimality
-            # Batch/parallel sweeps are observed inside their own
-            # engines; the reference loop is observed here.
-            from repro.conformance.monitors import observe_sweep
+    query_name = getattr(getattr(algorithm.ess, "query", None), "name", "")
+    with obs_span("sweep.evaluate", engine=engine, points=len(flat_list),
+                  query=query_name) as sweep_span:
+        sub = None
+        used = "loop"
+        if engine in ("auto", "batch"):
+            sub = _batched_sweep(
+                algorithm, None if points is None else flat_list
+            )
+            if sub is not None:
+                used = "batch"
+        if sub is None and engine in ("auto", "parallel"):
+            workers = worker_count(workers)
+            if workers > 1:
+                sub = _parallel_sweep(algorithm, flat_list, workers)
+                if sub is not None:
+                    used = "parallel"
+        if sub is None:
+            if (engine != "loop" and points is None
+                    and hasattr(algorithm, "evaluate_all")):
+                sub = np.asarray(algorithm.evaluate_all(), dtype=float)
+                used = "vectorized"
+            else:
+                sub = np.empty(len(flat_list), dtype=float)
+                for k, flat in enumerate(flat_list):
+                    sub[k] = algorithm.run(flat).suboptimality
+                # Batch/parallel sweeps are observed inside their own
+                # engines; the reference loop is observed here.
+                from repro.conformance.monitors import observe_sweep
 
-            observe_sweep(algorithm, sub, "loop")
+                observe_sweep(algorithm, sub, "loop")
+        REGISTRY.incr("sweeps", labels={"engine": used})
+        REGISTRY.incr("sweep_points", len(flat_list),
+                      labels={"engine": used})
+        sweep_span.set_attr("engine_used", used)
     worst = int(flat_list[int(np.argmax(sub))])
     return Evaluation(
         suboptimality=sub,

@@ -20,6 +20,8 @@ import numpy as np
 from repro.core.spill_bound import SpillBound
 from repro.engine.spill import execute_plan, spill_root_key
 from repro.errors import DiscoveryError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 
 #: Memo for measured selectivities: data provider -> {(query name, pred
 #: name): selectivity}.  Keyed weakly on the provider so dropping a
@@ -156,6 +158,8 @@ class EngineDiscoveryDriver:
         )
         learned_sel = float("nan")
         if outcome.completed:
+            REGISTRY.incr("engine_learned_selectivities",
+                          labels={"epp": epp_name})
             learned_sel = outcome.selectivity_of(spill_root_key(plan, epp_name))
             grid = self.ess.grid
             logs = np.log(grid.values[dim])
@@ -205,7 +209,12 @@ class EngineDiscoveryDriver:
         """Drive discovery to completion on the engine."""
         from repro.conformance.monitors import observe_engine_report
 
-        report = self._drive()
+        with obs_span("engine.discovery", query=self.query.name,
+                      engine=self.engine) as run_span:
+            report = self._drive()
+            run_span.set_attr("steps", report.num_steps)
+            run_span.set_attr("total_cost", report.total_cost)
+        REGISTRY.incr("engine_discovery_runs")
         observe_engine_report(report, self.simulator)
         return report
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExhausted
+from repro.obs.metrics import REGISTRY
 
 
 class CostMeter:
@@ -35,6 +36,9 @@ class CostMeter:
         if self.budget is not None and self.spent > self.budget:
             spent = self.spent
             self.spent = self.budget
+            REGISTRY.incr("budget_kill_executions",
+                          labels={"engine": "volcano"})
+            REGISTRY.observe("budget_kill_cost", self.budget)
             raise BudgetExhausted(self.budget, spent)
 
 

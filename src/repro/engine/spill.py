@@ -31,6 +31,8 @@ from repro.engine.iterators import (
     SeqScan,
 )
 from repro.errors import BudgetExhausted, ExecutionError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 from repro.optimizer import plans as planlib
 from repro.perf.timers import TIMERS
 
@@ -142,35 +144,46 @@ def execute_plan(plan, query, data_provider, cost_model, budget=None,
             raise ExecutionError(
                 f"plan {plan.key} does not apply epp {spill_epp!r}"
             )
-    if resolve_engine(engine) == "vector":
-        from repro.engine import vector
+    resolved = resolve_engine(engine)
+    REGISTRY.incr("engine_executions", labels={"engine": resolved})
+    if spill_epp is not None:
+        REGISTRY.incr("engine_spill_executions")
+    with obs_span("engine.execute", engine=resolved, plan=plan.key,
+                  spill_epp=spill_epp or "",
+                  budgeted=budget is not None) as exec_span:
+        if resolved == "vector":
+            from repro.engine import vector
 
+            try:
+                outcome = vector.execute_vectorized(
+                    root, query, data_provider, cost_model, budget=budget,
+                    spilled_epp=spill_epp or "",
+                )
+                exec_span.set_attr("completed", outcome.completed)
+                return outcome
+            except vector.VectorFallback:
+                TIMERS.incr("vector_fallback")
+                exec_span.set_attr("vector_fallback", True)
+        meter = CostMeter(budget)
+        stats_sink = {}
+        operator = _build_operator(root, query, data_provider, cost_model,
+                                   meter, stats_sink)
+        rows_out = 0
+        completed = True
         try:
-            return vector.execute_vectorized(
-                root, query, data_provider, cost_model, budget=budget,
-                spilled_epp=spill_epp or "",
-            )
-        except vector.VectorFallback:
-            TIMERS.incr("vector_fallback")
-    meter = CostMeter(budget)
-    stats_sink = {}
-    operator = _build_operator(root, query, data_provider, cost_model, meter,
-                               stats_sink)
-    rows_out = 0
-    completed = True
-    try:
-        for _ in operator.rows():
-            rows_out += 1  # spill mode: produced, counted, discarded
-    except BudgetExhausted:
-        completed = False
-    return ExecutionOutcome(
-        completed=completed,
-        rows_out=rows_out,
-        cost_spent=meter.spent,
-        budget=budget,
-        stats=stats_sink,
-        spilled_epp=spill_epp or "",
-    )
+            for _ in operator.rows():
+                rows_out += 1  # spill mode: produced, counted, discarded
+        except BudgetExhausted:
+            completed = False
+        exec_span.set_attr("completed", completed)
+        return ExecutionOutcome(
+            completed=completed,
+            rows_out=rows_out,
+            cost_spent=meter.spent,
+            budget=budget,
+            stats=stats_sink,
+            spilled_epp=spill_epp or "",
+        )
 
 
 def spill_root_key(plan, epp_name):

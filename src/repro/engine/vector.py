@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.engine.executor import ExecutionOutcome, OperatorStats
 from repro.errors import ExecutionError
+from repro.obs.metrics import REGISTRY
 from repro.optimizer import plans as planlib
 from repro.perf.timers import TIMERS
 
@@ -801,6 +802,9 @@ def execute_vectorized(root, query, data_provider, cost_model, budget=None,
         rows_out = int(np.searchsorted(stream.yields, kill, side="right"))
     TIMERS.incr("vector_exec_killed" if kill is not None
                 else "vector_exec_completed")
+    if kill is not None:
+        REGISTRY.incr("budget_kill_executions", labels={"engine": "vector"})
+        REGISTRY.observe("budget_kill_cost", budget)
     return ExecutionOutcome(
         completed=kill is None,
         rows_out=rows_out,

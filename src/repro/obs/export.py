@@ -1,0 +1,170 @@
+"""Exporters: JSONL trace files and Prometheus text exposition.
+
+Two stable wire formats sit in this module:
+
+* **JSONL traces** (``repro.trace.v1``) — one JSON object per line;
+  the first line is the tracer's ``meta`` header, every following line
+  one span record (see :meth:`repro.obs.trace.Span.to_record`).  The
+  format round-trips through :func:`read_trace_jsonl`, which the
+  budget-waterfall viewer and the tests both rely on.
+
+* **Prometheus text exposition** (version 0.0.4) — the format
+  ``repro stats`` emits and a Prometheus scraper ingests.  Counters
+  export as ``repro_<name>_total``, gauges as ``repro_<name>``,
+  histograms as the standard ``_bucket``/``_sum``/``_count`` triple,
+  and phase timings as a pair of phase-labelled counters
+  (``repro_phase_seconds_total`` / ``repro_phase_runs_total``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+
+#: Prefix for every exported metric family.
+NAMESPACE = "repro"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_FIX = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name):
+    """Coerce an internal counter name into a legal Prometheus name."""
+    name = _NAME_FIX.sub("_", str(name))
+    if not name or not _NAME_OK.match(name):
+        name = f"_{name}"
+    return name
+
+
+def _escape_label_value(value):
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _render_labels(labels, extra=None):
+    pairs = list(labels or ())
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_FIX.sub("_", str(k))}="{_escape_label_value(v)}"'
+        for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value):
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry):
+    """Render a registry's series as Prometheus text exposition."""
+    counters, gauges, histograms, phases = registry.series()
+    lines = []
+
+    families = {}
+    for (name, labels), value in sorted(counters.items()):
+        metric = f"{NAMESPACE}_{sanitize_metric_name(name)}_total"
+        families.setdefault((metric, "counter"), []).append(
+            f"{metric}{_render_labels(labels)} {_fmt_value(value)}"
+        )
+    for (name, labels), value in sorted(gauges.items()):
+        metric = f"{NAMESPACE}_{sanitize_metric_name(name)}"
+        families.setdefault((metric, "gauge"), []).append(
+            f"{metric}{_render_labels(labels)} {_fmt_value(value)}"
+        )
+    for (name, labels), dump in sorted(histograms.items()):
+        metric = f"{NAMESPACE}_{sanitize_metric_name(name)}"
+        rows = families.setdefault((metric, "histogram"), [])
+        cumulative = 0
+        for bound, count in zip(dump["buckets"], dump["counts"]):
+            cumulative = count
+            rows.append(
+                f"{metric}_bucket"
+                f"{_render_labels(labels, [('le', _fmt_value(bound))])} "
+                f"{cumulative}"
+            )
+        rows.append(
+            f"{metric}_bucket{_render_labels(labels, [('le', '+Inf')])} "
+            f"{dump['count']}"
+        )
+        rows.append(
+            f"{metric}_sum{_render_labels(labels)} "
+            f"{_fmt_value(dump['sum'])}"
+        )
+        rows.append(
+            f"{metric}_count{_render_labels(labels)} {dump['count']}"
+        )
+    if phases:
+        seconds = f"{NAMESPACE}_phase_seconds_total"
+        runs = f"{NAMESPACE}_phase_runs_total"
+        for name, (total, count) in sorted(phases.items()):
+            label = [("phase", sanitize_metric_name(name))]
+            families.setdefault((seconds, "counter"), []).append(
+                f"{seconds}{_render_labels(None, label)} "
+                f"{_fmt_value(total)}"
+            )
+            families.setdefault((runs, "counter"), []).append(
+                f"{runs}{_render_labels(None, label)} {count}"
+            )
+
+    for (metric, kind), rows in sorted(families.items()):
+        lines.append(f"# HELP {metric} repro observability metric")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.extend(rows)
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def write_trace_jsonl(tracer, path):
+    """Write one tracer's spans as a JSONL trace file.
+
+    Parent directories are created; output is UTF-8.  Returns the
+    path written.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(tracer.meta(), handle, ensure_ascii=False,
+                  sort_keys=True, default=_jsonable)
+        handle.write("\n")
+        for record in tracer.spans:
+            json.dump(record.to_record(), handle, ensure_ascii=False,
+                      sort_keys=True, default=_jsonable)
+            handle.write("\n")
+    return path
+
+
+def read_trace_jsonl(path):
+    """Load a JSONL trace: ``(meta, [span records])``."""
+    meta = None
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "meta":
+                meta = record
+            else:
+                spans.append(record)
+    return meta, spans
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars/arrays and other odd attrs."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -1,0 +1,262 @@
+"""Span-based tracing with a zero-overhead disabled path.
+
+A :class:`Tracer` produces :class:`Span` records — trace/span ids,
+parent links, attributes, monotonic nanosecond timestamps — from
+``with span("name", key=value):`` blocks placed throughout the
+pipeline (sweep engines, cache loads, engine executions, conformance
+workloads).  Spans nest through a thread-local stack, so the parent
+link always reflects the dynamic call structure.
+
+Tracing is **off by default**: the module-level :func:`span` function
+returns a shared no-op context manager unless a tracer is installed,
+so an instrumented call site costs one global load and a ``None``
+check.  Enablement paths:
+
+* ``REPRO_TRACE=1`` in the environment installs a process-global
+  tracer at import time (``REPRO_TRACE_OUT=<path>`` additionally
+  writes the JSONL trace there at exit via :func:`flush_env_tracer`);
+* the CLI's ``repro trace`` subcommand and ``--trace-out`` flags
+  install one explicitly for the duration of a command;
+* tests install scoped tracers through :func:`install_tracer`.
+
+Span timestamps are wall-clock-free (``perf_counter_ns``); the trace
+carries one wall-clock anchor in its metadata so exporters can place
+the timeline in real time.  Discovery-run spans additionally carry the
+*cost timeline* (``cost_start`` / ``cost_end`` attributes) — for the
+paper's algorithms the interesting axis is budgeted cost, not wall
+time (see :mod:`repro.obs.runtrace`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+#: Hard cap on retained spans per tracer; beyond it spans are counted
+#: (``tracer.dropped``) but not stored, so a traced exhaustive sweep
+#: cannot exhaust memory.
+MAX_SPANS = 200_000
+
+
+class Span:
+    """One finished (or in-flight) operation in a trace."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "attrs",
+        "start_ns", "end_ns",
+    )
+
+    def __init__(self, trace_id, span_id, parent_id, name, attrs):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start_ns = 0
+        self.end_ns = 0
+
+    @property
+    def duration_ns(self):
+        return self.end_ns - self.start_ns
+
+    def set_attr(self, key, value):
+        self.attrs[key] = value
+
+    def to_record(self):
+        """Plain-data form used by the JSONL exporter."""
+        return {
+            "kind": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attrs": self.attrs,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set_attr(self, key, value):
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens/closes one real span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self):
+        self.span.start_ns = time.perf_counter_ns()
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb):
+        self.span.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self.span.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects spans for one logical trace.
+
+    Thread-safe: each thread nests spans on its own stack; finished
+    spans land in one shared, bounded list in completion order.
+    """
+
+    def __init__(self, max_spans=MAX_SPANS):
+        self.enabled = True
+        self.max_spans = max_spans
+        self.trace_id = os.urandom(8).hex()
+        self.spans = []
+        self.dropped = 0
+        self.started_at = time.time()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name, /, **attrs):
+        """Open a child span of the current thread's active span.
+
+        ``name`` is positional-only so an attribute may also be called
+        ``name`` without colliding.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else ""
+        record = Span(
+            trace_id=self.trace_id,
+            span_id=f"{next(self._ids):08x}",
+            parent_id=parent_id,
+            name=name,
+            attrs=dict(attrs),
+        )
+        return _ActiveSpan(self, record)
+
+    def current_span(self):
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, record):
+        self._stack().append(record)
+
+    def _pop(self, record):
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        if len(self.spans) < self.max_spans:
+            self.spans.append(record)
+        else:
+            self.dropped += 1
+
+    def meta(self):
+        """Trace-level metadata (the JSONL header line)."""
+        return {
+            "kind": "meta",
+            "schema": TRACE_SCHEMA,
+            "trace_id": self.trace_id,
+            "started_at_unix_s": self.started_at,
+            "spans": len(self.spans),
+            "dropped": self.dropped,
+        }
+
+
+#: Version tag carried in every JSONL trace header.
+TRACE_SCHEMA = "repro.trace.v1"
+
+#: The installed process-global tracer (None = tracing disabled).
+_TRACER = None
+
+
+def trace_enabled_by_env():
+    """Whether ``REPRO_TRACE`` asks for tracing (default: no)."""
+    return os.environ.get("REPRO_TRACE", "0").strip().lower() in (
+        "1", "true", "on", "yes",
+    )
+
+
+def active_tracer():
+    """The installed tracer, or None when tracing is disabled."""
+    return _TRACER
+
+
+def install_tracer(tracer):
+    """Install (or with None, uninstall) the global tracer.
+
+    Returns the previously installed tracer so scoped users (the CLI,
+    tests) can restore it.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def enabled():
+    tracer = _TRACER
+    return tracer is not None and tracer.enabled
+
+
+def span(name, /, **attrs):
+    """Open a span on the global tracer — or do nothing, cheaply."""
+    tracer = _TRACER
+    if tracer is None or not tracer.enabled:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_span():
+    """The active span on this thread, or None (also None when
+    tracing is disabled — use through ``span(...).set_attr`` guards)."""
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.current_span()
+
+
+def flush_env_tracer():
+    """Write the env-installed tracer's spans to ``REPRO_TRACE_OUT``.
+
+    A no-op unless tracing was enabled through the environment and an
+    output path was given.  Called by the CLI main on exit so plain
+    ``REPRO_TRACE=1 REPRO_TRACE_OUT=t.jsonl repro run ...`` works
+    without any flag.
+    """
+    out = os.environ.get("REPRO_TRACE_OUT", "").strip()
+    tracer = _TRACER
+    if not out or tracer is None or not tracer.spans:
+        return None
+    from repro.obs.export import write_trace_jsonl
+
+    return write_trace_jsonl(tracer, out)
+
+
+if trace_enabled_by_env():  # pragma: no cover - exercised via subprocess
+    _TRACER = Tracer()

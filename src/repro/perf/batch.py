@@ -55,6 +55,7 @@ import numpy as np
 from repro.conformance.monitors import observe_sweep
 from repro.core.discovery import budget_covers
 from repro.errors import DiscoveryError
+from repro.obs.trace import span as obs_span
 from repro.perf.timers import TIMERS
 
 
@@ -85,7 +86,9 @@ def batched_suboptimality(algorithm, points=None):
             return np.empty(0, dtype=float)
         unique = np.unique(flats)
     with TIMERS.phase("batched_sweep"):
-        total = engine(algorithm, unique)
+        with obs_span("sweep.batch", points=int(flats.size),
+                      unique=int(unique.size)):
+            total = engine(algorithm, unique)
     TIMERS.incr("batched_sweeps")
     TIMERS.incr("batched_sweep_points", int(flats.size))
     optimal = np.asarray(algorithm.ess.optimal_cost, dtype=float)

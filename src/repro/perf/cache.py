@@ -25,6 +25,7 @@ import json
 import os
 import tempfile
 
+from repro.obs.trace import span as obs_span
 from repro.perf.timers import TIMERS
 
 _ARCHIVE_SUFFIX = ".ess.npz"
@@ -74,8 +75,9 @@ def fetch(key, query, cost_model):
 
     try:
         with TIMERS.phase("ess_cache_load"):
-            ess = load_ess(path, query, cost_model=cost_model,
-                           expected_key=key)
+            with obs_span("cache.load", key=key):
+                ess = load_ess(path, query, cost_model=cost_model,
+                               expected_key=key)
     except Exception:
         TIMERS.incr("ess_cache_invalid")
         TIMERS.incr("ess_cache_miss")

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import span as obs_span
 from repro.perf.timers import TIMERS
 
 #: Sweeps smaller than this stay serial even when workers are enabled —
@@ -222,6 +223,11 @@ def _build_algorithm(spec):
 
 def _evaluate_chunk(task):
     spec, flats = task
+    # Reset the worker's global profile so this chunk's summary carries
+    # exactly its own deltas — the parent merges every chunk summary, so
+    # nothing a worker measures is dropped and nothing is double-counted.
+    # (Pool workers run only chunks, so the reset clobbers no one.)
+    TIMERS.reset()
     algorithm = _build_algorithm(spec)
     # Workers chunk *states*, not points: the chunk's locations propagate
     # as a set through the shared discovery state machine, so the cost of
@@ -230,11 +236,11 @@ def _evaluate_chunk(task):
 
     sub = batched_suboptimality(algorithm, flats)
     if sub is not None:
-        return np.asarray(sub, dtype=float)
+        return np.asarray(sub, dtype=float), TIMERS.summary()
     out = np.empty(len(flats), dtype=float)
     for i, flat in enumerate(flats):
         out[i] = algorithm.run(int(flat)).suboptimality
-    return out
+    return out, TIMERS.summary()
 
 
 # ----------------------------------------------------------------------
@@ -258,13 +264,23 @@ def parallel_suboptimality(spec, flats, workers):
     chunks = np.array_split(flats, num_chunks)
     try:
         with TIMERS.phase("parallel_sweep"):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                parts = list(
-                    pool.map(_evaluate_chunk, [(spec, c) for c in chunks])
-                )
+            with obs_span("sweep.parallel", workers=workers,
+                          points=len(flats), chunks=num_chunks):
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(
+                        pool.map(_evaluate_chunk,
+                                 [(spec, c) for c in chunks])
+                    )
     except Exception:
         TIMERS.incr("parallel_sweep_fallback")
         return None
+    parts = [part for part, _ in results]
+    # Fold every worker chunk's phase timings and counters back into the
+    # parent profile — before this merge, worker measurements vanished
+    # with the pool.
+    for _, worker_summary in results:
+        TIMERS.merge(worker_summary)
     TIMERS.incr("parallel_sweeps")
     TIMERS.incr("parallel_sweep_points", len(flats))
+    TIMERS.incr("parallel_sweep_workers", workers)
     return np.concatenate(parts)

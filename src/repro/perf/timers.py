@@ -1,80 +1,90 @@
-"""Lightweight phase timing and counters for the performance layer.
+"""Back-compat phase timing shim over the observability registry.
 
-Every expensive stage of the pipeline (ESS optimizer sweep, contour
-construction, exhaustive discovery sweeps, archive save/load) reports
-into a process-global :class:`PhaseTimer`, and the benchmark CLI dumps
-the accumulated profile into a ``BENCH_*.json`` artifact so the repo
-carries a perf trajectory across PRs.
+Historically this module owned the process-global profile: a
+:class:`PhaseTimer` accumulating wall-clock totals per named phase plus
+ad-hoc counters, dumped into ``BENCH_*.json`` artifacts.  The storage
+now lives in :class:`repro.obs.metrics.MetricsRegistry` — one registry
+for phases, counters, gauges and histograms, with cross-process
+``merge()`` — and :class:`PhaseTimer` remains as a thin delegating
+facade so the dozen instrumented modules (and external BENCH
+consumers) keep working unchanged.
 
-The instrumentation is deliberately cheap — a ``perf_counter`` pair and
-a dict update per phase — so it stays enabled unconditionally.
+**Deprecation path**: new instrumentation should call
+:data:`repro.obs.metrics.REGISTRY` directly; ``TIMERS`` stays for the
+existing phase/counter call sites and is backed by that same registry,
+so both views always agree.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from contextlib import contextmanager
+import os
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 
 class PhaseTimer:
-    """Accumulates wall-clock totals per named phase, plus counters.
+    """Facade over a :class:`MetricsRegistry` with the legacy API.
 
     Phases nest freely; each :meth:`phase` block adds its own elapsed
     time to its own name (no parent/child exclusion — the consumers
-    know which phases contain which).
+    know which phases contain which).  A bare ``PhaseTimer()`` owns a
+    private registry (test isolation); the global :data:`TIMERS` shares
+    the process-global :data:`~repro.obs.metrics.REGISTRY`.
     """
 
-    def __init__(self):
-        self._phases = {}
-        self._counters = {}
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
 
-    @contextmanager
     def phase(self, name):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            total, count = self._phases.get(name, (0.0, 0))
-            self._phases[name] = (total + elapsed, count + 1)
+        return self.registry.phase(name)
 
     def record(self, name, seconds):
         """Add an externally-measured duration to a phase."""
-        total, count = self._phases.get(name, (0.0, 0))
-        self._phases[name] = (total + float(seconds), count + 1)
+        self.registry.record_phase(name, seconds)
 
     def incr(self, counter, amount=1):
         """Bump a named counter (cache hits/misses, worker counts...)."""
-        self._counters[counter] = self._counters.get(counter, 0) + amount
+        self.registry.incr(counter, amount)
 
     def counter(self, name):
-        return self._counters.get(name, 0)
+        return self.registry.counter(name)
 
     def reset(self):
-        self._phases.clear()
-        self._counters.clear()
+        self.registry.reset()
+
+    def merge(self, summary):
+        """Fold another process's :meth:`summary` into this profile."""
+        self.registry.merge(summary)
 
     def summary(self):
-        """Plain-data profile: phase totals/counts and counters."""
-        return {
-            "phases": {
-                name: {"total_s": total, "count": count}
-                for name, (total, count) in sorted(self._phases.items())
-            },
-            "counters": dict(sorted(self._counters.items())),
-        }
+        """Plain-data profile: phase totals/counts and counters.
+
+        The ``phases``/``counters`` sections keep their historical
+        shape; the registry's ``gauges``/``histograms`` sections ride
+        along for newer consumers.
+        """
+        return self.registry.summary()
 
     def write_json(self, path, extra=None):
-        """Write the profile (merged with ``extra``) to a JSON file."""
+        """Write the profile (merged with ``extra``) to a JSON file.
+
+        Creates parent directories and writes UTF-8, so nested
+        artifact paths and non-ASCII ``extra`` payloads both work.
+        """
         payload = self.summary()
         if extra:
             payload.update(extra)
-        with open(path, "w", encoding="ascii") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True,
+                      ensure_ascii=False)
             handle.write("\n")
         return payload
 
 
-#: The process-global timer every instrumented module reports into.
-TIMERS = PhaseTimer()
+#: The process-global timer every instrumented module reports into —
+#: a facade over :data:`repro.obs.metrics.REGISTRY`.
+TIMERS = PhaseTimer(registry=REGISTRY)
