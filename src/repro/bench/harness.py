@@ -359,7 +359,7 @@ def run_wallclock(name="mini4d", row_budget=40_000, seed=11, engine="auto",
 def run_conformance(num_workloads=200, base_seed=0,
                     engines=("loop", "batch", "parallel"), trace_samples=3,
                     jsonl_path=None, use_cache=True, inject=None,
-                    progress=None):
+                    progress=None, ess_mode=None):
     """Seeded randomized workloads under runtime invariant monitors.
 
     Runs PB/SB/AB across every requested sweep engine on
@@ -382,6 +382,7 @@ def run_conformance(num_workloads=200, base_seed=0,
             use_cache=use_cache,
             inject=inject,
             progress=progress,
+            ess_mode=ess_mode,
         )
 
 

@@ -57,7 +57,12 @@ from repro.perf.timers import TIMERS
 #: an identity flag.  v4: adds ``tracing`` — tracing-off vs tracing-on
 #: sweep timings with a bit-identity flag, plus the registry's
 #: ``gauges``/``histograms`` sections riding in the phase profile.
-BENCH_SCHEMA_VERSION = 4
+#: v5: adds ``ess_build`` — eager full-grid vs lazy contour-adaptive
+#: surface construction: optimizer-call counts, end-to-end discovery
+#: timings, peak RSS (``ru_maxrss``), a bit-identity check per cell, and
+#: optionally a cell whose eager build is infeasible under a laptop-class
+#: memory budget and is therefore recorded as not attempted.
+BENCH_SCHEMA_VERSION = 5
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -330,8 +335,192 @@ def bench_tracing(name, profile, algorithm="sb", resolution=None,
     }
 
 
+#: Eager full-grid builds whose estimated peak RSS exceeds this budget
+#: are recorded as infeasible (not attempted) in the ``ess_build``
+#: section — the laptop-class memory budget the benchmark assumes.
+EAGER_RSS_BUDGET_MB = 4096
+
+#: Measured eager-DP footprint per grid point (KB), from the 5D_Q91
+#: resolution-scaling measurement (45 MB @ 7.8k points -> 149 MB @ 100k
+#: points, ~1.13 KB/point marginal).  Used only to *refuse* eager
+#: builds over the budget, never to report a number as measured.
+EAGER_KB_PER_POINT = 1.2
+
+#: Default eager-vs-lazy build cells: the 4D acceptance cell (lazy must
+#: cut optimizer calls >= 10x on a resolution-20 grid) and a 5-epp
+#: million-point grid.
+DEFAULT_ESS_CELLS = (("4D_Q26", 20), ("5D_Q91", 16))
+
+#: The high-resolution 5-epp cell (24.3M points): eager needs an
+#: estimated ~28 GB so it is never attempted; the lazy surface completes
+#: it.  Included via ``repro bench --ess-big-cell``.
+BIG_ESS_CELL = ("5D_Q91", 30)
+
+
+def _peak_rss_kb():
+    """Process-lifetime peak RSS in KB (Linux ``ru_maxrss`` unit)."""
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _run_fingerprint(ess, result):
+    """Bit-exact fingerprint of one discovery run, mode-portable.
+
+    Plan *ids* are surface-local (the lazy surface numbers plans in
+    resolution order, the eager one in sorted-key order), so executions
+    are compared through their plan *keys*; floats go through ``repr``
+    so the comparison is exact to the last bit.
+    """
+    return {
+        "total_cost": repr(result.total_cost),
+        "optimal_cost": repr(result.optimal_cost),
+        "suboptimality": repr(result.suboptimality),
+        "executions": [
+            (r.contour, r.mode, r.spill_dim, ess.plan_keys[r.plan_id],
+             repr(r.budget), repr(r.charged), r.completed)
+            for r in result.executions
+        ],
+    }
+
+
+def _no_persistent_cache():
+    """Context manager: disable the archive cache (honest cold builds)."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def scope():
+        previous = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = "0"
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = previous
+
+    return scope()
+
+
+def _ess_build_cell(name, resolution):
+    """One eager-vs-lazy cell: build + discovery run at the true qa.
+
+    The lazy side runs *first*: ``ru_maxrss`` is a process-lifetime
+    high-water mark, so this ordering guarantees the lazy figure is
+    never inflated by the eager build's allocations (the eager figure
+    may be understated by earlier peaks — the conservative direction).
+    """
+    from repro.core.spill_bound import SpillBound
+
+    with _no_persistent_cache():
+        workloads.clear_cache()
+        start = time.perf_counter()
+        lazy = workloads.load(name, resolution=resolution, ess_mode="lazy")
+        algorithm = SpillBound(lazy.ess, lazy.contours)
+        result = algorithm.run(lazy.qa_coords(), trace=True)
+        lazy_s = time.perf_counter() - start
+        num_points = int(lazy.ess.grid.num_points)
+        lazy_calls = int(lazy.ess.optimizer_calls)
+        cell = {
+            "query": name,
+            "resolution": int(resolution),
+            "grid_points": num_points,
+            "lazy": {
+                "build_and_run_s": lazy_s,
+                "optimizer_calls": lazy_calls,
+                "resolved_fraction": lazy_calls / num_points,
+                "peak_rss_kb": _peak_rss_kb(),
+                "suboptimality": float(result.suboptimality),
+            },
+            # An eager build always issues exactly one optimizer
+            # evaluation per grid point, whether or not it is run here.
+            "call_reduction": (num_points / lazy_calls
+                               if lazy_calls else float("inf")),
+        }
+        lazy_fp = _run_fingerprint(lazy.ess, result)
+        workloads.clear_cache()
+
+        estimated_mb = num_points * EAGER_KB_PER_POINT / 1024.0
+        if estimated_mb > EAGER_RSS_BUDGET_MB:
+            cell["eager"] = {
+                "attempted": False,
+                "estimated_rss_mb": estimated_mb,
+                "reason": (
+                    f"estimated ~{estimated_mb / 1024.0:.1f} GB peak RSS "
+                    f"exceeds the {EAGER_RSS_BUDGET_MB // 1024} GB budget"
+                ),
+            }
+            return cell
+
+        start = time.perf_counter()
+        eager = workloads.load(name, resolution=resolution,
+                               ess_mode="eager")
+        algorithm = SpillBound(eager.ess, eager.contours)
+        eager_result = algorithm.run(eager.qa_coords(), trace=True)
+        eager_s = time.perf_counter() - start
+        cell["eager"] = {
+            "attempted": True,
+            "build_and_run_s": eager_s,
+            "optimizer_calls": int(eager.ess.optimizer_calls),
+            "peak_rss_kb": _peak_rss_kb(),
+            "suboptimality": float(eager_result.suboptimality),
+        }
+        cell["speedup"] = eager_s / lazy_s if lazy_s > 0 else float("inf")
+        cell["run_identical"] = (
+            lazy_fp == _run_fingerprint(eager.ess, eager_result)
+        )
+        workloads.clear_cache()
+    return cell
+
+
+def bench_ess_build(name, profile, resolution=None, cells=DEFAULT_ESS_CELLS,
+                    big_cell=False):
+    """Eager full-grid vs lazy contour-adaptive ESS construction.
+
+    Two parts: a *sweep identity* check on the bench workload — the full
+    exhaustive MSO sweep under both modes must produce bit-identical
+    (``np.array_equal``) sub-optimality arrays (an exhaustive sweep
+    resolves every location, so its value is fidelity, not economy) —
+    and per-``cells`` build economy: lazy build + one discovery run at
+    the true ``qa`` vs the eager equivalent, with optimizer-call counts,
+    peak RSS and a run-fingerprint identity flag.  Cells whose eager
+    build is estimated over :data:`EAGER_RSS_BUDGET_MB` record the
+    refusal instead of a measurement.
+    """
+    from repro.core.spill_bound import SpillBound
+
+    with _no_persistent_cache():
+        workloads.clear_cache()
+        evals = {}
+        for mode in ("lazy", "eager"):
+            instance = workloads.load(name, profile=profile,
+                                      resolution=resolution, ess_mode=mode)
+            algorithm = SpillBound(instance.ess, instance.contours)
+            evals[mode] = evaluate_algorithm(algorithm, engine="batch")
+            workloads.clear_cache()
+    identity = {
+        "query": name,
+        "grid_points": int(
+            evals["eager"].suboptimality.size
+        ),
+        "identical": bool(np.array_equal(
+            evals["lazy"].suboptimality, evals["eager"].suboptimality
+        )),
+        "mso_lazy": float(evals["lazy"].mso),
+        "mso_eager": float(evals["eager"].mso),
+    }
+    cell_list = [
+        _ess_build_cell(cell_name, cell_resolution)
+        for cell_name, cell_resolution in cells
+    ]
+    if big_cell:
+        cell_list.append(_ess_build_cell(*BIG_ESS_CELL))
+    return {"sweep_identity": identity, "cells": cell_list}
+
+
 def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
-              resolution=None):
+              resolution=None, ess_mode=None, ess_big_cell=False):
     """Run the full perf benchmark and (optionally) write the artifact.
 
     Args:
@@ -344,14 +533,32 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
             give every measurement more to chew).  The wall-clock
             engine comparison always runs its own 4D workload at that
             experiment's default resolution.
+        ess_mode: ``"eager"``/``"lazy"`` surface mode for the cache,
+            sweep, parallel and tracing sections (the ``ess_build``
+            section always measures both modes explicitly).
+        ess_big_cell: also measure :data:`BIG_ESS_CELL` — the 24M-point
+            5-epp grid only the lazy surface can build (minutes).
     """
+    from repro.ess.lazy import resolve_ess_mode
+
+    ess_mode = resolve_ess_mode(ess_mode)
     TIMERS.reset()
-    cache_stats = bench_cache(query, profile, resolution=resolution)
-    sweep_stats = bench_sweep(query, profile, resolution=resolution)
-    parallel_stats = bench_parallel(query, profile, workers,
-                                    resolution=resolution)
-    wallclock_stats = bench_wallclock()
-    tracing_stats = bench_tracing(query, profile, resolution=resolution)
+    previous_env = os.environ.get("REPRO_ESS")
+    os.environ["REPRO_ESS"] = ess_mode
+    try:
+        cache_stats = bench_cache(query, profile, resolution=resolution)
+        sweep_stats = bench_sweep(query, profile, resolution=resolution)
+        parallel_stats = bench_parallel(query, profile, workers,
+                                        resolution=resolution)
+        wallclock_stats = bench_wallclock()
+        tracing_stats = bench_tracing(query, profile, resolution=resolution)
+    finally:
+        if previous_env is None:
+            os.environ.pop("REPRO_ESS", None)
+        else:
+            os.environ["REPRO_ESS"] = previous_env
+    ess_build_stats = bench_ess_build(query, profile, resolution=resolution,
+                                      big_cell=ess_big_cell)
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -361,11 +568,13 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
             "python": platform.python_version(),
         },
         "parallel_speedup_achievable": (os.cpu_count() or 1) > 1,
+        "ess_mode": ess_mode,
         "cache": cache_stats,
         "sweeps": sweep_stats,
         "parallel": parallel_stats,
         "wallclock": wallclock_stats,
         "tracing": tracing_stats,
+        "ess_build": ess_build_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

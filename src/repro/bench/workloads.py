@@ -28,8 +28,9 @@ from dataclasses import dataclass
 from repro.catalog.job import q1a
 from repro.catalog.tpcds import build_query, suite_names
 from repro.errors import QueryError
-from repro.ess.contours import DEFAULT_COST_RATIO, ContourSet
+from repro.ess.contours import DEFAULT_COST_RATIO
 from repro.ess.grid import ESSGrid
+from repro.ess.lazy import LazyESS, contours_for, resolve_ess_mode
 from repro.ess.ocs import ESS
 from repro.ess.persistence import ess_cache_key
 from repro.optimizer.cost_model import DEFAULT_COST_MODEL
@@ -94,7 +95,7 @@ def _make_query(name):
 
 
 def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
-         cost_model=DEFAULT_COST_MODEL):
+         cost_model=DEFAULT_COST_MODEL, ess_mode=None):
     """Load (build or fetch cached) a workload instance by name.
 
     Args:
@@ -103,12 +104,16 @@ def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
         resolution: explicit per-dimension resolution (overrides profile).
         cost_ratio: contour spacing.
         cost_model: optimizer cost model (ablations pass perturbed ones).
+        ess_mode: ``"eager"``/``"lazy"`` surface construction; default
+            from ``REPRO_ESS`` (see :func:`repro.ess.lazy.resolve_ess_mode`).
     """
     profile = profile or active_profile()
+    ess_mode = resolve_ess_mode(ess_mode)
     # Cost models key by value fingerprint, never by id(): ids are
     # recycled after garbage collection, so a perturbed-cost-model
     # ablation could silently hit a stale entry built for a dead model.
-    key = (name, profile, resolution, cost_ratio, cost_model.fingerprint())
+    key = (name, profile, resolution, cost_ratio, cost_model.fingerprint(),
+           ess_mode)
     cached = _CACHE.get(key)
     if cached is not None:
         TIMERS.incr("workload_memory_hit")
@@ -125,16 +130,25 @@ def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
         cost_fingerprint=cost_model.fingerprint(),
         left_deep=False,
     )
-    ess = ess_cache.fetch(disk_key, query, cost_model)
-    if ess is None:
+    if ess_mode == "lazy":
+        # The lazy surface's whole point is skipping the full sweep, so
+        # it neither consults nor populates the archive cache; points
+        # resolve on first touch instead.
         with TIMERS.phase("ess_build"):
-            ess = ESS.build(query, grid, cost_model=cost_model)
-        ess_cache.store(ess, disk_key)
+            ess = LazyESS(query, grid, cost_model=cost_model)
+    else:
+        ess = ess_cache.fetch(disk_key, query, cost_model)
+        if ess is None:
+            with TIMERS.phase("ess_build"):
+                ess = ESS.build(query, grid, cost_model=cost_model)
+            ess_cache.store(ess, disk_key)
     with TIMERS.phase("contour_build"):
-        contours = ContourSet(ess, cost_ratio)
+        contours = contours_for(ess, cost_ratio)
     # Build provenance lets the parallel-sweep engine rebuild this exact
     # ESS inside worker processes (through this very function, hence
-    # through the persistent archive) instead of pickling plan trees.
+    # through the persistent archive) instead of pickling plan trees;
+    # the disk_key additionally lets the engine offer this surface to
+    # workers over shared memory (repro.perf.shm).
     ess.provenance = {
         "kind": "workload",
         "build_kwargs": {
@@ -143,8 +157,10 @@ def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
             "resolution": resolution,
             "cost_ratio": cost_ratio,
             "cost_model": cost_model,
+            "ess_mode": ess_mode,
         },
         "cost_ratio": cost_ratio,
+        "disk_key": disk_key,
     }
     instance = WorkloadInstance(name=name, query=query, ess=ess,
                                 contours=contours)

@@ -159,7 +159,8 @@ def cmd_build(args):
 
 
 def cmd_run(args):
-    instance = workloads.load(args.query, profile=args.profile)
+    instance = workloads.load(args.query, profile=args.profile,
+                              ess_mode=args.ess)
     qa = _parse_qa(args.qa) if args.qa else instance.query.true_location()
     if args.algorithm == "native":
         algorithm = NativeOptimizer(instance.ess)
@@ -312,6 +313,8 @@ def cmd_bench(args):
         profile=args.profile,
         workers=args.workers,
         resolution=args.resolution,
+        ess_mode=args.ess,
+        ess_big_cell=args.ess_big_cell,
     )
     cache = payload["cache"]
     rows = [["warm ESS load vs cold build", f"{cache['speedup']:.1f}x",
@@ -347,6 +350,26 @@ def cmd_bench(args):
         f"{tr['overhead_pct']:+.1f}%",
         "bit-identical" if tr["identical"] else "MISMATCH",
     ])
+    eb = payload["ess_build"]
+    ident = eb["sweep_identity"]
+    rows.append([
+        "lazy vs eager exhaustive sweep",
+        f"MSO {ident['mso_lazy']:.2f}",
+        "bit-identical" if ident["identical"] else "MISMATCH",
+    ])
+    for cell in eb["cells"]:
+        label = (f"lazy build {cell['query']} "
+                 f"res {cell['resolution']} ({cell['grid_points']} pts)")
+        calls = f"{cell['call_reduction']:.1f}x fewer calls"
+        eager = cell["eager"]
+        if not eager["attempted"]:
+            rows.append([label, calls, f"eager infeasible: "
+                         f"{eager['reason']}"])
+        else:
+            rows.append([
+                label, calls,
+                "bit-identical" if cell["run_identical"] else "MISMATCH",
+            ])
     print(format_table(
         f"perf bench on {cache['query']} "
         f"({cache['grid_points']} locations, "
@@ -390,6 +413,7 @@ def cmd_check(args):
         use_cache=not args.no_cache,
         inject=args.inject,
         progress=progress,
+        ess_mode=args.ess,
     )
     summary = report.summary()
     print(format_table(
@@ -520,6 +544,15 @@ def cmd_advise(args):
     return 0
 
 
+def _add_ess_arg(parser):
+    """``--ess eager|lazy`` (validated downstream so bad values raise
+    :class:`ReproError` whether they come from the flag or ``REPRO_ESS``)."""
+    parser.add_argument("--ess", default=None, metavar="MODE",
+                        help="ESS surface mode: eager (full optimizer "
+                        "sweep) or lazy (resolve on demand); default "
+                        "from REPRO_ESS, else eager")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -550,6 +583,7 @@ def build_parser():
                    help="comma-separated actual selectivities")
     p.add_argument("--trace-out", default=None,
                    help="write a JSONL span trace of the run to this file")
+    _add_ess_arg(p)
 
     p = sub.add_parser("evaluate", help="exhaustive MSO/ASO evaluation")
     p.add_argument("query")
@@ -601,6 +635,10 @@ def build_parser():
                    help="process count for the parallel sweep")
     p.add_argument("--resolution", type=_resolution_arg, default=None,
                    help="explicit grid resolution for the bench workload")
+    p.add_argument("--ess-big-cell", action="store_true",
+                   help="also measure the 24M-point 5-epp build cell "
+                   "that only the lazy surface can complete (minutes)")
+    _add_ess_arg(p)
 
     p = sub.add_parser("check", help="guarantee-conformance suite")
     p.add_argument("--workloads", type=int, default=200,
@@ -618,6 +656,7 @@ def build_parser():
                    help="inject a deliberate violation (negative test)")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per workload")
+    _add_ess_arg(p)
 
     p = sub.add_parser("advise", help="native vs robust recommendation")
     p.add_argument("query")

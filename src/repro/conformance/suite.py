@@ -141,7 +141,7 @@ def _algorithms(instance):
 
 
 def run_workload(seed, monitor, engines=SUITE_ENGINES, trace_samples=3,
-                 use_cache=True):
+                 use_cache=True, ess_mode=None):
     """Run one seeded workload through every algorithm and engine.
 
     The monitor is installed for the duration so the sweep-engine hooks
@@ -152,7 +152,8 @@ def run_workload(seed, monitor, engines=SUITE_ENGINES, trace_samples=3,
     Returns a :class:`WorkloadOutcome`.
     """
     REGISTRY.incr("conformance_workloads")
-    instance = build_conformance_instance(seed, use_cache=use_cache)
+    instance = build_conformance_instance(seed, use_cache=use_cache,
+                                          ess_mode=ess_mode)
     ess, contours = instance.ess, instance.contours
     num_points = ess.grid.num_points
     outcome = WorkloadOutcome(
@@ -244,7 +245,7 @@ def _inject_violation(mode, monitor, instance):
 
 def run_suite(num_workloads=200, base_seed=0, engines=SUITE_ENGINES,
               trace_samples=3, jsonl_path=None, use_cache=True,
-              inject=None, progress=None):
+              inject=None, progress=None, ess_mode=None):
     """Run the conformance suite over ``num_workloads`` seeds.
 
     Args:
@@ -255,6 +256,9 @@ def run_suite(num_workloads=200, base_seed=0, engines=SUITE_ENGINES,
         jsonl_path: violation JSONL artifact path (created even when
             empty, so CI always has a file to upload).
         use_cache: consult the persistent ESS archive cache.
+        ess_mode: ``"eager"``/``"lazy"`` surface construction for every
+            workload (default from ``REPRO_ESS``); the lazy mode must
+            conform identically — resolved points are bit-identical.
         inject: ``"mso"`` or ``"learning"`` — corrupt one observation
             (negative testing; the report must come back not-ok).
         progress: optional ``callable(completed, total, outcome)``.
@@ -274,13 +278,14 @@ def run_suite(num_workloads=200, base_seed=0, engines=SUITE_ENGINES,
         seed = base_seed + k
         outcome = run_workload(seed, monitor, engines=engines,
                                trace_samples=trace_samples,
-                               use_cache=use_cache)
+                               use_cache=use_cache, ess_mode=ess_mode)
         outcomes.append(outcome)
         if progress is not None:
             progress(k + 1, num_workloads, outcome)
     if inject is not None:
         _inject_violation(inject, monitor,
                           build_conformance_instance(base_seed,
-                                                     use_cache=use_cache))
+                                                     use_cache=use_cache,
+                                                     ess_mode=ess_mode))
     return SuiteReport(outcomes=outcomes, monitor=monitor,
                        engines=engines, inject=inject)

@@ -28,8 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bench.randgen import random_workload
-from repro.ess.contours import ContourSet
 from repro.ess.grid import ESSGrid
+from repro.ess.lazy import LazyESS, contours_for, resolve_ess_mode
 from repro.ess.ocs import ESS
 from repro.ess.persistence import ess_cache_key
 from repro.optimizer.cost_model import DEFAULT_COST_MODEL
@@ -89,7 +89,8 @@ def knobs_for(seed, num_epps):
 
 
 def build_conformance_instance(seed, resolution=None, cost_ratio=None,
-                               cost_noise=None, use_cache=True):
+                               cost_noise=None, use_cache=True,
+                               ess_mode=None):
     """Build (or fetch) the conformance instance for a seed.
 
     Explicit ``resolution``/``cost_ratio``/``cost_noise`` override the
@@ -100,15 +101,18 @@ def build_conformance_instance(seed, resolution=None, cost_ratio=None,
     Args:
         seed: workload seed (also seeds the knob draw and cost noise).
         use_cache: consult/populate the persistent ESS archive cache.
+        ess_mode: ``"eager"``/``"lazy"`` surface construction; default
+            from ``REPRO_ESS`` (see :func:`repro.ess.lazy.resolve_ess_mode`).
     """
     seed = int(seed)
+    ess_mode = resolve_ess_mode(ess_mode)
     query = random_workload(seed, max_epps=MAX_EPPS)
     auto_res, auto_ratio, auto_noise = knobs_for(seed, query.num_epps)
     resolution = auto_res if resolution is None else int(resolution)
     cost_ratio = auto_ratio if cost_ratio is None else float(cost_ratio)
     cost_noise = auto_noise if cost_noise is None else float(cost_noise)
 
-    key = (seed, resolution, cost_ratio, cost_noise)
+    key = (seed, resolution, cost_ratio, cost_noise, ess_mode)
     cached = _CACHE.get(key)
     if cached is not None:
         TIMERS.incr("conformance_memory_hit")
@@ -127,13 +131,20 @@ def build_conformance_instance(seed, resolution=None, cost_ratio=None,
         cost_fingerprint=cost_model.fingerprint(),
         left_deep=False,
     )
-    ess = ess_cache.fetch(disk_key, query, cost_model) if use_cache else None
-    if ess is None:
+    if ess_mode == "lazy":
+        # Lazy surfaces bypass the archive cache entirely (fetching one
+        # would defeat the point; storing one would force a full sweep).
         with TIMERS.phase("conformance_ess_build"):
-            ess = ESS.build(query, grid, cost_model=cost_model)
-        if use_cache:
-            ess_cache.store(ess, disk_key)
-    contours = ContourSet(ess, cost_ratio)
+            ess = LazyESS(query, grid, cost_model=cost_model)
+    else:
+        ess = (ess_cache.fetch(disk_key, query, cost_model)
+               if use_cache else None)
+        if ess is None:
+            with TIMERS.phase("conformance_ess_build"):
+                ess = ESS.build(query, grid, cost_model=cost_model)
+            if use_cache:
+                ess_cache.store(ess, disk_key)
+    contours = contours_for(ess, cost_ratio)
     ess.provenance = {
         "kind": "conformance",
         "build_kwargs": {
@@ -141,8 +152,10 @@ def build_conformance_instance(seed, resolution=None, cost_ratio=None,
             "resolution": resolution,
             "cost_ratio": cost_ratio,
             "cost_noise": cost_noise,
+            "ess_mode": ess_mode,
         },
         "cost_ratio": cost_ratio,
+        "disk_key": disk_key,
     }
     instance = ConformanceInstance(
         seed=seed,

@@ -59,7 +59,7 @@ def _parallel_sweep(algorithm, flats, workers):
     spec = spec_for(algorithm)
     if spec is None:
         return None
-    sub = parallel_suboptimality(spec, flats, workers)
+    sub = parallel_suboptimality(spec, flats, workers, ess=algorithm.ess)
     if sub is not None:
         from repro.conformance.monitors import observe_sweep
 

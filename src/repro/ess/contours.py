@@ -35,12 +35,14 @@ class Contour:
         plan_ids: ``(P,)`` POSP plan id per location.
     """
 
-    def __init__(self, index, budget, points, coords, plan_ids):
+    def __init__(self, index, budget, points, coords, plan_ids,
+                 plan_keys=None):
         self.index = index
         self.budget = budget
         self.points = points
         self.coords = coords
         self.plan_ids = plan_ids
+        self._plan_keys = plan_keys
 
     @property
     def density(self):
@@ -48,7 +50,19 @@ class Contour:
         return len(np.unique(self.plan_ids)) if len(self.plan_ids) else 0
 
     def unique_plan_ids(self):
-        return [int(p) for p in np.unique(self.plan_ids)]
+        """Distinct plan ids on the contour, in plan-*key* order.
+
+        Plan ids are surface-local: the eager build numbers plans by
+        globally sorted key, the lazy surface in resolution order.  Key
+        order is the mode-invariant one, so every consumer that iterates
+        (and tie-breaks) over contour plans sees the same sequence on
+        both surfaces.  On an eager surface id order *is* key order, so
+        this changes nothing there.
+        """
+        ids = [int(p) for p in np.unique(self.plan_ids)]
+        if self._plan_keys is not None:
+            ids.sort(key=lambda pid: self._plan_keys[pid])
+        return ids
 
     def __repr__(self):
         return (
@@ -65,6 +79,12 @@ class ContourSet:
         cost_ratio: geometric spacing between consecutive contour costs.
     """
 
+    #: Relative slack applied to costs before the band search, so a cost
+    #: sitting exactly on a budget lands in the contour it caps.  Shared
+    #: with :class:`~repro.ess.lazy.LazyContourSet`, whose on-demand band
+    #: views must be bit-identical to this eager assignment.
+    BAND_EPS = 1e-12
+
     def __init__(self, ess, cost_ratio=DEFAULT_COST_RATIO):
         if cost_ratio <= 1.0:
             raise DiscoveryError("contour cost ratio must exceed 1")
@@ -79,12 +99,28 @@ class ContourSet:
         budgets = [cmin * cost_ratio**i for i in range(self.num_contours)]
         budgets[-1] = cmax  # cap the last contour at C_max (paper Sec 2.5)
         self.budgets = np.asarray(budgets, dtype=float)
-
-        # Band assignment: first contour whose budget covers the cost.
-        costs = ess.optimal_cost
-        self.band = np.searchsorted(self.budgets, costs * (1.0 - 1e-12), side="left")
-        self.band = np.minimum(self.band, self.num_contours - 1).astype(np.int32)
         self._contours = [None] * self.num_contours
+        self._init_band()
+
+    def _init_band(self):
+        """Band assignment: first contour whose budget covers the cost.
+
+        The lazy subclass overrides this with an on-demand view instead
+        of a full-grid array (:mod:`repro.ess.lazy`).
+        """
+        self.band = self.band_of_costs(self.ess.optimal_cost)
+
+    def band_of_costs(self, costs):
+        """0-based contour band per entry of an optimal-cost array.
+
+        The single band formula both the eager and lazy surfaces use —
+        keeping it in one place is what makes lazy band views
+        bit-identical to the eager precomputed array.
+        """
+        band = np.searchsorted(
+            self.budgets, costs * (1.0 - self.BAND_EPS), side="left"
+        )
+        return np.minimum(band, self.num_contours - 1).astype(np.int32)
 
     def budget(self, index):
         """The cost ``CC_index`` of a 1-based contour index."""
@@ -98,15 +134,21 @@ class ContourSet:
             )
         cached = self._contours[index - 1]
         if cached is None:
-            points = np.flatnonzero(self.band == index - 1).astype(np.int64)
+            points = self._band_members(index - 1)
             grid = self.ess.grid
             coords = np.column_stack(
-                [grid.coord_array(d)[points] for d in range(grid.num_dims)]
+                [grid.coords_at(d, points).astype(np.int32)
+                 for d in range(grid.num_dims)]
             ) if len(points) else np.empty((0, grid.num_dims), dtype=np.int32)
             plan_ids = self.ess.plan_ids[points]
-            cached = Contour(index, self.budget(index), points, coords, plan_ids)
+            cached = Contour(index, self.budget(index), points, coords,
+                             plan_ids, plan_keys=self.ess.plan_keys)
             self._contours[index - 1] = cached
         return cached
+
+    def _band_members(self, band):
+        """Flat indices of one 0-based band, in ascending grid order."""
+        return np.flatnonzero(self.band == band).astype(np.int64)
 
     def __iter__(self):
         return (self.contour(i) for i in range(1, self.num_contours + 1))

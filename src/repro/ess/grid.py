@@ -158,6 +158,38 @@ class ESSGrid:
         """The full-grid selectivity environment for the optimizer."""
         return {d: self.sel_array(d) for d in range(self.num_dims)}
 
+    def coords_at(self, dim, flats):
+        """Grid indices along ``dim`` for an array of flat indices.
+
+        Pure stride arithmetic — O(len(flats)) regardless of grid size,
+        unlike :meth:`coord_array` which materializes all ``N`` points.
+        The lazy ESS resolves scattered point sets on grids where the
+        full-grid views would dominate memory.
+        """
+        flats = np.asarray(flats, dtype=np.int64)
+        return (flats // self.strides[dim]) % self.resolution[dim]
+
+    def environment_at(self, flats):
+        """Selectivity environment restricted to an array of flats."""
+        return {
+            d: self.values[d][self.coords_at(d, flats)]
+            for d in range(self.num_dims)
+        }
+
+    def box_flats(self, lo, hi):
+        """Flat indices of the axis-aligned box ``[lo, hi]`` (inclusive).
+
+        Returned in ascending (grid) order, matching the slice the same
+        box occupies inside a full-grid enumeration.
+        """
+        flat = np.zeros(1, dtype=np.int64)
+        for dim in range(self.num_dims):
+            axis = self.strides[dim] * np.arange(
+                int(lo[dim]), int(hi[dim]) + 1, dtype=np.int64
+            )
+            flat = (flat[:, None] + axis[None, :]).reshape(-1)
+        return flat
+
     def line_indices(self, fixed_coords, free_dim):
         """Flat indices of the 1-D line varying ``free_dim``.
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ess.grid import ESSGrid
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 from repro.optimizer.cost_model import DEFAULT_COST_MODEL
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.plans import epp_total_order, plan_cost, spill_subtree_cost
@@ -31,6 +33,10 @@ class ESS:
         plan_keys: canonical identity strings, parallel to ``plans``.
     """
 
+    #: Whether the surface resolves points on demand (overridden by
+    #: :class:`repro.ess.lazy.LazyESS`).
+    is_lazy = False
+
     def __init__(self, query, grid, cost_model, optimal_cost, plan_ids, plans):
         self.query = query
         self.grid = grid
@@ -39,6 +45,10 @@ class ESS:
         self.plan_ids = plan_ids
         self.plans = plans
         self.plan_keys = [p.key for p in plans]
+        #: Optimizer point evaluations spent building this surface (the
+        #: full grid for :meth:`build`, 0 for archive loads, and the
+        #: running resolved count for lazy surfaces).
+        self.optimizer_calls = 0
         self._cost_arrays = {}
         self._point_costs = {}
         self._spill_orders = {}
@@ -57,13 +67,16 @@ class ESS:
         if grid is None:
             grid = ESSGrid(query.num_epps, resolution=resolution)
         optimizer = Optimizer(query, cost_model, left_deep=left_deep)
-        result = optimizer.optimize(grid.environment(), num_points=grid.num_points)
-        keys, pool = result.plans()
+        with obs_span("ess.build", points=grid.num_points):
+            result = optimizer.optimize(grid.environment(),
+                                        num_points=grid.num_points)
+            keys, pool = result.plans()
+        REGISTRY.incr("ess_optimizer_calls", grid.num_points)
         plan_keys = sorted(pool)
         index = {key: i for i, key in enumerate(plan_keys)}
         plan_ids = np.fromiter((index[k] for k in keys), dtype=np.int32, count=len(keys))
         plans = [pool[k] for k in plan_keys]
-        return cls(
+        ess = cls(
             query=query,
             grid=grid,
             cost_model=cost_model,
@@ -71,6 +84,8 @@ class ESS:
             plan_ids=plan_ids,
             plans=plans,
         )
+        ess.optimizer_calls = grid.num_points
+        return ess
 
     # ------------------------------------------------------------------
     # Derived, cached per-plan data
@@ -80,6 +95,34 @@ class ESS:
     def posp_size(self):
         """Number of distinct POSP plans over the grid."""
         return len(self.plans)
+
+    # ------------------------------------------------------------------
+    # Lazy-resolution protocol (no-ops on the fully materialized surface;
+    # repro.ess.lazy.LazyESS overrides all three)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_resolved(self):
+        """Grid points with known optimal plan/cost (all, when eager)."""
+        return self.grid.num_points
+
+    def resolve(self, flats):
+        """Ensure the given flats are resolved (eager: already are)."""
+        return 0
+
+    def resolve_all(self):
+        """Ensure the whole grid is resolved (eager: already is)."""
+        return 0
+
+    def optimal_cost_at(self, flats):
+        """Optimal costs at an array of flats, resolving if lazy.
+
+        The engine-facing gather: restricted sweeps call this instead of
+        materializing ``optimal_cost``, so a lazy surface resolves only
+        the requested points.
+        """
+        flats = np.asarray(flats, dtype=np.int64)
+        return np.asarray(self.optimal_cost[flats], dtype=float)
 
     @property
     def min_cost(self):
@@ -128,8 +171,16 @@ class ESS:
         return cached
 
     def plan_cost_at(self, plan_id, flat):
-        """``Cost(P, q)`` for a plan at one grid location."""
-        return float(self.plan_cost_array(plan_id)[flat])
+        """``Cost(P, q)`` for a plan at one grid location.
+
+        Routed through :meth:`plan_cost_at_points` so large grids take
+        the point-wise memo path instead of materializing a full-grid
+        cost array for a single lookup (identical values either way —
+        the cost expressions are elementwise).
+        """
+        return float(
+            self.plan_cost_at_points(plan_id, np.asarray([flat]))[0]
+        )
 
     #: Grids at or below this many points always evaluate plan costs as
     #: one full-grid vectorized pass (amortized across every later
@@ -172,7 +223,9 @@ class ESS:
         if missing.size:
             grid = self.grid
             miss = np.unique(missing)
-            env = {d: grid.sel_array(d)[miss] for d in range(grid.num_dims)}
+            # environment_at is pure stride arithmetic — O(len(miss)),
+            # no full-grid selectivity views on these large grids.
+            env = grid.environment_at(miss)
             cost = plan_cost(self.plans[plan_id], self.query,
                              self.cost_model, env)
             values[miss] = np.broadcast_to(

@@ -14,8 +14,11 @@ because the identity grammar is unambiguous.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import re
+import tempfile
 
 import numpy as np
 
@@ -35,9 +38,17 @@ from repro.optimizer.plans import (
 #: (query name, grid resolution, sel_min, cost-model fingerprint,
 #: left_deep) so the persistent workload cache can verify that an
 #: archive matches the exact build parameters before trusting it.
-#: Version-1 archives (no key) are still readable.
+#: Version 3 (``save_ess(..., mmap=True)``) moves the two large arrays
+#: — ``optimal_cost`` and ``plan_ids`` — out of the compressed ``.npz``
+#: into uncompressed ``.npy`` sidecars that loads map with
+#: ``np.load(..., mmap_mode="r")``: a warm load pages cost data in on
+#: demand instead of decompressing the whole grid up front.  Sidecar
+#: file names embed a content digest, so rewriting an archive never
+#: mutates a sidecar a concurrent (or already-mmapped) reader may hold.
+#: Versions 1 and 2 are still readable.
 _FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+_MMAP_FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 _JOIN_OPS = {HASH_JOIN, MERGE_JOIN, NL_JOIN, INDEX_NL_JOIN}
 _KEY_TOKEN = re.compile(r"([A-Z]+)\[([^\]]*)\]\(|([A-Z]+)\(([^()]*)\)|[(),]")
@@ -115,34 +126,88 @@ def ess_cache_key(query_name, resolution, sel_min, cost_fingerprint,
     }
 
 
-def save_ess(ess, path, cache_key=None):
+def _sidecar_names(base_path, token):
+    """Content-addressed sidecar file names for a v3 archive."""
+    base = os.path.basename(base_path)
+    return {
+        "optimal_cost": f"{base}.{token}.cost.npy",
+        "plan_ids": f"{base}.{token}.pids.npy",
+    }
+
+
+def _write_sidecar(directory, name, array):
+    """Atomically write one ``.npy`` sidecar (tmp file + ``os.replace``)."""
+    final = os.path.join(directory, name)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npy.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.save(handle, array)
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_ess(ess, path, cache_key=None, mmap=False, sidecar_base=None):
     """Persist a built ESS to a ``.npz`` archive.
 
     Args:
-        ess: the built :class:`~repro.ess.ocs.ESS`.
+        ess: the built :class:`~repro.ess.ocs.ESS` (a lazy surface is
+            fully materialized by the array coercion).
         path: destination ``.npz`` path.
         cache_key: optional :func:`ess_cache_key` dict recorded in the
             archive so loads can verify build-parameter identity.
+        mmap: write format v3 — the big arrays go to uncompressed
+            ``.npy`` sidecars (each written atomically) that
+            :func:`load_ess` memory-maps.
+        sidecar_base: path whose directory/basename name the sidecars;
+            defaults to ``path``.  The persistent cache writes the
+            ``.npz`` to a temp file before renaming it into place, and
+            passes the *final* path here so sidecar names survive the
+            rename.
     """
     grid = ess.grid
     meta = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": _MMAP_FORMAT_VERSION if mmap else _FORMAT_VERSION,
         "query_name": ess.query.name,
         "num_dims": grid.num_dims,
         "resolution": list(grid.resolution),
         "cost_fingerprint": ess.cost_model.fingerprint(),
         "cache_key": cache_key,
     }
-    np.savez_compressed(
-        path,
-        meta=json.dumps(meta),
-        optimal_cost=ess.optimal_cost,
-        plan_ids=ess.plan_ids,
-        plan_keys=np.array(ess.plan_keys, dtype=object),
-        grid_values=np.array(
+    arrays = {
+        "optimal_cost": np.asarray(ess.optimal_cost, dtype=float),
+        "plan_ids": np.asarray(ess.plan_ids, dtype=np.int32),
+    }
+    payload = {
+        "plan_keys": np.array(ess.plan_keys, dtype=object),
+        "grid_values": np.array(
             [grid.values[d] for d in range(grid.num_dims)], dtype=object
         ),
-    )
+    }
+    if mmap:
+        token = hashlib.sha256(
+            arrays["optimal_cost"].tobytes() + arrays["plan_ids"].tobytes()
+        ).hexdigest()[:12]
+        base = sidecar_base or path
+        directory = os.path.dirname(os.path.abspath(base))
+        sidecars = _sidecar_names(base, token)
+        for field, name in sidecars.items():
+            _write_sidecar(directory, name, arrays[field])
+        meta["sidecars"] = sidecars
+    else:
+        payload.update(arrays)
+    np.savez_compressed(path, meta=json.dumps(meta), **payload)
+
+
+def archive_sidecars(path):
+    """Sidecar file names referenced by an archive (empty for v1/v2)."""
+    with np.load(path, allow_pickle=True) as archive:
+        meta = json.loads(str(archive["meta"]))
+    return list(meta.get("sidecars", {}).values())
 
 
 def read_cache_key(path):
@@ -197,11 +262,44 @@ def load_ess(path, query, cost_model=None, expected_key=None):
         plans = [
             parse_plan_key(str(key), query) for key in archive["plan_keys"]
         ]
+        if meta.get("sidecars"):
+            optimal_cost, plan_ids = _load_sidecars(path, meta, grid)
+        else:
+            optimal_cost = np.asarray(archive["optimal_cost"], dtype=float)
+            plan_ids = np.asarray(archive["plan_ids"], dtype=np.int32)
         return ESS(
             query=query,
             grid=grid,
             cost_model=cost_model or DEFAULT_COST_MODEL,
-            optimal_cost=np.asarray(archive["optimal_cost"], dtype=float),
-            plan_ids=np.asarray(archive["plan_ids"], dtype=np.int32),
+            optimal_cost=optimal_cost,
+            plan_ids=plan_ids,
             plans=plans,
         )
+
+
+def _load_sidecars(path, meta, grid):
+    """Memory-map a v3 archive's cost/plan arrays (read-only).
+
+    ``np.asarray`` on a matching-dtype memmap is a no-op, so the
+    returned arrays stay lazily paged; every validation failure raises
+    (the cache layer treats any exception as a miss and rebuilds).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    sidecars = meta["sidecars"]
+    optimal_cost = np.load(
+        os.path.join(directory, sidecars["optimal_cost"]), mmap_mode="r"
+    )
+    plan_ids = np.load(
+        os.path.join(directory, sidecars["plan_ids"]), mmap_mode="r"
+    )
+    expected = (grid.num_points,)
+    if (
+        optimal_cost.shape != expected
+        or plan_ids.shape != expected
+        or optimal_cost.dtype != np.float64
+        or plan_ids.dtype != np.int32
+    ):
+        raise OptimizerError(
+            f"ESS archive {path!s} sidecars do not match its grid"
+        )
+    return optimal_cost, plan_ids

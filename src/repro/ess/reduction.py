@@ -87,12 +87,18 @@ class AnorexicReduction:
 
         # Execute cheaper-region plans first: order by the minimum
         # coordinate sum of the points each plan covers (origin-first),
-        # a deterministic stand-in for the bouquet's plan ordering.
+        # a deterministic stand-in for the bouquet's plan ordering.  The
+        # tie-break is the plan *key*, not the id — ids are surface-local
+        # (eager numbers by sorted key, lazy by resolution order), and on
+        # an eager surface key order equals id order, so this is the
+        # mode-invariant spelling of the same ordering.
         order_keys = {}
         coord_sum = contour.coords.sum(axis=1)
         for pid in chosen:
             covered = coverage[pid]
-            order_keys[pid] = (int(coord_sum[covered].min()), pid)
+            order_keys[pid] = (
+                int(coord_sum[covered].min()), self.ess.plan_keys[pid]
+            )
         chosen.sort(key=lambda pid: order_keys[pid])
         return ReducedContour(contour.index, contour.budget, chosen, inflated)
 

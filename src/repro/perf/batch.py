@@ -91,8 +91,9 @@ def batched_suboptimality(algorithm, points=None):
             total = engine(algorithm, unique)
     TIMERS.incr("batched_sweeps")
     TIMERS.incr("batched_sweep_points", int(flats.size))
-    optimal = np.asarray(algorithm.ess.optimal_cost, dtype=float)
-    sub = total[flats] / optimal[flats]
+    # Gather only the swept locations' denominators: on a lazy surface a
+    # restricted sweep must not materialize the whole grid.
+    sub = total[flats] / algorithm.ess.optimal_cost_at(flats)
     observe_sweep(algorithm, sub, "batch")
     return sub
 
@@ -273,7 +274,6 @@ def _drain_tails(algorithm, tails, total):
     budgets = np.asarray(algorithm.contours.budgets, dtype=float)
     band = algorithm.contours.band
     plan_ids = ess.plan_ids
-    cost_cache = {}
 
     by_dim = {}
     for free_dim, start, group in tails:
@@ -335,11 +335,9 @@ def _drain_tails(algorithm, tails, total):
         cuts = np.flatnonzero(np.diff(sorted_pid)) + 1
         for seg in np.split(order, cuts):
             pid = int(pair_pid[seg[0]])
-            arr = cost_cache.get(pid)
-            if arr is None:
-                arr = np.asarray(ess.plan_cost_array(pid), dtype=float)
-                cost_cache[pid] = arr
-            pair_cost[seg] = arr[pair_flat[seg]]
+            # plan_cost_at_points keeps large grids on the point-wise
+            # memo path instead of materializing a full cost surface.
+            pair_cost[seg] = ess.plan_cost_at_points(pid, pair_flat[seg])
         pair_ok = budget_covers(pair_cost, t_budget[pair_trial])
         # First completing trial per entrant.
         ok = np.zeros((flats.size, width), dtype=bool)

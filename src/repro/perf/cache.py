@@ -16,6 +16,15 @@ Knobs (environment):
   ``$XDG_CACHE_HOME/repro/ess`` (or ``~/.cache/repro/ess``).
 * ``REPRO_CACHE=0`` — disable the persistent cache entirely (builds
   always run; nothing is written).
+* ``REPRO_CACHE_MMAP=0`` — write self-contained v2 archives instead of
+  the default v3 format (compressed metadata + uncompressed ``.npy``
+  sidecars that loads memory-map, so warm loads page cost arrays in on
+  demand instead of decompressing whole grids).
+
+Before touching disk, :func:`fetch` consults the shared-memory offer
+registry (:mod:`repro.perf.shm`): while a parallel sweep is live, its
+workers attach to the parent's exported surface instead of re-reading
+the archive.
 """
 
 from __future__ import annotations
@@ -34,6 +43,13 @@ _ARCHIVE_SUFFIX = ".ess.npz"
 def cache_enabled():
     """Whether the persistent cache is active (``REPRO_CACHE`` != 0)."""
     return os.environ.get("REPRO_CACHE", "1") not in ("0", "off", "false")
+
+
+def mmap_enabled():
+    """Whether archives are written in the mmap-sidecar v3 format."""
+    return os.environ.get("REPRO_CACHE_MMAP", "1") not in (
+        "0", "off", "false"
+    )
 
 
 def cache_dir():
@@ -65,6 +81,11 @@ def fetch(key, query, cost_model):
     ``key`` exactly; any read/parse failure is treated as a miss (the
     entry is rebuilt and overwritten, never propagated).
     """
+    from repro.perf import shm
+
+    ess = shm.attach_if_offered(key, query, cost_model)
+    if ess is not None:
+        return ess
     if not cache_enabled():
         return None
     path = archive_path(key)
@@ -89,38 +110,64 @@ def fetch(key, query, cost_model):
 def store(ess, key):
     """Persist a freshly-built ESS under ``key`` (best-effort).
 
-    The archive is written to a temporary file and atomically renamed,
-    so concurrent builders (parallel sweep workers racing on a cold
-    cache) can never observe a torn archive.
+    Every file is written to a temporary name and atomically renamed
+    (``os.replace``), sidecars strictly before the ``.npz`` that
+    references them, so concurrent readers (parallel sweep workers
+    racing on a cold cache) can never observe a torn archive: until the
+    final rename they see the old archive or a miss, and v3 sidecar
+    names are content-addressed so a rewrite never mutates files an
+    already-open reader may have mapped.
     """
     if not cache_enabled():
         return None
-    from repro.ess.persistence import save_ess
+    from repro.ess.persistence import archive_sidecars, save_ess
 
     path = archive_path(key)
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        stale = _sidecars_of(path)
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=_ARCHIVE_SUFFIX
         )
         os.close(fd)
         with TIMERS.phase("ess_cache_save"):
-            save_ess(ess, tmp, cache_key=key)
+            save_ess(ess, tmp, cache_key=key, mmap=mmap_enabled(),
+                     sidecar_base=path)
+        fresh = set(archive_sidecars(tmp))
         os.replace(tmp, path)
+        # Drop sidecars the replaced archive referenced but the new one
+        # does not (best-effort: a racing reader already holds inodes).
+        for name in stale - fresh:
+            try:
+                os.remove(os.path.join(os.path.dirname(path), name))
+            except OSError:
+                pass
     except OSError:
         return None  # read-only cache dir etc. — caching is best-effort
     TIMERS.incr("ess_cache_store")
     return path
 
 
+def _sidecars_of(path):
+    """Sidecar names an existing archive references (empty on any error)."""
+    if not os.path.exists(path):
+        return set()
+    from repro.ess.persistence import archive_sidecars
+
+    try:
+        return set(archive_sidecars(path))
+    except Exception:
+        return set()
+
+
 def clear():
-    """Remove every archive in the active cache directory."""
+    """Remove every archive (and mmap sidecar) in the cache directory."""
     directory = cache_dir()
     if not os.path.isdir(directory):
         return 0
     removed = 0
     for entry in os.listdir(directory):
-        if entry.endswith(_ARCHIVE_SUFFIX):
+        if entry.endswith(_ARCHIVE_SUFFIX) or entry.endswith(".npy"):
             try:
                 os.remove(os.path.join(directory, entry))
                 removed += 1

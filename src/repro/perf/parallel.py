@@ -247,8 +247,14 @@ def _evaluate_chunk(task):
 # Parent side
 # ----------------------------------------------------------------------
 
-def parallel_suboptimality(spec, flats, workers):
+def parallel_suboptimality(spec, flats, workers, ess=None):
     """Fan a sweep across ``workers`` processes.
+
+    When the caller hands over its live ``ess`` (and the surface's
+    provenance carries a content key), the parent exports the cost
+    arrays to shared memory first — workers attach to that one surface
+    through the cache's shm tier instead of rebuilding or re-reading
+    grids per process (:mod:`repro.perf.shm`).
 
     Returns the ``(len(flats),)`` sub-optimality array in input order,
     or None when the parallel path is unavailable (caller falls back to
@@ -260,6 +266,13 @@ def parallel_suboptimality(spec, flats, workers):
         TIMERS.incr("parallel_sweep_skipped")
         TIMERS.incr(f"parallel_sweep_skip_{skip}")
         return None
+    surface = None
+    if ess is not None:
+        disk_key = getattr(ess, "provenance", {}).get("disk_key")
+        if disk_key is not None:
+            from repro.perf import shm
+
+            surface = shm.publish(disk_key, ess)
     num_chunks = min(len(flats), workers * CHUNKS_PER_WORKER)
     chunks = np.array_split(flats, num_chunks)
     try:
@@ -274,6 +287,9 @@ def parallel_suboptimality(spec, flats, workers):
     except Exception:
         TIMERS.incr("parallel_sweep_fallback")
         return None
+    finally:
+        if surface is not None:
+            surface.close()
     parts = [part for part, _ in results]
     # Fold every worker chunk's phase timings and counters back into the
     # parent profile — before this merge, worker measurements vanished

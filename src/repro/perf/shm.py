@@ -1,0 +1,194 @@
+"""Shared-memory ESS surfaces for the multiprocess sweep engine.
+
+When the parent fans a sweep out (:mod:`repro.perf.parallel`), each
+worker historically *rebuilt* its ESS — from the persistent archive on
+a warm cache, or a full optimizer sweep on a cold one.  This module
+lets workers attach to the parent's surface instead: the parent copies
+``optimal_cost`` / ``plan_ids`` into ``multiprocessing.shared_memory``
+segments once and registers an *offer* keyed by the ESS content key;
+:func:`repro.perf.cache.fetch` consults the offer registry before the
+disk archive, so any worker whose in-process memo misses reconstructs
+the identical ESS from the mapped segments — zero copies, zero
+optimizer calls, and (unlike the disk path) zero decompression.
+
+The offer registry is a process-global dict, inherited by workers under
+the ``fork`` start method (the Linux default).  Under ``spawn`` the
+registry is empty in workers and the cache falls back to disk — the
+tier degrades, never breaks.  Plan trees are never shared: the offer
+carries plan *keys* (small strings) and workers reparse them, exactly
+like the archive path, so plan ids match the parent's ordering.
+
+The parent owns segment lifetime: :meth:`SharedSurface.close` unlinks
+the segments and withdraws the offer (``parallel_suboptimality`` does
+this in a ``finally``).  Workers unregister their attachments from the
+``resource_tracker`` — Python 3.11 has no ``track=False`` — so a worker
+exiting cannot reap segments the parent still serves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.obs.trace import span as obs_span
+from repro.perf.timers import TIMERS
+
+#: Offer registry: content-key digest -> offer dict.  Module-global so
+#: forked sweep workers inherit live offers.
+_OFFERS = {}
+
+
+def _digest(key):
+    """Stable digest of an :func:`~repro.ess.persistence.ess_cache_key`."""
+    return hashlib.sha256(
+        json.dumps(key, sort_keys=True).encode("ascii")
+    ).hexdigest()
+
+
+class SharedSurface:
+    """Parent-side owner of one ESS's shared-memory segments."""
+
+    def __init__(self, key, ess):
+        self.key = key
+        self._segments = []
+        try:
+            offer = self._export(key, ess)
+        except BaseException:
+            self._release_segments()
+            raise
+        self.offer = offer
+        _OFFERS[_digest(key)] = offer
+
+    def _export(self, key, ess):
+        grid = ess.grid
+        arrays = {
+            "optimal_cost": np.asarray(ess.optimal_cost, dtype=float),
+            "plan_ids": np.asarray(ess.plan_ids, dtype=np.int32),
+        }
+        names = {}
+        for field, source in arrays.items():
+            segment = shared_memory.SharedMemory(
+                create=True, size=source.nbytes
+            )
+            self._segments.append(segment)
+            view = np.ndarray(
+                source.shape, dtype=source.dtype, buffer=segment.buf
+            )
+            view[:] = source
+            names[field] = segment.name
+        return {
+            "key": key,
+            "segments": names,
+            "num_points": grid.num_points,
+            "plan_keys": list(ess.plan_keys),
+            # Exact grid values: attached grids must be bit-identical.
+            "grid_values": [
+                np.array(grid.values[d]) for d in range(grid.num_dims)
+            ],
+            "resolution": list(grid.resolution),
+        }
+
+    def _release_segments(self):
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+        self._segments = []
+
+    def close(self):
+        """Withdraw the offer and free the segments."""
+        _OFFERS.pop(_digest(self.key), None)
+        self._release_segments()
+
+
+def publish(key, ess):
+    """Offer an ESS's surface over shared memory, or None on failure.
+
+    Lazy surfaces are never published: materializing one to share it
+    would pay the full sweep the lazy mode exists to avoid (workers
+    re-resolve their own points instead).
+    """
+    if getattr(ess, "is_lazy", False):
+        return None
+    try:
+        surface = SharedSurface(key, ess)
+    except Exception:
+        TIMERS.incr("ess_shm_publish_failed")
+        return None
+    TIMERS.incr("ess_shm_published")
+    return surface
+
+
+def attach_if_offered(key, query, cost_model):
+    """Reconstruct an ESS from a live offer for ``key``, or None.
+
+    Any attachment failure (segment gone, shape mismatch) returns None
+    so the caller falls through to the disk archive / rebuild.
+    """
+    offer = _OFFERS.get(_digest(key))
+    if offer is None:
+        return None
+    try:
+        with obs_span("cache.shm_attach", key=key):
+            ess = _attach(offer, query, cost_model)
+    except Exception:
+        TIMERS.incr("ess_shm_attach_failed")
+        return None
+    TIMERS.incr("ess_shm_hit")
+    return ess
+
+
+def _attach(offer, query, cost_model):
+    from repro.ess.grid import ESSGrid
+    from repro.ess.ocs import ESS
+    from repro.ess.persistence import parse_plan_key
+
+    num_points = int(offer["num_points"])
+    handles = []
+    for field in ("optimal_cost", "plan_ids"):
+        segment = shared_memory.SharedMemory(
+            name=offer["segments"][field]
+        )
+        # Python 3.11's SharedMemory cannot attach untracked
+        # (track=False arrives in 3.13); unregister immediately so this
+        # process exiting does not reap segments the parent still owns.
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        handles.append(segment)
+    optimal_cost = np.ndarray(
+        (num_points,), dtype=np.float64, buffer=handles[0].buf
+    )
+    plan_ids = np.ndarray(
+        (num_points,), dtype=np.int32, buffer=handles[1].buf
+    )
+    grid = ESSGrid(query.num_epps, resolution=offer["resolution"])
+    for dim, values in enumerate(offer["grid_values"]):
+        grid.values[dim] = np.asarray(values, dtype=float)
+    grid.invalidate_caches()
+    if grid.num_points != num_points:
+        raise ValueError("shared surface does not match its grid")
+    plans = [parse_plan_key(str(k), query) for k in offer["plan_keys"]]
+    ess = ESS(
+        query=query,
+        grid=grid,
+        cost_model=cost_model,
+        optimal_cost=optimal_cost,
+        plan_ids=plan_ids,
+        plans=plans,
+    )
+    # The arrays alias the segments; pin the handles to the ESS so the
+    # mapping outlives this frame.
+    ess._shm_handles = handles
+    return ess
+
+
+def live_offers():
+    """Number of currently registered offers (introspection/tests)."""
+    return len(_OFFERS)

@@ -1,0 +1,142 @@
+"""Tests for the shared-memory ESS tier (repro.perf.shm).
+
+The parent of a parallel sweep publishes its surface into
+``multiprocessing.shared_memory`` segments; workers (forked, so they
+inherit the offer registry) attach through :func:`repro.perf.cache.fetch`
+ahead of the disk archive.  These tests exercise the publish/attach
+round-trip in-process — attachment is plain segment mapping, identical
+in a worker — plus the end-to-end forced-parallel identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads
+from repro.core.mso import evaluate_algorithm
+from repro.core.spill_bound import SpillBound
+from repro.ess.persistence import ess_cache_key
+from repro.perf import cache, shm
+from repro.perf.timers import TIMERS
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the persistent cache at a fresh directory, clear registries."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ess-cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    workloads.clear_cache()
+    TIMERS.reset()
+    yield tmp_path / "ess-cache"
+    workloads.clear_cache()
+    TIMERS.reset()
+
+
+def _key_of(ess):
+    grid = ess.grid
+    return ess_cache_key(
+        ess.query.name,
+        grid.resolution,
+        [float(grid.values[d][0]) for d in range(grid.num_dims)],
+        ess.cost_model.fingerprint(),
+    )
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_bit_identical(self, toy_ess):
+        key = _key_of(toy_ess)
+        surface = shm.publish(key, toy_ess)
+        assert surface is not None
+        try:
+            assert shm.live_offers() == 1
+            attached = shm.attach_if_offered(
+                key, toy_ess.query, toy_ess.cost_model
+            )
+            assert attached is not None
+            assert np.array_equal(attached.optimal_cost,
+                                  toy_ess.optimal_cost)
+            assert np.array_equal(attached.plan_ids, toy_ess.plan_ids)
+            assert attached.plan_keys == toy_ess.plan_keys
+            for dim in range(toy_ess.grid.num_dims):
+                assert np.array_equal(attached.grid.values[dim],
+                                      toy_ess.grid.values[dim])
+        finally:
+            surface.close()
+        assert shm.live_offers() == 0
+
+    def test_attached_arrays_alias_segments(self, toy_ess):
+        key = _key_of(toy_ess)
+        surface = shm.publish(key, toy_ess)
+        try:
+            attached = shm.attach_if_offered(
+                key, toy_ess.query, toy_ess.cost_model
+            )
+            # The arrays wrap the segment buffers — views, not copies.
+            assert attached.optimal_cost.base is not None
+            assert attached.plan_ids.base is not None
+            assert attached._shm_handles
+        finally:
+            surface.close()
+
+    def test_attach_miss_returns_none(self, toy_ess):
+        key = _key_of(toy_ess)
+        assert shm.attach_if_offered(
+            key, toy_ess.query, toy_ess.cost_model
+        ) is None
+
+    def test_close_withdraws_offer_and_is_idempotent(self, toy_ess):
+        key = _key_of(toy_ess)
+        surface = shm.publish(key, toy_ess)
+        surface.close()
+        assert shm.live_offers() == 0
+        assert shm.attach_if_offered(
+            key, toy_ess.query, toy_ess.cost_model
+        ) is None
+        surface.close()  # double close must not raise
+
+    def test_lazy_surface_never_published(self, toy_ess):
+        from repro.ess.grid import ESSGrid
+        from repro.ess.lazy import LazyESS
+
+        grid = ESSGrid(2, resolution=20, sel_min=1e-7)
+        lazy = LazyESS(toy_ess.query, grid, cost_model=toy_ess.cost_model)
+        assert shm.publish(_key_of(lazy), lazy) is None
+        assert shm.live_offers() == 0
+
+
+class TestCacheTier:
+    def test_fetch_prefers_shm_over_disk(self, toy_ess, monkeypatch):
+        # Disk cache off entirely: a hit can only come from the offer.
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        key = _key_of(toy_ess)
+        surface = shm.publish(key, toy_ess)
+        try:
+            TIMERS.reset()
+            fetched = cache.fetch(key, toy_ess.query, toy_ess.cost_model)
+            assert fetched is not None
+            assert np.array_equal(fetched.optimal_cost,
+                                  toy_ess.optimal_cost)
+            assert TIMERS.counter("ess_shm_hit") == 1
+        finally:
+            surface.close()
+        assert cache.fetch(key, toy_ess.query, toy_ess.cost_model) is None
+
+
+class TestForcedParallelIdentity:
+    def test_parallel_sweep_matches_batch(self, isolated_cache,
+                                          monkeypatch):
+        """End to end: forked workers attach to the parent's published
+        surface and the sweep result is bit-identical to serial."""
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        instance = workloads.load("2D_Q42", profile="smoke")
+        serial = evaluate_algorithm(
+            SpillBound(instance.ess, instance.contours), engine="batch"
+        )
+        parallel = evaluate_algorithm(
+            SpillBound(instance.ess, instance.contours),
+            workers=2, engine="parallel",
+        )
+        assert np.array_equal(serial.suboptimality, parallel.suboptimality)
+        assert serial.mso == parallel.mso
+        assert serial.worst_location == parallel.worst_location
+        # The sweep released its segments on the way out.
+        assert shm.live_offers() == 0
