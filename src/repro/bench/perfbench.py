@@ -23,6 +23,10 @@ every PR can append a comparable data point:
 * **tracing** — the same batched sweep with span tracing off vs on
   (the observability layer's overhead budget is <2% when disabled and
   bit-identical results always), see :mod:`repro.obs.trace`;
+* **serving** — a mixed-tenant closed-loop burst against the in-process
+  discovery server: latency percentiles, rps, the single-flight proof
+  and a served-vs-solo bit-identity check
+  (:func:`repro.serve.loadgen.bench_serving`);
 * **timers** — the process-global phase profile (ess_build / contour /
   sweep timings, cache hit counters) accumulated while benchmarking.
 
@@ -44,10 +48,41 @@ from repro.core.aligned_bound import AlignedBound
 from repro.core.mso import evaluate_algorithm
 from repro.core.plan_bouquet import PlanBouquet
 from repro.core.spill_bound import SpillBound
+from repro.errors import ReproError
 from repro.ess.persistence import ess_cache_key
 from repro.perf import cache as ess_cache
 from repro.perf.parallel import fanout_decision
 from repro.perf.timers import TIMERS
+
+
+def validate_artifact_path(path):
+    """Fail fast (:class:`ReproError`) on an unwritable ``--json`` path.
+
+    Checked *before* the benchmark runs, so a bad destination costs
+    seconds rather than surfacing as an :class:`OSError` traceback after
+    minutes of measurement.
+    """
+    if not path:
+        return
+    if os.path.isdir(path):
+        raise ReproError(
+            f"bench artifact path {path!r} is a directory; give a file path"
+        )
+    directory = os.path.dirname(path) or "."
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot create bench artifact directory {directory!r}: {exc}"
+        ) from None
+    if not os.access(directory, os.W_OK):
+        raise ReproError(
+            f"bench artifact directory {directory!r} is not writable"
+        )
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        raise ReproError(
+            f"bench artifact path {path!r} exists and is not writable"
+        )
 
 #: Schema version of the BENCH json artifact.  v2: ``sweeps`` compares
 #: the reference loop against the frontier-batched engine (was serial vs
@@ -61,8 +96,14 @@ from repro.perf.timers import TIMERS
 #: surface construction: optimizer-call counts, end-to-end discovery
 #: timings, peak RSS (``ru_maxrss``), a bit-identity check per cell, and
 #: optionally a cell whose eager build is infeasible under a laptop-class
-#: memory budget and is therefore recorded as not attempted.
-BENCH_SCHEMA_VERSION = 5
+#: memory budget and is therefore recorded as not attempted.  v6: adds
+#: ``serving`` — a closed-loop mixed-tenant burst against the in-process
+#: discovery server (:func:`repro.serve.loadgen.bench_serving`):
+#: p50/p90/p99 latency and rps, a single-flight proof (exactly one
+#: ``ess_build`` per unique surface under >= 32-way concurrency, the
+#: rest coalesced or cache hits), a served-vs-solo bit-identity check
+#: per workload, and a conformance pass over the service path.
+BENCH_SCHEMA_VERSION = 6
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -541,6 +582,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
     """
     from repro.ess.lazy import resolve_ess_mode
 
+    validate_artifact_path(json_path)
     ess_mode = resolve_ess_mode(ess_mode)
     TIMERS.reset()
     previous_env = os.environ.get("REPRO_ESS")
@@ -559,6 +601,9 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
             os.environ["REPRO_ESS"] = previous_env
     ess_build_stats = bench_ess_build(query, profile, resolution=resolution,
                                       big_cell=ess_big_cell)
+    from repro.serve.loadgen import bench_serving
+
+    serving_stats = bench_serving()
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -575,6 +620,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "wallclock": wallclock_stats,
         "tracing": tracing_stats,
         "ess_build": ess_build_stats,
+        "serving": serving_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

@@ -94,6 +94,39 @@ def _make_query(name):
     return build_query(name)
 
 
+def _surface_spec(name, profile, resolution, cost_model):
+    """Resolve a workload's query, grid and content key (no ESS build)."""
+    query = _make_query(name)
+    if resolution is None:
+        resolution = RESOLUTION_PROFILES[profile].get(query.num_epps, 4)
+    sel_min = _sel_min(query)
+    grid = ESSGrid(query.num_epps, resolution=resolution, sel_min=sel_min)
+    disk_key = ess_cache_key(
+        query_name=query.name,
+        resolution=grid.resolution,
+        sel_min=sel_min,
+        cost_fingerprint=cost_model.fingerprint(),
+        left_deep=False,
+    )
+    return query, grid, disk_key, resolution
+
+
+def surface_key(name, profile=None, resolution=None,
+                cost_model=DEFAULT_COST_MODEL):
+    """Content key and grid size of a workload's ESS — without building.
+
+    The discovery server's single-flight surface tier keys its
+    in-memory cache with this: two requests whose keys match are
+    guaranteed to need the bit-identical surface, so one build can
+    serve both.  Cheap (query parse + grid construction, no optimizer
+    calls).  Returns ``(disk_key, num_points)``.
+    """
+    profile = profile or active_profile()
+    _, grid, disk_key, _ = _surface_spec(name, profile, resolution,
+                                         cost_model)
+    return disk_key, int(grid.num_points)
+
+
 def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
          cost_model=DEFAULT_COST_MODEL, ess_mode=None):
     """Load (build or fetch cached) a workload instance by name.
@@ -118,17 +151,8 @@ def load(name, profile=None, resolution=None, cost_ratio=DEFAULT_COST_RATIO,
     if cached is not None:
         TIMERS.incr("workload_memory_hit")
         return cached
-    query = _make_query(name)
-    if resolution is None:
-        resolution = RESOLUTION_PROFILES[profile].get(query.num_epps, 4)
-    sel_min = _sel_min(query)
-    grid = ESSGrid(query.num_epps, resolution=resolution, sel_min=sel_min)
-    disk_key = ess_cache_key(
-        query_name=query.name,
-        resolution=grid.resolution,
-        sel_min=sel_min,
-        cost_fingerprint=cost_model.fingerprint(),
-        left_deep=False,
+    query, grid, disk_key, resolution = _surface_spec(
+        name, profile, resolution, cost_model
     )
     if ess_mode == "lazy":
         # The lazy surface's whole point is skipping the full sweep, so

@@ -18,7 +18,11 @@ Gives the library's main flows a no-code entry point:
   invariant monitors, exiting nonzero on any violation;
 * ``trace`` — one traced discovery run exported as a JSONL span trace
   plus the budget-waterfall HTML viewer;
-* ``stats`` — the metrics registry as Prometheus text exposition.
+* ``stats`` — the metrics registry as Prometheus text exposition;
+* ``serve`` — the long-running concurrent discovery server (asyncio
+  front-end, process-pool back-end, single-flight surface cache);
+* ``loadgen`` — a closed-loop load generator against a running server,
+  reporting p50/p90/p99 latency and rps.
 
 ``repro run`` and ``repro wallclock`` accept ``--trace-out`` to write
 a JSONL span trace of the command; ``REPRO_TRACE=1`` (optionally with
@@ -370,6 +374,28 @@ def cmd_bench(args):
                 label, calls,
                 "bit-identical" if cell["run_identical"] else "MISMATCH",
             ])
+    sv = payload["serving"]
+    flight = sv["single_flight"]
+    latency = sv["loadgen"]["latency_s"]
+    rows.append([
+        f"serving burst x{sv['loadgen']['concurrency']} "
+        f"({sv['loadgen']['requests']} requests)",
+        f"{sv['loadgen']['rps']:.1f} rps",
+        f"p50 {latency['p50'] * 1000:.0f} ms / "
+        f"p99 {latency['p99'] * 1000:.0f} ms",
+    ])
+    rows.append([
+        "serving single-flight",
+        f"{flight['ess_builds']} builds / "
+        f"{flight['unique_surfaces']} surfaces",
+        (f"{flight['coalesced']} coalesced" if flight["ok"]
+         else "EXTRA BUILDS"),
+    ])
+    rows.append([
+        "serving vs solo runs",
+        "bit-identical" if sv["all_identical"] else "MISMATCH",
+        f"{sv['conformance']['violations']} conformance violations",
+    ])
     print(format_table(
         f"perf bench on {cache['query']} "
         f"({cache['grid_points']} locations, "
@@ -530,6 +556,58 @@ def cmd_stats(args):
     return 0
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from repro.serve.server import ServeConfig, serve_forever
+
+    config = ServeConfig.from_env(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue, tenant_quota=args.quota,
+        cache_mb=args.cache_mb, profile=args.profile, ess_mode=args.ess,
+        conformance=args.conformance, drain_timeout_s=args.drain_timeout,
+    )
+    return asyncio.run(serve_forever(config))
+
+
+def cmd_loadgen(args):
+    from repro.bench.perfbench import validate_artifact_path
+    from repro.serve.loadgen import run_loadgen
+
+    validate_artifact_path(args.json)
+    queries = [q.strip() for q in args.queries.split(",") if q.strip()]
+    if not queries:
+        raise ReproError("--queries must name at least one workload")
+    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+    summary = run_loadgen(
+        args.host, args.port, queries=queries, total=args.requests,
+        concurrency=args.concurrency, algorithm=args.algorithm,
+        kind=args.kind, tenants=tenants, sleep_s=args.sleep,
+    )
+    summary.pop("records", None)
+    latency = summary["latency_s"]
+    print(format_table(
+        f"loadgen: {summary['requests']} requests x{args.concurrency} "
+        f"against {args.host}:{args.port}",
+        ["metric", "value"],
+        [["rps", f"{summary['rps']:.1f}"],
+         ["p50 latency", f"{latency['p50'] * 1000:.1f} ms"],
+         ["p90 latency", f"{latency['p90'] * 1000:.1f} ms"],
+         ["p99 latency", f"{latency['p99'] * 1000:.1f} ms"],
+         ["max latency", f"{latency['max'] * 1000:.1f} ms"],
+         ["outcomes", str(summary["outcomes"])],
+         ["status codes", str(summary["status_codes"])]],
+    ))
+    if args.json:
+        import json as json_module
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if summary["outcomes"].get("ok", 0) > 0 else 1
+
+
 def cmd_advise(args):
     from repro.core.advisor import RobustnessAdvisor
 
@@ -658,6 +736,46 @@ def build_parser():
                    help="print one line per workload")
     _add_ess_arg(p)
 
+    p = sub.add_parser("serve", help="run the concurrent discovery server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default REPRO_SERVE_WORKERS)")
+    p.add_argument("--queue", type=int, default=None,
+                   help="admitted-but-not-running request ceiling "
+                   "(default REPRO_SERVE_QUEUE)")
+    p.add_argument("--quota", type=int, default=None,
+                   help="per-tenant in-flight ceiling "
+                   "(default REPRO_SERVE_QUOTA)")
+    p.add_argument("--cache-mb", type=int, default=None,
+                   help="in-memory surface tier budget "
+                   "(default REPRO_SERVE_CACHE_MB)")
+    p.add_argument("--conformance", action="store_true",
+                   help="run every request under the conformance monitor")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to wait for in-flight requests on drain")
+    _add_ess_arg(p)
+
+    p = sub.add_parser("loadgen", help="closed-loop load generator "
+                       "against a running discovery server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--queries", default="2D_Q91,3D_Q91",
+                   help="comma-separated workloads to round-robin over")
+    p.add_argument("--requests", type=int, default=64,
+                   help="total requests to complete")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="concurrent client connections")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="tenant identities to round-robin over")
+    p.add_argument("--algorithm", default="sb",
+                   choices=["pb", "sb", "ab", "native"])
+    p.add_argument("--kind", default="run", choices=["run", "evaluate"])
+    p.add_argument("--sleep", type=float, default=0.0,
+                   help="synthetic per-request service seconds")
+    p.add_argument("--json", default=None,
+                   help="write the latency summary to this path")
+
     p = sub.add_parser("advise", help="native vs robust recommendation")
     p.add_argument("query")
     p.add_argument("--radius", type=float, default=10.0,
@@ -682,6 +800,8 @@ _HANDLERS = {
     "advise": cmd_advise,
     "bench": cmd_bench,
     "check": cmd_check,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

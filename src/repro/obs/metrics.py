@@ -19,7 +19,14 @@ Design constraints:
   and counters back to the parent (see :mod:`repro.perf.parallel`);
 * **label-aware** — every instrument takes an optional ``labels`` dict;
   labelled series are stored per label-set and exported as proper
-  Prometheus labels.
+  Prometheus labels;
+* **thread-safe** — every instrument, read accessor, and ``merge()``
+  holds the registry lock for the whole mutation, so concurrent
+  writers (the serving layer's single-flight coalescing and its
+  pool-result merges run on multiple threads) never lose updates or
+  observe a half-merged histogram.  :class:`Histogram` instances are
+  *not* independently thread-safe; they are only ever touched under
+  their owning registry's lock.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -107,7 +114,8 @@ class MetricsRegistry:
             self._counters[key] = self._counters.get(key, 0) + amount
 
     def counter(self, name, labels=None):
-        return self._counters.get(_series_key(name, labels), 0)
+        with self._lock:
+            return self._counters.get(_series_key(name, labels), 0)
 
     def gauge(self, name, value, labels=None):
         """Set a point-in-time value (last write wins)."""
@@ -115,7 +123,8 @@ class MetricsRegistry:
             self._gauges[_series_key(name, labels)] = float(value)
 
     def gauge_value(self, name, labels=None, default=None):
-        return self._gauges.get(_series_key(name, labels), default)
+        with self._lock:
+            return self._gauges.get(_series_key(name, labels), default)
 
     def observe(self, name, value, labels=None, buckets=None):
         """Record one observation into a fixed-bucket histogram.
@@ -211,12 +220,15 @@ class MetricsRegistry:
         for flat, dump in summary.get("histograms", {}).items():
             name, labels = _unflatten(flat)
             key = _series_key(name, labels)
+            # The bucket-count merge must happen under the lock too: a
+            # concurrent observe() on the same series mutates the same
+            # count list, and interleaved read-modify-writes lose bumps.
             with self._lock:
                 hist = self._histograms.get(key)
                 if hist is None:
                     hist = Histogram(dump["buckets"])
                     self._histograms[key] = hist
-            hist.merge(dump)
+                hist.merge(dump)
 
     # -- raw access for exporters -------------------------------------
 

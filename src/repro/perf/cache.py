@@ -33,11 +33,23 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 
 from repro.obs.trace import span as obs_span
 from repro.perf.timers import TIMERS
 
 _ARCHIVE_SUFFIX = ".ess.npz"
+
+#: Serializes every archive read against the rewrite-and-GC sequence in
+#: :func:`store`.  Within one process (the concurrent serving tier runs
+#: fetches and stores from many threads) a fetch can therefore never
+#: observe the window where the new ``.npz`` is in place but the old
+#: archive's now-stale v3 sidecars are being deleted — without the lock
+#: a reader could open the *old* npz (still cached in an open handle or
+#: raced just before ``os.replace``) and find its sidecar gone.
+#: Cross-process racers keep the weaker best-effort guarantee the
+#: atomic-rename + content-addressed-sidecar protocol already provides.
+_IO_LOCK = threading.Lock()
 
 
 def cache_enabled():
@@ -96,7 +108,7 @@ def fetch(key, query, cost_model):
 
     try:
         with TIMERS.phase("ess_cache_load"):
-            with obs_span("cache.load", key=key):
+            with obs_span("cache.load", key=key), _IO_LOCK:
                 ess = load_ess(path, query, cost_model=cost_model,
                                expected_key=key)
     except Exception:
@@ -116,7 +128,14 @@ def store(ess, key):
     racing on a cold cache) can never observe a torn archive: until the
     final rename they see the old archive or a miss, and v3 sidecar
     names are content-addressed so a rewrite never mutates files an
-    already-open reader may have mapped.
+    already-open reader may have mapped.  The whole write — sidecar
+    save, stale-sidecar inventory, rename, GC — runs under
+    :data:`_IO_LOCK`, so an in-process fetch racing a rewrite can never
+    read the old archive mid-GC (half its sidecars deleted), and one
+    store's GC can never delete sidecars a concurrent store has written
+    but not yet published: the sidecars exist on disk *before* the
+    referencing ``.npz`` is renamed in, and no other thread runs
+    between the two while the lock is held.
     """
     if not cache_enabled():
         return None
@@ -125,23 +144,24 @@ def store(ess, key):
     path = archive_path(key)
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        stale = _sidecars_of(path)
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=_ARCHIVE_SUFFIX
         )
         os.close(fd)
-        with TIMERS.phase("ess_cache_save"):
+        with TIMERS.phase("ess_cache_save"), _IO_LOCK:
             save_ess(ess, tmp, cache_key=key, mmap=mmap_enabled(),
                      sidecar_base=path)
-        fresh = set(archive_sidecars(tmp))
-        os.replace(tmp, path)
-        # Drop sidecars the replaced archive referenced but the new one
-        # does not (best-effort: a racing reader already holds inodes).
-        for name in stale - fresh:
-            try:
-                os.remove(os.path.join(os.path.dirname(path), name))
-            except OSError:
-                pass
+            stale = _sidecars_of(path)
+            fresh = set(archive_sidecars(tmp))
+            os.replace(tmp, path)
+            # Drop sidecars the replaced archive referenced but the new
+            # one does not (best-effort: a racing *process* already
+            # holds inodes; racing threads are excluded by the lock).
+            for name in stale - fresh:
+                try:
+                    os.remove(os.path.join(os.path.dirname(path), name))
+                except OSError:
+                    pass
     except OSError:
         return None  # read-only cache dir etc. — caching is best-effort
     TIMERS.incr("ess_cache_store")

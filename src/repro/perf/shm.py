@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from contextlib import contextmanager
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -39,6 +40,44 @@ from repro.perf.timers import TIMERS
 #: Offer registry: content-key digest -> offer dict.  Module-global so
 #: forked sweep workers inherit live offers.
 _OFFERS = {}
+
+
+@contextmanager
+def _untracked():
+    """Suppress resource_tracker traffic for shared-memory segments.
+
+    Python 3.11's ``SharedMemory`` cannot attach untracked
+    (``track=False`` arrives in 3.13), and the register-then-unregister
+    workaround races when two processes attach the same segment
+    concurrently: the tracker's name cache is a *set*, so the duplicate
+    register is absorbed and the second unregister raises (a harmless
+    but noisy KeyError traceback in the tracker process).  Suppressing
+    registration at attach time has no such window.  ``unregister`` is
+    silenced too: ``SharedMemory.unlink()`` unregisters internally,
+    which would hit the same KeyError when the unlinking process never
+    registered the name (the serving tier unlinks segments its pool
+    workers created).  Only the ``shared_memory`` rtype is skipped, and
+    only inside this block — creators keep normal tracking until they
+    hand ownership off.
+    """
+    original_register = resource_tracker.register
+    original_unregister = resource_tracker.unregister
+
+    def _skip_register(name, rtype):
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    def _skip_unregister(name, rtype):
+        if rtype != "shared_memory":
+            original_unregister(name, rtype)
+
+    resource_tracker.register = _skip_register
+    resource_tracker.unregister = _skip_unregister
+    try:
+        yield
+    finally:
+        resource_tracker.register = original_register
+        resource_tracker.unregister = original_unregister
 
 
 def _digest(key):
@@ -151,16 +190,12 @@ def _attach(offer, query, cost_model):
     num_points = int(offer["num_points"])
     handles = []
     for field in ("optimal_cost", "plan_ids"):
-        segment = shared_memory.SharedMemory(
-            name=offer["segments"][field]
-        )
-        # Python 3.11's SharedMemory cannot attach untracked
-        # (track=False arrives in 3.13); unregister immediately so this
-        # process exiting does not reap segments the parent still owns.
-        try:
-            resource_tracker.unregister(segment._name, "shared_memory")
-        except Exception:
-            pass
+        # Attach untracked (see _untracked) so this process exiting
+        # does not reap segments the parent still owns.
+        with _untracked():
+            segment = shared_memory.SharedMemory(
+                name=offer["segments"][field]
+            )
         handles.append(segment)
     optimal_cost = np.ndarray(
         (num_points,), dtype=np.float64, buffer=handles[0].buf
@@ -192,3 +227,119 @@ def _attach(offer, query, cost_model):
 def live_offers():
     """Number of currently registered offers (introspection/tests)."""
     return len(_OFFERS)
+
+
+# ----------------------------------------------------------------------
+# Transferable offers: the serving tier's zero-copy hand-off
+# ----------------------------------------------------------------------
+#
+# The fork-inherited registry above only covers workers forked *after*
+# an offer exists (the parallel-sweep pattern).  The discovery server's
+# process pool outlives every offer, so its surfaces travel the other
+# way: a pool worker that just built an ESS exports the segments with
+# :func:`export_for_transfer` and ships the (picklable) offer back to
+# the server, which owns segment lifetime from then on — passing the
+# offer along with later requests (workers adopt it via
+# :func:`register_offer`, so ``cache.fetch`` attaches zero-copy) and
+# unlinking the segments on LRU eviction (:func:`unlink_offer`).
+# Unlinking is safe while attachments are live: POSIX shm only drops
+# the *name*; existing mappings stay valid until their handles close.
+
+
+def offer_nbytes(offer):
+    """Resident bytes of an offer's segments (the LRU accounting unit)."""
+    return int(offer.get("nbytes", 0))
+
+
+def export_for_transfer(key, ess):
+    """Create shared segments for ``ess`` and return a picklable offer.
+
+    Unlike :class:`SharedSurface`, the creating process keeps *no*
+    handles and *no* registry entry: every segment is unregistered from
+    this process's ``resource_tracker`` and its local mapping closed, so
+    the segments survive the creating pool worker exiting and belong to
+    whoever received the offer.  Returns ``None`` for lazy surfaces or
+    on any shared-memory failure (the caller falls back to the disk
+    archive — the tier degrades, never breaks).
+    """
+    if getattr(ess, "is_lazy", False):
+        return None
+    grid = ess.grid
+    arrays = {
+        "optimal_cost": np.asarray(ess.optimal_cost, dtype=float),
+        "plan_ids": np.asarray(ess.plan_ids, dtype=np.int32),
+    }
+    names = {}
+    created = []
+    nbytes = 0
+    try:
+        for field, source in arrays.items():
+            segment = shared_memory.SharedMemory(
+                create=True, size=source.nbytes
+            )
+            created.append(segment)
+            view = np.ndarray(
+                source.shape, dtype=source.dtype, buffer=segment.buf
+            )
+            view[:] = source
+            names[field] = segment.name
+            nbytes += source.nbytes
+    except Exception:
+        for segment in created:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+        TIMERS.incr("ess_shm_publish_failed")
+        return None
+    for segment in created:
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        segment.close()
+    TIMERS.incr("ess_shm_exported")
+    return {
+        "key": key,
+        "segments": names,
+        "num_points": grid.num_points,
+        "nbytes": int(nbytes),
+        "plan_keys": list(ess.plan_keys),
+        "grid_values": [
+            np.array(grid.values[d]) for d in range(grid.num_dims)
+        ],
+        "resolution": list(grid.resolution),
+    }
+
+
+def register_offer(offer):
+    """Adopt a transferred offer into this process's registry.
+
+    Idempotent; after this, :func:`repro.perf.cache.fetch` for the
+    offer's key attaches over shared memory ahead of the disk archive.
+    A registered offer whose segments were since unlinked simply fails
+    to attach and the cache falls through — no cleanup protocol needed.
+    """
+    _OFFERS[_digest(offer["key"])] = offer
+
+
+def unlink_offer(offer):
+    """Free a transferred offer's segments (best-effort, idempotent).
+
+    The serving tier calls this on LRU eviction and shutdown.  Workers
+    holding live attachments are unaffected (their mappings survive the
+    unlink); workers that try to attach afterwards fall back to disk.
+    """
+    _OFFERS.pop(_digest(offer["key"]), None)
+    freed = 0
+    for name in offer["segments"].values():
+        try:
+            with _untracked():
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+                segment.unlink()
+            freed += 1
+        except OSError:
+            continue
+    return freed

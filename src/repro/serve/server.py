@@ -1,0 +1,570 @@
+"""The asyncio discovery server.
+
+One :class:`DiscoveryServer` owns four moving parts:
+
+* an **asyncio front-end** (``asyncio.start_server``) speaking the
+  HTTP/JSON protocol of :mod:`repro.serve.protocol` over keep-alive
+  connections;
+* a **process-pool back-end** (``ProcessPoolExecutor``) running the
+  build and discovery tasks of :mod:`repro.serve.worker`, with a
+  fork-inherited cancel-slot array for cooperative budget kills;
+* the **single-flight surface tier** of :mod:`repro.serve.surfaces`
+  handing built ESS surfaces to workers zero-copy;
+* **admission control**: a bounded in-system request count (queue
+  depth beyond the worker count) and per-tenant in-flight quotas, both
+  answered with HTTP 429 — shed load at the door, never by letting the
+  event loop drown.
+
+Lifecycle: :meth:`start` binds the socket and spins the pool up;
+:meth:`stop` drains — new work is refused with 503, in-flight requests
+get ``drain_timeout_s`` to finish, stragglers are cooperatively
+killed, the pool shuts down, and every cached surface is unlinked.
+
+Observability: every phase is counted/timed into the process-global
+:data:`repro.obs.metrics.REGISTRY` (each worker ships its own summary
+home per task and the server merges it), and ``GET /metrics`` renders
+the whole registry as Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.errors import QueryError, ReproError
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import REGISTRY
+from repro.serve import protocol, worker
+from repro.serve.surfaces import DEFAULT_CACHE_MB, SurfaceTier
+
+#: Histogram buckets for request-latency phases (seconds).
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _env_int(name, default):
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ReproError(
+            f"{name} must be an integer, got {value!r}"
+        ) from None
+
+
+@dataclass
+class ServeConfig:
+    """Server knobs (constructor args override the environment).
+
+    Environment variables: ``REPRO_SERVE_WORKERS`` (pool size),
+    ``REPRO_SERVE_QUEUE`` (admitted-but-not-running ceiling),
+    ``REPRO_SERVE_QUOTA`` (per-tenant in-flight ceiling),
+    ``REPRO_SERVE_CACHE_MB`` (surface-tier resident bytes).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = None
+    queue_limit: int = None
+    tenant_quota: int = None
+    cache_mb: int = None
+    profile: str = None
+    ess_mode: str = None
+    conformance: bool = False
+    drain_timeout_s: float = 10.0
+
+    @classmethod
+    def from_env(cls, **overrides):
+        config = cls(**{k: v for k, v in overrides.items() if v is not None})
+        if config.workers is None:
+            config = replace(config, workers=_env_int(
+                "REPRO_SERVE_WORKERS", min(4, os.cpu_count() or 1) or 1))
+        if config.queue_limit is None:
+            config = replace(config, queue_limit=_env_int(
+                "REPRO_SERVE_QUEUE", 64))
+        if config.tenant_quota is None:
+            config = replace(config, tenant_quota=_env_int(
+                "REPRO_SERVE_QUOTA", 16))
+        if config.cache_mb is None:
+            config = replace(config, cache_mb=_env_int(
+                "REPRO_SERVE_CACHE_MB", DEFAULT_CACHE_MB))
+        if config.workers < 1:
+            raise ReproError("serve workers must be >= 1")
+        if config.queue_limit < 1 or config.tenant_quota < 1:
+            raise ReproError("serve queue and quota must be >= 1")
+        return config
+
+
+class _RequestState:
+    """Server-side bookkeeping for one admitted request."""
+
+    __slots__ = ("slot", "cancelled", "cancel_event", "timer")
+
+    def __init__(self, slot, cancel_event):
+        self.slot = slot
+        self.cancelled = False
+        self.cancel_event = cancel_event
+        self.timer = None
+
+
+class DiscoveryServer:
+    """The long-running concurrent discovery service."""
+
+    def __init__(self, config=None, **overrides):
+        self.config = (config if config is not None
+                       else ServeConfig.from_env(**overrides))
+        self.tier = SurfaceTier(self.config.cache_mb * 1024 * 1024)
+        self._server = None
+        self._pool = None
+        self._cancel_slots = None
+        self._free_slots = []
+        self._active = set()
+        self._draining = False
+        self._inflight = 0
+        self._tenant_inflight = {}
+        self._conn_tasks = set()
+        self._started_at = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def start(self):
+        num_slots = self.config.queue_limit + self.config.workers + 8
+        self._cancel_slots = multiprocessing.Array(
+            "b", num_slots, lock=False
+        )
+        self._free_slots = list(range(num_slots))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=worker.init_worker,
+            initargs=(self._cancel_slots,),
+        )
+        # Spin every worker up now: fork happens before the server gets
+        # busy, and the first requests don't pay process start-up.
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(*[
+            loop.run_in_executor(self._pool, worker.warmup)
+            for _ in range(self.config.workers)
+        ])
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self._started_at = time.time()
+        REGISTRY.gauge("serve_workers", self.config.workers)
+        self._publish_gauges()
+        return self.address
+
+    async def stop(self, drain=True):
+        """Graceful drain: refuse new work, finish in-flight, clean up."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + (
+            self.config.drain_timeout_s if drain else 0.0
+        )
+        while self._inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._inflight:
+            # Stragglers get a cooperative kill and a short grace.
+            for state in list(self._active):
+                self._kill(state)
+            grace = time.monotonic() + 2.0
+            while self._inflight and time.monotonic() < grace:
+                await asyncio.sleep(0.02)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self.tier.close()
+        self._publish_gauges()
+
+    # -- cancellation --------------------------------------------------
+
+    def _alloc_state(self):
+        if not self._free_slots:
+            return None
+        slot = self._free_slots.pop()
+        self._cancel_slots[slot] = 0
+        return _RequestState(slot, asyncio.Event())
+
+    def _release_state(self, state):
+        if state.timer is not None:
+            state.timer.cancel()
+        self._cancel_slots[state.slot] = 0
+        self._free_slots.append(state.slot)
+
+    def _kill(self, state):
+        if not state.cancelled:
+            state.cancelled = True
+            self._cancel_slots[state.slot] = 1
+            state.cancel_event.set()
+            REGISTRY.incr("serve_killed")
+
+    async def _race_cancel(self, awaitable, state):
+        """Await ``awaitable`` unless the request gets killed first.
+
+        Returns ``(done, value)``; on a kill the awaitable keeps
+        running detached (single-flight builds and already-dispatched
+        pool tasks must complete for their other consumers).
+        """
+        wait_task = asyncio.ensure_future(awaitable)
+        cancel_task = asyncio.ensure_future(state.cancel_event.wait())
+        try:
+            await asyncio.wait(
+                {wait_task, cancel_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            cancel_task.cancel()
+        if wait_task.done():
+            return True, wait_task.result()
+        return False, None
+
+    # -- admission -----------------------------------------------------
+
+    def _admission_error(self, request):
+        if self._draining:
+            return 503, "draining"
+        if self._inflight >= self.config.queue_limit + self.config.workers:
+            return 429, "queue_full"
+        tenant_count = self._tenant_inflight.get(request.tenant, 0)
+        if tenant_count >= self.config.tenant_quota:
+            return 429, "tenant_quota"
+        return None
+
+    def _publish_gauges(self):
+        REGISTRY.gauge("serve_inflight", self._inflight)
+        REGISTRY.gauge(
+            "serve_queue_depth",
+            max(0, self._inflight - self.config.workers),
+        )
+        REGISTRY.gauge("serve_draining", 1.0 if self._draining else 0.0)
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle_conn(self, reader, writer):
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    message = await protocol.read_http_message(reader)
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.json_payload(
+                        400, {"outcome": "invalid", "error": str(exc)},
+                        close=True,
+                    ))
+                    await writer.drain()
+                    break
+                if message is None:
+                    break
+                start_line, headers, body = message
+                status, payload_bytes = await self._route(
+                    start_line, headers, body
+                )
+                writer.write(payload_bytes)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _route(self, start_line, headers, body):
+        parts = start_line.split(" ")
+        if len(parts) < 3:
+            return 400, protocol.json_payload(
+                400, {"outcome": "invalid", "error": "malformed request"}
+            )
+        method, path = parts[0], parts[1]
+        if method == "GET" and path == "/metrics":
+            self._publish_gauges()
+            text = prometheus_text(REGISTRY)
+            return 200, protocol.http_payload(
+                200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+        if method == "GET" and path == "/healthz":
+            return 200, protocol.json_payload(200, self.health())
+        if method == "POST" and path == "/v1/discover":
+            try:
+                decoded = protocol.json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                return 400, protocol.json_payload(
+                    400, {"outcome": "invalid",
+                          "error": f"bad JSON body: {exc}"},
+                )
+            status, obj = await self.discover(decoded)
+            return status, protocol.json_payload(status, obj)
+        return 404, protocol.json_payload(
+            404, {"outcome": "invalid", "error": f"no route {method} {path}"}
+        )
+
+    def health(self):
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+            "queue_depth": max(0, self._inflight - self.config.workers),
+            "workers": self.config.workers,
+            "uptime_s": (0.0 if self._started_at is None
+                         else time.time() - self._started_at),
+            "surfaces": self.tier.stats(),
+        }
+
+    async def discover(self, payload):
+        """One ``/v1/discover`` request: ``(http_status, response_obj)``."""
+        received = time.time()
+        try:
+            request = protocol.parse_discover(payload)
+        except protocol.ProtocolError as exc:
+            REGISTRY.incr("serve_requests",
+                          labels={"outcome": "invalid"})
+            return 400, {"outcome": "invalid", "error": str(exc)}
+        rejection = self._admission_error(request)
+        if rejection is not None:
+            status, reason = rejection
+            REGISTRY.incr("serve_rejected", labels={"reason": reason})
+            REGISTRY.incr("serve_requests",
+                          labels={"outcome": "rejected"})
+            return status, {
+                "outcome": "rejected", "reason": reason,
+                "query": request.query, "tenant": request.tenant,
+            }
+        state = self._alloc_state()
+        if state is None:  # exhausted slots (admission should prevent it)
+            REGISTRY.incr("serve_rejected", labels={"reason": "queue_full"})
+            return 429, {"outcome": "rejected", "reason": "queue_full"}
+        self._inflight += 1
+        self._tenant_inflight[request.tenant] = (
+            self._tenant_inflight.get(request.tenant, 0) + 1
+        )
+        self._publish_gauges()
+        if request.budget_s is not None:
+            state.timer = asyncio.get_running_loop().call_later(
+                request.budget_s, self._kill, state
+            )
+        try:
+            status, response = await self._admitted(request, state, received)
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            REGISTRY.incr("serve_requests", labels={"outcome": "error"})
+            status, response = 500, {
+                "outcome": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            self._inflight -= 1
+            remaining = self._tenant_inflight.get(request.tenant, 1) - 1
+            if remaining <= 0:
+                self._tenant_inflight.pop(request.tenant, None)
+            else:
+                self._tenant_inflight[request.tenant] = remaining
+            self._release_state(state)
+            self._publish_gauges()
+        total_s = time.time() - received
+        response.setdefault("timings", {})["total_s"] = total_s
+        outcome = response.get("outcome", "error")
+        REGISTRY.incr("serve_requests", labels={"outcome": outcome})
+        REGISTRY.incr("serve_requests_by_algorithm",
+                      labels={"algorithm": request.algorithm,
+                              "kind": request.kind})
+        REGISTRY.incr("serve_tenant_requests",
+                      labels={"tenant": request.tenant})
+        REGISTRY.observe("serve_latency_seconds", total_s,
+                         labels={"phase": "total"},
+                         buckets=LATENCY_BUCKETS)
+        return status, response
+
+    async def _admitted(self, request, state, received):
+        """The post-admission pipeline: surface, dispatch, classify."""
+        loop = asyncio.get_running_loop()
+        ess_mode = self._resolve_ess_mode(request)
+        base = {
+            "query": request.query, "algorithm": request.algorithm,
+            "kind": request.kind, "tenant": request.tenant,
+            "ess_mode": ess_mode,
+        }
+        try:
+            fingerprint, num_points = await loop.run_in_executor(
+                None, self._surface_fingerprint, request
+            )
+        except QueryError as exc:
+            return 400, dict(base, outcome="invalid", error=str(exc))
+        base["surface"] = {"fingerprint": fingerprint, "mode": ess_mode,
+                           "num_points": num_points, "source": "none"}
+
+        offer = None
+        build_s = 0.0
+        if ess_mode == "eager":
+            build_start = time.time()
+            try:
+                done, acquired = await self._race_cancel(
+                    self.tier.acquire(
+                        fingerprint,
+                        lambda: self._build_surface(request),
+                    ),
+                    state,
+                )
+            except Exception as exc:  # build failed for the whole flight
+                return 500, dict(
+                    base, outcome="error",
+                    error=f"surface build failed: {exc}",
+                )
+            build_s = time.time() - build_start
+            REGISTRY.observe("serve_latency_seconds", build_s,
+                             labels={"phase": "build"},
+                             buckets=LATENCY_BUCKETS)
+            if not done:
+                return 200, dict(base, outcome="killed",
+                                 timings={"build_s": build_s})
+            offer, source = acquired
+            base["surface"]["source"] = source
+        if state.cancelled:
+            return 200, dict(base, outcome="killed",
+                             timings={"build_s": build_s})
+
+        spec = {
+            "query": request.query,
+            "algorithm": request.algorithm,
+            "kind": request.kind,
+            "qa": list(request.qa) if request.qa else None,
+            "engine": request.engine,
+            "profile": self.config.profile,
+            "resolution": request.resolution,
+            "ess_mode": ess_mode,
+            "sleep_s": request.sleep_s,
+            "cancel_slot": state.slot,
+            "offer": offer,
+            "conformance": (self.config.conformance
+                            if request.conformance is None
+                            else request.conformance),
+        }
+        dispatched = time.time()
+        done, result = await self._race_cancel(
+            loop.run_in_executor(self._pool, worker.run_discovery, spec),
+            state,
+        )
+        if not done:
+            # The pool task keeps running until its next checkpoint; the
+            # response does not wait for it.
+            return 200, dict(
+                base, outcome="killed",
+                timings={"build_s": build_s,
+                         "queue_s": dispatched - received},
+            )
+        if result.get("metrics"):
+            REGISTRY.merge(result["metrics"])
+        queue_s = max(0.0, result.get("started_at", dispatched) - dispatched)
+        run_s = result.get("run_s", 0.0)
+        REGISTRY.observe("serve_latency_seconds", queue_s,
+                         labels={"phase": "queue"}, buckets=LATENCY_BUCKETS)
+        REGISTRY.observe("serve_latency_seconds", run_s,
+                         labels={"phase": "run"}, buckets=LATENCY_BUCKETS)
+        timings = {
+            "build_s": build_s, "queue_s": queue_s,
+            "load_s": result.get("load_s", 0.0), "run_s": run_s,
+        }
+        outcome = result.get("outcome", "error")
+        response = dict(base, outcome=outcome, timings=timings,
+                        worker_pid=result.get("pid"))
+        if outcome == "ok":
+            response["result"] = result["result"]
+            if "conformance" in result:
+                response["conformance"] = result["conformance"]
+                REGISTRY.incr(
+                    "serve_conformance_violations",
+                    result["conformance"]["num_violations"],
+                )
+            return 200, response
+        if outcome == "killed":
+            return 200, response
+        response["error"] = result.get("error", "unknown worker failure")
+        return (400 if outcome == "invalid" else 500), response
+
+    # -- surface plumbing ----------------------------------------------
+
+    def _resolve_ess_mode(self, request):
+        from repro.ess.lazy import resolve_ess_mode
+
+        return resolve_ess_mode(request.ess_mode or self.config.ess_mode)
+
+    def _surface_fingerprint(self, request):
+        """Content fingerprint of the request's surface (thread pool).
+
+        Cheap (query parse + grid metadata), but it touches the catalog
+        so it stays off the event loop.
+        """
+        import hashlib
+        import json
+
+        from repro.bench import workloads
+
+        disk_key, num_points = workloads.surface_key(
+            request.query, profile=self.config.profile,
+            resolution=request.resolution,
+        )
+        digest = hashlib.sha256(
+            json.dumps(disk_key, sort_keys=True).encode("ascii")
+        ).hexdigest()[:16]
+        return f"{request.query}-{digest}", num_points
+
+    async def _build_surface(self, request):
+        """Single-flight leader body: build in the pool, adopt the offer."""
+        loop = asyncio.get_running_loop()
+        spec = {
+            "query": request.query,
+            "profile": self.config.profile,
+            "resolution": request.resolution,
+            "cancel_slot": None,  # shared builds outlive any one request
+        }
+        result = await loop.run_in_executor(
+            self._pool, worker.build_surface, spec
+        )
+        if result.get("metrics"):
+            REGISTRY.merge(result["metrics"])
+        if result["outcome"] != "ok":
+            raise ReproError(
+                result.get("error", f"build {result['outcome']}")
+            )
+        offer = result.get("offer")
+        nbytes = 0 if offer is None else offer.get("nbytes", 0)
+        return offer, nbytes, result.get("num_points", 0)
+
+
+async def serve_forever(config):
+    """Run a server until SIGINT/SIGTERM, then drain (CLI entry)."""
+    import signal
+
+    server = DiscoveryServer(config)
+    host, port = await server.start()
+    print(f"repro serve listening on http://{host}:{port} "
+          f"({config.workers} workers, queue {config.queue_limit}, "
+          f"tenant quota {config.tenant_quota})", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("draining...", flush=True)
+    await server.stop(drain=True)
+    print("stopped", flush=True)
+    return 0

@@ -1,0 +1,247 @@
+"""Process-pool back-end of the discovery server.
+
+Every function here executes inside a ``ProcessPoolExecutor`` worker.
+Tasks arrive as plain dict *specs* and return plain dict *payloads*
+(picklable both ways, JSON-shaped so the server can forward results
+verbatim), and every task ships the worker's metrics summary home for
+the server to merge — the same worker-to-parent pattern the parallel
+sweep engine uses, so nothing a worker measures is dropped.
+
+Cancellation is cooperative: the server allocates each request a slot
+in a fork-inherited ``multiprocessing`` byte array and flips it on
+budget expiry (or drain); workers poll the slot at phase boundaries
+(task start, after workload load, every ~10 ms of synthetic service
+time) and answer ``outcome: killed`` instead of finishing.  The
+existing discovery substrate (:mod:`repro.core`, :mod:`repro.engine`)
+runs unchanged in between checkpoints.
+
+The zero-copy hand-off: a ``build`` task constructs the eager surface
+(through the persistent archive cache) and exports it via
+:func:`repro.perf.shm.export_for_transfer`; later ``discover`` tasks
+receive the offer in their spec, adopt it with
+:func:`repro.perf.shm.register_offer`, and their ``workloads.load``
+attaches over shared memory instead of re-reading or rebuilding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import numpy as np
+
+from repro.bench import workloads
+from repro.core.aligned_bound import AlignedBound
+from repro.core.mso import evaluate_algorithm
+from repro.core.native import NativeOptimizer
+from repro.core.plan_bouquet import PlanBouquet
+from repro.core.spill_bound import SpillBound
+from repro.errors import ReproError
+from repro.perf import shm
+from repro.perf.timers import TIMERS
+
+#: Worker-side workload memo bound: above this many cached instances
+#: the registry is dropped wholesale, keeping long-lived workers from
+#: accumulating every surface they ever touched.
+MEMO_LIMIT = int(os.environ.get("REPRO_SERVE_WORKER_MEMO", "32"))
+
+#: Poll interval of the cooperative-cancellation checkpoints inside
+#: synthetic service time.
+_CANCEL_POLL_S = 0.01
+
+_CANCEL = None
+
+
+class CancelledByServer(Exception):
+    """The server flipped this task's cancel slot (budget kill/drain)."""
+
+
+def init_worker(cancel_slots):
+    """Pool initializer: adopt the server's shared cancel-slot array."""
+    global _CANCEL
+    _CANCEL = cancel_slots
+
+
+def _checkpoint(slot):
+    if _CANCEL is not None and slot is not None and _CANCEL[slot]:
+        raise CancelledByServer()
+
+
+def _cooperative_sleep(seconds, slot):
+    """Synthetic service time that still honours cancellation."""
+    deadline = time.monotonic() + seconds
+    while True:
+        _checkpoint(slot)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(_CANCEL_POLL_S, remaining))
+
+
+def _bound_memo():
+    if len(workloads._CACHE) > MEMO_LIMIT:
+        workloads.clear_cache()
+
+
+def _make_algorithm(name, instance):
+    if name == "pb":
+        return PlanBouquet(instance.ess, instance.contours)
+    if name == "sb":
+        return SpillBound(instance.ess, instance.contours)
+    if name == "ab":
+        return AlignedBound(instance.ess, instance.contours)
+    return NativeOptimizer(instance.ess)
+
+
+def _load(spec):
+    _bound_memo()
+    return workloads.load(
+        spec["query"],
+        profile=spec.get("profile"),
+        resolution=spec.get("resolution"),
+        ess_mode=spec.get("ess_mode"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tasks
+# ----------------------------------------------------------------------
+
+
+def warmup():
+    """Force a pool worker to exist (spawns happen lazily otherwise)."""
+    return os.getpid()
+
+
+def build_surface(spec):
+    """Build (or archive-load) an eager ESS and export it for transfer.
+
+    The single-flight leader's task.  ``offer`` is None when shared
+    memory is unavailable — the surface still landed in the persistent
+    archive, so discover tasks fall back to a disk load, not a rebuild.
+    """
+    TIMERS.reset()
+    out = {"task": "build", "outcome": "ok", "started_at": time.time(),
+           "pid": os.getpid()}
+    try:
+        _checkpoint(spec.get("cancel_slot"))
+        instance = _load(dict(spec, ess_mode="eager"))
+        out["num_points"] = int(instance.ess.grid.num_points)
+        out["offer"] = shm.export_for_transfer(
+            instance.ess.provenance["disk_key"], instance.ess
+        )
+    except CancelledByServer:
+        out["outcome"] = "killed"
+    except ReproError as exc:
+        out["outcome"] = "invalid"
+        out["error"] = str(exc)
+    except Exception as exc:  # noqa: BLE001 - must cross the pipe
+        out["outcome"] = "error"
+        out["error"] = f"{type(exc).__name__}: {exc}"
+    out["metrics"] = TIMERS.summary()
+    out["finished_at"] = time.time()
+    return out
+
+
+def run_discovery(spec):
+    """One served discovery request: scalar run or exhaustive sweep."""
+    TIMERS.reset()
+    slot = spec.get("cancel_slot")
+    out = {"task": spec.get("kind", "run"), "outcome": "ok",
+           "started_at": time.time(), "pid": os.getpid()}
+    try:
+        _checkpoint(slot)
+        offer = spec.get("offer")
+        if offer is not None:
+            shm.register_offer(offer)
+        load_start = time.time()
+        instance = _load(spec)
+        out["load_s"] = time.time() - load_start
+        _checkpoint(slot)
+        if spec.get("sleep_s"):
+            _cooperative_sleep(float(spec["sleep_s"]), slot)
+        algorithm = _make_algorithm(spec.get("algorithm", "sb"), instance)
+        run_start = time.time()
+        if spec.get("conformance"):
+            from repro.conformance.monitors import monitoring
+
+            with monitoring() as monitor:
+                out["result"] = _execute(spec, instance, algorithm)
+                if spec.get("kind", "run") == "run" \
+                        and spec.get("algorithm", "sb") != "native":
+                    monitor.check_run(out["result"]["_raw"], algorithm,
+                                      engine="serve")
+                out["conformance"] = {
+                    "checks": dict(monitor.counters),
+                    "violations": [
+                        {"invariant": v.invariant, "message": v.message}
+                        for v in monitor.violations[:10]
+                    ],
+                    "num_violations": len(monitor.violations),
+                }
+        else:
+            out["result"] = _execute(spec, instance, algorithm)
+        out["result"].pop("_raw", None)
+        out["run_s"] = time.time() - run_start
+    except CancelledByServer:
+        out["outcome"] = "killed"
+        out.pop("result", None)
+    except ReproError as exc:
+        out["outcome"] = "invalid"
+        out["error"] = str(exc)
+        out.pop("result", None)
+    except Exception as exc:  # noqa: BLE001 - must cross the pipe
+        out["outcome"] = "error"
+        out["error"] = f"{type(exc).__name__}: {exc}"
+        out.pop("result", None)
+    out["metrics"] = TIMERS.summary()
+    out["finished_at"] = time.time()
+    return out
+
+
+def _execute(spec, instance, algorithm):
+    if spec.get("kind", "run") == "evaluate":
+        evaluation = evaluate_algorithm(
+            algorithm, engine=spec.get("engine", "auto")
+        )
+        sub = np.ascontiguousarray(evaluation.suboptimality)
+        return {
+            "mso": float(evaluation.mso),
+            "aso": float(evaluation.aso),
+            "worst_location": int(evaluation.worst_location),
+            "num_points": int(sub.size),
+            "subopt_sha256": hashlib.sha256(sub.tobytes()).hexdigest(),
+        }
+    qa = spec.get("qa")
+    qa = tuple(qa) if qa else instance.query.true_location()
+    result = algorithm.run(qa, trace=True)
+    executions = []
+    for rec in result.executions or ():
+        executions.append({
+            "contour": int(rec.contour),
+            "plan_key": rec.plan_key,
+            "mode": rec.mode,
+            "spill_dim": (None if rec.spill_dim is None
+                          else int(rec.spill_dim)),
+            "budget": float(rec.budget),
+            "charged": float(rec.charged),
+            "completed": bool(rec.completed),
+            "learned_selectivity": float(rec.learned_selectivity),
+            "fresh": bool(rec.fresh),
+            "penalty": float(rec.penalty),
+        })
+    return {
+        "qa": [float(v) for v in qa],
+        "qa_coords": [int(c) for c in result.qa_coords],
+        "total_cost": float(result.total_cost),
+        "optimal_cost": float(result.optimal_cost),
+        "suboptimality": float(result.suboptimality),
+        "num_executions": int(result.num_executions),
+        "num_repeat_executions": int(result.num_repeat_executions),
+        "contours_visited": int(result.contours_visited),
+        "completed_plan_key": result.completed_plan_key,
+        "max_penalty": float(result.max_penalty),
+        "executions": executions,
+        "_raw": result,
+    }

@@ -109,6 +109,34 @@ class TestErrorPaths:
         err = capsys.readouterr().err
         assert "bogus" in err and "loop" in err
 
+    def test_bench_json_directory_rejected_before_measuring(
+        self, capsys, tmp_path
+    ):
+        """An unwritable --json destination must fail in seconds with a
+        clean ReproError, not as an OSError traceback after the whole
+        benchmark has run."""
+        code = main(["--profile", "smoke", "bench", "--json",
+                     str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "directory" in err
+
+    def test_bench_json_unwritable_parent_rejected(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        code = main(["--profile", "smoke", "bench", "--json",
+                     str(blocker / "out.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_loadgen_json_directory_rejected(self, capsys, tmp_path):
+        code = main(["loadgen", "--json", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
 
 class TestBuildAndSave:
     def test_build(self, capsys):

@@ -253,3 +253,49 @@ class TestPrometheusExposition:
     def test_sanitize_metric_name(self):
         assert sanitize_metric_name("ess-cache.hits") == "ess_cache_hits"
         assert sanitize_metric_name("9lives").startswith("_")
+
+
+class TestThreadSafety:
+    """The registry is hammered from executor threads in the serving
+    path (worker summaries merge concurrently with request-path incr/
+    observe); every mutation must survive the interleaving exactly."""
+
+    def test_concurrent_incr_observe_merge_is_exact(self):
+        import threading
+
+        donor = MetricsRegistry()
+        donor.incr("hits")
+        donor.incr("labelled", 2, labels={"tenant": "a"})
+        donor.observe("latency", 0.25, buckets=(0.5, 1.0))
+        donor.record_phase("work", 0.001)
+        snapshot = donor.summary()
+
+        registry = MetricsRegistry()
+        rounds = 300
+
+        def direct():
+            for _ in range(rounds):
+                registry.incr("hits")
+                registry.incr("labelled", 2, labels={"tenant": "a"})
+                registry.observe("latency", 0.25, buckets=(0.5, 1.0))
+                registry.record_phase("work", 0.001)
+
+        def merger():
+            for _ in range(rounds):
+                registry.merge(snapshot)
+
+        threads = [threading.Thread(target=direct) for _ in range(3)]
+        threads += [threading.Thread(target=merger) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = 6 * rounds  # every thread lands `rounds` of everything
+        assert registry.counter("hits") == total
+        assert registry.counter("labelled", labels={"tenant": "a"}) \
+            == 2 * total
+        summary = registry.summary()
+        assert summary["histograms"]["latency"]["count"] == total
+        assert summary["histograms"]["latency"]["counts"][-1] == total
+        assert summary["phases"]["work"]["count"] == total

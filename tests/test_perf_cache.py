@@ -131,3 +131,63 @@ class TestPersistentCache:
         # A v3 entry is the .npz plus its two mmap sidecars.
         assert ess_cache.clear() == 3
         assert ess_cache.clear() == 0
+
+
+class TestConcurrentArchiveIO:
+    """Regression: store()'s stale-sidecar GC vs concurrent fetch().
+
+    Before store() took :data:`repro.perf.cache._IO_LOCK`, a fetch
+    racing a rewrite could open the old archive after the rename *while*
+    the GC was deleting the sidecars that archive references — a torn
+    read surfacing as ``ess_cache_invalid``.  Under the lock the reader
+    sees either complete variant, never a half-collected one.
+    """
+
+    def test_store_fetch_hammer_never_tears(self, isolated_cache):
+        import threading
+
+        first = workloads.load("2D_Q91", profile="smoke")
+        workloads.clear_cache()
+        # A second surface with different content (and therefore
+        # different content-addressed sidecar names) stored under the
+        # SAME archive path, so every swap makes the GC delete the
+        # other variant's sidecars.
+        second = workloads.load("2D_Q91", profile="smoke", resolution=4)
+        key = first.ess.provenance["disk_key"]
+        references = (first.ess.optimal_cost.copy(),
+                      second.ess.optimal_cost.copy())
+        ess_cache.store(first.ess, key)
+        TIMERS.reset()
+
+        stop = threading.Event()
+        failures = []
+
+        def rewriter(ess):
+            while not stop.is_set():
+                ess_cache.store(ess, key)
+
+        def reader():
+            while not stop.is_set():
+                got = ess_cache.fetch(key, first.query, DEFAULT_COST_MODEL)
+                if got is None:
+                    failures.append("miss")
+                elif not any(np.array_equal(got.optimal_cost, ref)
+                             for ref in references):
+                    failures.append("mismatch")
+
+        threads = [
+            threading.Thread(target=rewriter, args=(first.ess,)),
+            threading.Thread(target=rewriter, args=(second.ess,)),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        stop.wait(1.2)
+        stop.set()
+        for thread in threads:
+            thread.join(30)
+
+        assert failures == []
+        assert TIMERS.counter("ess_cache_invalid") == 0
+        assert TIMERS.counter("ess_cache_hit") > 0

@@ -1,0 +1,544 @@
+"""Tests for the concurrent discovery service (repro.serve).
+
+Server-backed tests run a real :class:`DiscoveryServer` (asyncio
+front-end + process-pool back-end) on a background thread against a
+throw-away archive-cache directory, and talk to it over real sockets
+with the load-generator client — the full wire path, not a mock.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.mso import evaluate_algorithm
+from repro.core.spill_bound import SpillBound
+from repro.serve import protocol
+from repro.serve.loadgen import (
+    ServeClient,
+    ServerThread,
+    percentile,
+    run_loadgen,
+    scrape_counter,
+    solo_result,
+)
+from repro.serve.server import ServeConfig
+from repro.serve.surfaces import SurfaceTier
+
+
+@pytest.fixture
+def serve_env(tmp_path, monkeypatch):
+    """Fresh archive cache + cold workload memo for one server test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve-cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    workloads.clear_cache()
+    yield
+    workloads.clear_cache()
+
+
+def start_server(**overrides):
+    overrides.setdefault("profile", "smoke")
+    overrides.setdefault("ess_mode", "eager")
+    overrides.setdefault("workers", 2)
+    thread = ServerThread(ServeConfig.from_env(**overrides))
+    thread.start()
+    return thread
+
+
+def concurrent_discover(host, port, payloads):
+    """Fire every payload concurrently; returns (status, obj) per index."""
+    results = [None] * len(payloads)
+
+    def drive(index):
+        client = ServeClient(host, port)
+        try:
+            results[index] = client.discover(payloads[index])
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=drive, args=(i,))
+               for i in range(len(payloads))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+class TestProtocol:
+    def test_minimal_request_defaults(self):
+        request = protocol.parse_discover({"query": "2D_Q91"})
+        assert request.algorithm == "sb"
+        assert request.kind == "run"
+        assert request.tenant == "default"
+        assert request.qa is None
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {},
+        {"query": ""},
+        {"query": "2D_Q91", "algorithm": "nope"},
+        {"query": "2D_Q91", "kind": "nope"},
+        {"query": "2D_Q91", "kind": "evaluate", "algorithm": "native"},
+        {"query": "2D_Q91", "engine": "parallel"},
+        {"query": "2D_Q91", "ess_mode": "sometimes"},
+        {"query": "2D_Q91", "qa": []},
+        {"query": "2D_Q91", "qa": ["x"]},
+        {"query": "2D_Q91", "qa": [float("nan")]},
+        {"query": "2D_Q91", "budget_s": -1},
+        {"query": "2D_Q91", "resolution": True},
+        {"query": "2D_Q91", "resolution": 1},
+        {"query": "2D_Q91", "tenant": ""},
+        {"query": "2D_Q91", "tenant": "x" * 65},
+        {"query": "2D_Q91", "sleep_s": protocol.MAX_SLEEP_S + 1},
+        {"query": "2D_Q91", "conformance": "yes"},
+    ])
+    def test_invalid_requests_raise(self, payload):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_discover(payload)
+
+    def test_qa_coerced_to_floats(self):
+        request = protocol.parse_discover(
+            {"query": "2D_Q91", "qa": [1, "0.5"]}
+        )
+        assert request.qa == (1.0, 0.5)
+
+    def test_http_message_roundtrip(self):
+        async def roundtrip():
+            reader = asyncio.StreamReader()
+            reader.feed_data(protocol.http_request_payload(
+                "POST", "/v1/discover", {"query": "2D_Q91"}
+            ))
+            reader.feed_eof()
+            return await protocol.read_http_message(reader)
+
+        start_line, headers, body = asyncio.run(roundtrip())
+        assert start_line.startswith("POST /v1/discover")
+        assert headers["content-type"] == "application/json"
+        assert json.loads(body) == {"query": "2D_Q91"}
+
+    def test_oversized_body_rejected(self):
+        async def read_big():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"POST / HTTP/1.1\r\ncontent-length: 99\r\n\r\n"
+            )
+            return await protocol.read_http_message(reader, max_body=10)
+
+        with pytest.raises(protocol.ProtocolError):
+            asyncio.run(read_big())
+
+    def test_parse_status(self):
+        assert protocol.parse_status("HTTP/1.1 429 Too Many Requests") == 429
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_status("garbage")
+
+
+class TestSurfaceTier:
+    """Event-loop-level single-flight semantics with a stub builder."""
+
+    def test_concurrent_acquires_build_once(self):
+        async def scenario():
+            tier = SurfaceTier(limit_bytes=1 << 20)
+            builds = []
+
+            async def builder():
+                builds.append(1)
+                await asyncio.sleep(0.02)
+                return {"key": "k", "segments": {}}, 100, 10
+
+            results = await asyncio.gather(*[
+                tier.acquire("fp", builder) for _ in range(8)
+            ])
+            return builds, results
+
+        builds, results = asyncio.run(scenario())
+        assert len(builds) == 1
+        sources = sorted(source for _, source in results)
+        assert sources.count("built") == 1
+        assert sources.count("coalesced") == 7
+        assert all(offer == {"key": "k", "segments": {}}
+                   for offer, _ in results)
+
+    def test_failed_build_forgotten_then_retried(self):
+        async def scenario():
+            tier = SurfaceTier(limit_bytes=1 << 20)
+            attempts = []
+
+            async def failing():
+                attempts.append(1)
+                raise RuntimeError("boom")
+
+            async def working():
+                return None, 0, 10
+
+            with pytest.raises(RuntimeError):
+                await tier.acquire("fp", failing)
+            offer, source = await tier.acquire("fp", working)
+            return attempts, offer, source
+
+        attempts, offer, source = asyncio.run(scenario())
+        assert len(attempts) == 1
+        assert offer is None and source == "built"
+
+    def test_lru_eviction_unlinks_by_bytes(self, monkeypatch):
+        unlinked = []
+        monkeypatch.setattr("repro.serve.surfaces.shm.unlink_offer",
+                            lambda offer: unlinked.append(offer["key"]))
+
+        async def scenario():
+            tier = SurfaceTier(limit_bytes=250)
+
+            def make_builder(key, nbytes):
+                async def builder():
+                    return {"key": key, "segments": {}}, nbytes, 1
+                return builder
+
+            await tier.acquire("a", make_builder("a", 100))
+            await tier.acquire("b", make_builder("b", 100))
+            # Touch "a" so "b" is the LRU victim when "c" overflows.
+            assert (await tier.acquire("a", make_builder("a", 100)))[1] \
+                == "hit"
+            await tier.acquire("c", make_builder("c", 100))
+            return tier
+
+        tier = asyncio.run(scenario())
+        assert unlinked == ["b"]
+        assert tier.resident_bytes == 200
+
+    def test_oversized_entry_never_self_evicts(self, monkeypatch):
+        unlinked = []
+        monkeypatch.setattr("repro.serve.surfaces.shm.unlink_offer",
+                            lambda offer: unlinked.append(offer["key"]))
+
+        async def scenario():
+            tier = SurfaceTier(limit_bytes=50)
+
+            async def builder():
+                return {"key": "big", "segments": {}}, 1000, 1
+
+            offer, _ = await tier.acquire("big", builder)
+            return offer
+
+        offer = asyncio.run(scenario())
+        assert offer is not None and unlinked == []
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_build_once(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            before = client.metrics_text()
+            results = concurrent_discover(
+                host, port,
+                [{"query": "2D_Q91", "sleep_s": 0.05} for _ in range(8)],
+            )
+            after = client.metrics_text()
+
+            assert all(status == 200 and obj["outcome"] == "ok"
+                       for status, obj in results)
+            bodies = {json.dumps(obj["result"], sort_keys=True)
+                      for _, obj in results}
+            assert len(bodies) == 1  # bit-identical across the flight
+
+            label = {"phase": "ess_build"}
+            builds = (scrape_counter(after, "repro_phase_runs_total", label)
+                      - scrape_counter(before, "repro_phase_runs_total",
+                                       label))
+            assert builds == 1
+            sources = [obj["surface"]["source"] for _, obj in results]
+            assert sources.count("built") == 1
+            assert all(s in ("built", "coalesced", "hit") for s in sources)
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_served_result_bit_identical_to_solo(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            status, served = client.discover({"query": "3D_Q91"})
+            assert status == 200 and served["outcome"] == "ok"
+            solo = solo_result("3D_Q91", profile="smoke")
+            assert (json.dumps(served["result"], sort_keys=True)
+                    == json.dumps(solo, sort_keys=True))
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_explicit_qa_round_trips(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            instance = workloads.load("2D_Q91", profile="smoke")
+            qa = [float(v) for v in instance.query.true_location()]
+            status, served = client.discover({"query": "2D_Q91", "qa": qa})
+            assert status == 200 and served["outcome"] == "ok"
+            solo = solo_result("2D_Q91", profile="smoke", qa=qa)
+            assert (json.dumps(served["result"], sort_keys=True)
+                    == json.dumps(solo, sort_keys=True))
+            client.close()
+        finally:
+            thread.stop()
+
+
+class TestAdmission:
+    def test_tenant_quota_rejects_429(self, serve_env):
+        thread = start_server(workers=1, queue_limit=16, tenant_quota=1)
+        try:
+            host, port = thread.address
+            warm = ServeClient(host, port)
+            warm.discover({"query": "2D_Q91"})  # surface built, pool warm
+            results = concurrent_discover(host, port, [
+                {"query": "2D_Q91", "sleep_s": 1.0, "tenant": "crowd"}
+                for _ in range(4)
+            ])
+            outcomes = [obj["outcome"] for _, obj in results]
+            statuses = [status for status, _ in results]
+            assert "rejected" in outcomes
+            assert 429 in statuses
+            rejected = [obj for _, obj in results
+                        if obj["outcome"] == "rejected"]
+            assert all(obj["reason"] == "tenant_quota" for obj in rejected)
+            # Other tenants are unaffected while "crowd" is throttled.
+            status, obj = warm.discover(
+                {"query": "2D_Q91", "tenant": "other"}
+            )
+            assert status == 200 and obj["outcome"] == "ok"
+            warm.close()
+        finally:
+            thread.stop()
+
+    def test_queue_full_rejects_429(self, serve_env):
+        thread = start_server(workers=1, queue_limit=1, tenant_quota=16)
+        try:
+            host, port = thread.address
+            warm = ServeClient(host, port)
+            warm.discover({"query": "2D_Q91"})
+            warm.close()
+            results = concurrent_discover(host, port, [
+                {"query": "2D_Q91", "sleep_s": 1.0, "tenant": f"t{i}"}
+                for i in range(6)
+            ])
+            rejected = [obj for status, obj in results if status == 429]
+            assert rejected
+            assert all(obj["reason"] == "queue_full" for obj in rejected)
+            completed = [obj for status, obj in results if status == 200]
+            assert completed  # admitted requests still finish
+        finally:
+            thread.stop()
+
+
+class TestCancellation:
+    def test_budget_kill_is_cooperative_and_prompt(self, serve_env):
+        thread = start_server(workers=1)
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            client.discover({"query": "2D_Q91"})  # warm the surface
+            start = time.perf_counter()
+            status, obj = client.discover(
+                {"query": "2D_Q91", "sleep_s": 8.0, "budget_s": 0.3}
+            )
+            elapsed = time.perf_counter() - start
+            assert status == 200
+            assert obj["outcome"] == "killed"
+            assert "result" not in obj
+            assert elapsed < 4.0  # answered at kill time, not sleep time
+            text = client.metrics_text()
+            assert scrape_counter(text, "repro_serve_killed_total") >= 1
+            client.close()
+        finally:
+            thread.stop()
+
+
+class TestDrain:
+    def test_draining_rejects_with_503(self, serve_env):
+        thread = start_server(workers=1)
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            thread.server._draining = True
+            status, obj = client.discover({"query": "2D_Q91"})
+            assert status == 503
+            assert obj["outcome"] == "rejected"
+            assert obj["reason"] == "draining"
+            thread.server._draining = False
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_graceful_drain_finishes_inflight(self, serve_env):
+        thread = start_server(workers=1)
+        host, port = thread.address
+        warm = ServeClient(host, port)
+        warm.discover({"query": "2D_Q91"})
+        warm.close()
+        outcome = {}
+
+        def slow():
+            client = ServeClient(host, port)
+            try:
+                outcome["slow"] = client.discover(
+                    {"query": "2D_Q91", "sleep_s": 1.0}
+                )
+            finally:
+                client.close()
+
+        runner = threading.Thread(target=slow)
+        runner.start()
+        time.sleep(0.4)  # admitted and inside its service time
+        thread.submit(thread.server.stop(drain=True), timeout=60)
+        runner.join(30)
+        status, obj = outcome["slow"]
+        assert status == 200 and obj["outcome"] == "ok"
+        refused = ServeClient(host, port, timeout=5)
+        with pytest.raises(Exception):
+            refused.discover({"query": "2D_Q91"})
+        refused.close()
+        thread.stop()
+
+
+class TestEndpoints:
+    def test_metrics_and_health(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            client.discover({"query": "2D_Q91"})
+            text = client.metrics_text()
+            assert scrape_counter(
+                text, "repro_serve_requests_total", {"outcome": "ok"}
+            ) >= 1
+            assert "repro_serve_latency_seconds_bucket" in text
+            assert "repro_serve_cache_resident_bytes" in text
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["workers"] == 2
+            assert health["surfaces"]["entries"] == 1
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_error_paths(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            status, _ = client.request("POST", "/v1/discover",
+                                       obj=None)  # empty body
+            assert status == 400
+            status, obj = client.request_json("GET", "/nowhere")
+            assert status == 404
+            status, obj = client.discover({"query": "no_such_workload"})
+            assert status == 400
+            assert obj["outcome"] == "invalid"
+            status, obj = client.discover(
+                {"query": "2D_Q91", "algorithm": "nope"}
+            )
+            assert status == 400 and obj["outcome"] == "invalid"
+            # The connection survives every rejected request above.
+            status, obj = client.discover({"query": "2D_Q91"})
+            assert status == 200 and obj["outcome"] == "ok"
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_evaluate_kind_matches_local_sweep(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            status, served = client.discover(
+                {"query": "2D_Q91", "kind": "evaluate", "engine": "batch"}
+            )
+            assert status == 200 and served["outcome"] == "ok"
+            workloads.clear_cache()
+            instance = workloads.load("2D_Q91", profile="smoke",
+                                      ess_mode="eager")
+            local = evaluate_algorithm(
+                SpillBound(instance.ess, instance.contours), engine="batch"
+            )
+            assert served["result"]["mso"] == float(local.mso)
+            assert served["result"]["aso"] == float(local.aso)
+            assert served["result"]["num_points"] == local.suboptimality.size
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_conformance_reported_clean(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            status, obj = client.discover(
+                {"query": "2D_Q91", "conformance": True}
+            )
+            assert status == 200 and obj["outcome"] == "ok"
+            assert obj["conformance"]["num_violations"] == 0
+            assert obj["conformance"]["checks"].get("runs") == 1
+            client.close()
+        finally:
+            thread.stop()
+
+
+class TestLoadgen:
+    def test_percentile_interpolates(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+    def test_scrape_counter_label_filtering(self):
+        text = (
+            'repro_x_total{a="1",b="2"} 3\n'
+            'repro_x_total{a="9"} 4\n'
+            "repro_y_total 7\n"
+            "# HELP repro_x_total whatever\n"
+        )
+        assert scrape_counter(text, "repro_x_total") == 7.0
+        assert scrape_counter(text, "repro_x_total", {"a": "1"}) == 3.0
+        assert scrape_counter(text, "repro_y_total") == 7.0
+        assert scrape_counter(text, "repro_missing_total") == 0.0
+
+    def test_closed_loop_summary(self, serve_env):
+        thread = start_server()
+        try:
+            host, port = thread.address
+            summary = run_loadgen(
+                host, port, queries=["2D_Q91"], total=6, concurrency=3,
+                tenants=["a", "b"],
+            )
+            assert summary["requests"] == 6
+            assert summary["outcomes"] == {"ok": 6}
+            assert summary["rps"] > 0
+            latency = summary["latency_s"]
+            assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+            tenants = {r["tenant"] for r in summary["records"]}
+            assert tenants == {"a", "b"}
+        finally:
+            thread.stop()
+
+
+class TestServeCli:
+    def test_parser_accepts_serve_and_loadgen(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--quota", "4"]
+        )
+        assert args.command == "serve" and args.quota == 4
+        args = parser.parse_args(
+            ["loadgen", "--queries", "2D_Q91", "--requests", "8",
+             "--concurrency", "2", "--json", "out.json"]
+        )
+        assert args.command == "loadgen"
+        assert args.requests == 8
