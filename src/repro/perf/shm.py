@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from contextlib import contextmanager
 from multiprocessing import resource_tracker, shared_memory
 
@@ -40,6 +41,13 @@ from repro.perf.timers import TIMERS
 #: Offer registry: content-key digest -> offer dict.  Module-global so
 #: forked sweep workers inherit live offers.
 _OFFERS = {}
+
+#: Ceiling on *transferred* offers a process keeps registered
+#: (:func:`register_offer` evicts least-recently-registered beyond it).
+#: Bounds long-lived pool workers, which otherwise accumulate an offer
+#: — grid values, plan keys and all — for every surface they ever
+#: served, long after the server evicted the segments themselves.
+_OFFER_LIMIT = int(os.environ.get("REPRO_SHM_OFFER_LIMIT", "32"))
 
 
 @contextmanager
@@ -169,13 +177,18 @@ def attach_if_offered(key, query, cost_model):
     Any attachment failure (segment gone, shape mismatch) returns None
     so the caller falls through to the disk archive / rebuild.
     """
-    offer = _OFFERS.get(_digest(key))
+    digest = _digest(key)
+    offer = _OFFERS.get(digest)
     if offer is None:
         return None
     try:
         with obs_span("cache.shm_attach", key=key):
             ess = _attach(offer, query, cost_model)
     except Exception:
+        # The segments are gone (unlinked/evicted by their owner) or
+        # the offer is inconsistent; drop it so a long-lived worker
+        # doesn't pay a doomed attach on every future fetch of this key.
+        _OFFERS.pop(digest, None)
         TIMERS.incr("ess_shm_attach_failed")
         return None
     TIMERS.incr("ess_shm_hit")
@@ -320,8 +333,20 @@ def register_offer(offer):
     offer's key attaches over shared memory ahead of the disk archive.
     A registered offer whose segments were since unlinked simply fails
     to attach and the cache falls through — no cleanup protocol needed.
+
+    The registry is bounded (``REPRO_SHM_OFFER_LIMIT``): beyond the
+    limit the least-recently-registered *transferred* offers are
+    forgotten — dropping a registry entry never touches the segments,
+    whose lifetime belongs to the offer's owner (the serving tier).
     """
-    _OFFERS[_digest(offer["key"])] = offer
+    digest = _digest(offer["key"])
+    _OFFERS.pop(digest, None)  # re-registration refreshes recency
+    _OFFERS[digest] = offer
+    while len(_OFFERS) > max(1, _OFFER_LIMIT):
+        oldest = next(iter(_OFFERS))
+        if oldest == digest:
+            break
+        _OFFERS.pop(oldest)
 
 
 def unlink_offer(offer):

@@ -23,6 +23,7 @@ traceback into the connection.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import math
 from dataclasses import dataclass, field
@@ -197,12 +198,19 @@ async def read_http_message(reader, max_body=MAX_BODY_BYTES):
         start = await reader.readline()
     except (ConnectionError, OSError):
         return None
+    except (ValueError, asyncio.LimitOverrunError):
+        # readline() raises when a line exceeds the stream's buffer
+        # limit; answer 400, don't drop the connection with a traceback.
+        raise ProtocolError("request line too long") from None
     if not start:
         return None
     start_line = start.decode("latin-1").rstrip("\r\n")
     headers = {}
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise ProtocolError("header line too long") from None
         if not line:
             raise ProtocolError("connection closed inside headers")
         text = line.decode("latin-1").rstrip("\r\n")

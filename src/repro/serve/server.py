@@ -106,13 +106,16 @@ class ServeConfig:
 class _RequestState:
     """Server-side bookkeeping for one admitted request."""
 
-    __slots__ = ("slot", "cancelled", "cancel_event", "timer")
+    __slots__ = ("slot", "cancelled", "cancel_event", "timer", "detached")
 
     def __init__(self, slot, cancel_event):
         self.slot = slot
         self.cancelled = False
         self.cancel_event = cancel_event
         self.timer = None
+        # A dispatched pool future still running after a kill: it polls
+        # the cancel slot, so the slot cannot be recycled before it ends.
+        self.detached = None
 
 
 class DiscoveryServer:
@@ -205,6 +208,22 @@ class DiscoveryServer:
     def _release_state(self, state):
         if state.timer is not None:
             state.timer.cancel()
+        detached = state.detached
+        if detached is not None and not detached.done():
+            # A killed request's pool task is still running and polls
+            # the cancel slot at its checkpoints.  Clearing the flag now
+            # would let the task run to completion (the kill becomes a
+            # no-op) and recycling the slot could kill an unrelated
+            # request; both wait until the task actually finishes.
+            detached.add_done_callback(
+                lambda task: self._finish_release(state, task)
+            )
+            return
+        self._finish_release(state, detached)
+
+    def _finish_release(self, state, task=None):
+        if task is not None and not task.cancelled():
+            task.exception()  # detached result is dropped; consume errors
         self._cancel_slots[state.slot] = 0
         self._free_slots.append(state.slot)
 
@@ -215,12 +234,15 @@ class DiscoveryServer:
             state.cancel_event.set()
             REGISTRY.incr("serve_killed")
 
-    async def _race_cancel(self, awaitable, state):
+    async def _race_cancel(self, awaitable, state, holds_slot=False):
         """Await ``awaitable`` unless the request gets killed first.
 
         Returns ``(done, value)``; on a kill the awaitable keeps
         running detached (single-flight builds and already-dispatched
-        pool tasks must complete for their other consumers).
+        pool tasks must complete for their other consumers).  Pass
+        ``holds_slot=True`` when the awaitable polls the request's
+        cancel slot: the slot is then pinned until the detached task
+        completes (see :meth:`_release_state`).
         """
         wait_task = asyncio.ensure_future(awaitable)
         cancel_task = asyncio.ensure_future(state.cancel_event.wait())
@@ -233,6 +255,8 @@ class DiscoveryServer:
             cancel_task.cancel()
         if wait_task.done():
             return True, wait_task.result()
+        if holds_slot:
+            state.detached = wait_task
         return False, None
 
     # -- admission -----------------------------------------------------
@@ -355,6 +379,7 @@ class DiscoveryServer:
             REGISTRY.incr("serve_rejected", labels={"reason": "queue_full"})
             return 429, {"outcome": "rejected", "reason": "queue_full"}
         self._inflight += 1
+        self._active.add(state)
         self._tenant_inflight[request.tenant] = (
             self._tenant_inflight.get(request.tenant, 0) + 1
         )
@@ -373,6 +398,7 @@ class DiscoveryServer:
             }
         finally:
             self._inflight -= 1
+            self._active.discard(state)
             remaining = self._tenant_inflight.get(request.tenant, 1) - 1
             if remaining <= 0:
                 self._tenant_inflight.pop(request.tenant, None)
@@ -461,7 +487,7 @@ class DiscoveryServer:
         dispatched = time.time()
         done, result = await self._race_cancel(
             loop.run_in_executor(self._pool, worker.run_discovery, spec),
-            state,
+            state, holds_slot=True,
         )
         if not done:
             # The pool task keeps running until its next checkpoint; the

@@ -127,6 +127,16 @@ class SurfaceTier:
                 # exception would otherwise be logged as unretrieved.
                 entry.future.exception()
             return
+        if self._closed or self._entries.get(fingerprint) is not entry:
+            # close() (or an invalidate) ran while the build was in
+            # flight: nothing references this entry any more, so unlink
+            # the segments here or they leak until reboot.  Waiters (all
+            # moot by now) resolve with no offer and fall back to disk.
+            if offer is not None:
+                shm.unlink_offer(offer)
+            if not entry.future.done():
+                entry.future.set_result(None)
+            return
         entry.offer = offer
         entry.nbytes = int(nbytes or 0)
         entry.num_points = int(num_points or 0)

@@ -103,6 +103,37 @@ class TestPublishAttach:
         assert shm.live_offers() == 0
 
 
+class TestTransferredOfferRegistry:
+    def test_register_offer_evicts_oldest_beyond_limit(self, monkeypatch):
+        monkeypatch.setattr(shm, "_OFFERS", {})
+        monkeypatch.setattr(shm, "_OFFER_LIMIT", 3)
+        for i in range(5):
+            shm.register_offer({"key": ["bound", i], "segments": {}})
+        assert shm.live_offers() == 3
+        assert shm._digest(["bound", 0]) not in shm._OFFERS
+        assert shm._digest(["bound", 1]) not in shm._OFFERS
+        assert shm._digest(["bound", 4]) in shm._OFFERS
+        # Re-registration refreshes recency: 2 survives the next evict.
+        shm.register_offer({"key": ["bound", 2], "segments": {}})
+        shm.register_offer({"key": ["bound", 5], "segments": {}})
+        assert shm._digest(["bound", 2]) in shm._OFFERS
+        assert shm._digest(["bound", 3]) not in shm._OFFERS
+
+    def test_failed_attach_drops_stale_offer(self, toy_ess, monkeypatch):
+        monkeypatch.setattr(shm, "_OFFERS", {})
+        key = _key_of(toy_ess)
+        offer = shm.export_for_transfer(key, toy_ess)
+        assert offer is not None
+        shm.unlink_offer(offer)    # the owner evicted the segments...
+        shm.register_offer(offer)  # ...but a worker still holds the offer
+        assert shm.attach_if_offered(
+            key, toy_ess.query, toy_ess.cost_model
+        ) is None
+        # The dead offer is forgotten: later fetches skip the doomed
+        # attach and fall straight through to the disk archive.
+        assert shm.live_offers() == 0
+
+
 class TestCacheTier:
     def test_fetch_prefers_shm_over_disk(self, toy_ess, monkeypatch):
         # Disk cache off entirely: a hit can only come from the offer.

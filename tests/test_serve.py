@@ -136,6 +136,28 @@ class TestProtocol:
         with pytest.raises(protocol.ProtocolError):
             protocol.parse_status("garbage")
 
+    def test_oversized_request_line_rejected(self):
+        async def read_long_line():
+            reader = asyncio.StreamReader(limit=64)
+            reader.feed_data(b"GET /" + b"x" * 1024 + b" HTTP/1.1\r\n\r\n")
+            reader.feed_eof()
+            return await protocol.read_http_message(reader)
+
+        # A 400-able ProtocolError, not a raw ValueError off readline().
+        with pytest.raises(protocol.ProtocolError):
+            asyncio.run(read_long_line())
+
+    def test_oversized_header_line_rejected(self):
+        async def read_long_header():
+            reader = asyncio.StreamReader(limit=64)
+            reader.feed_data(b"GET / HTTP/1.1\r\nx-pad: "
+                             + b"y" * 1024 + b"\r\n\r\n")
+            reader.feed_eof()
+            return await protocol.read_http_message(reader)
+
+        with pytest.raises(protocol.ProtocolError):
+            asyncio.run(read_long_header())
+
 
 class TestSurfaceTier:
     """Event-loop-level single-flight semantics with a stub builder."""
@@ -225,6 +247,33 @@ class TestSurfaceTier:
 
         offer = asyncio.run(scenario())
         assert offer is not None and unlinked == []
+
+    def test_close_during_inflight_build_unlinks(self, monkeypatch):
+        unlinked = []
+        monkeypatch.setattr("repro.serve.surfaces.shm.unlink_offer",
+                            lambda offer: unlinked.append(offer["key"]))
+
+        async def scenario():
+            tier = SurfaceTier(limit_bytes=1 << 20)
+            release = asyncio.Event()
+
+            async def builder():
+                await release.wait()
+                return {"key": "late", "segments": {}}, 100, 1
+
+            acquire = asyncio.ensure_future(tier.acquire("fp", builder))
+            await asyncio.sleep(0.01)  # the build task is in flight
+            tier.close()
+            release.set()
+            offer, _ = await acquire
+            return tier, offer
+
+        tier, offer = asyncio.run(scenario())
+        # The tier no longer references the entry, so the segments must
+        # be unlinked here or they outlive the server in /dev/shm.
+        assert unlinked == ["late"]
+        assert offer is None  # moot waiters degrade to the disk path
+        assert tier.resident_bytes == 0
 
 
 class TestSingleFlight:
@@ -354,6 +403,58 @@ class TestCancellation:
             assert elapsed < 4.0  # answered at kill time, not sleep time
             text = client.metrics_text()
             assert scrape_counter(text, "repro_serve_killed_total") >= 1
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_slot_release_deferred_until_detached_task_ends(self):
+        """A killed request's slot stays pinned (flag set) while its
+        dispatched pool task may still poll it."""
+        import multiprocessing
+
+        from repro.serve.server import DiscoveryServer
+
+        async def scenario():
+            server = DiscoveryServer(ServeConfig.from_env(
+                workers=1, queue_limit=1, tenant_quota=1))
+            server._cancel_slots = multiprocessing.Array("b", 4, lock=False)
+            server._free_slots = list(range(4))
+            state = server._alloc_state()
+            pool_future = asyncio.get_running_loop().create_future()
+            server._kill(state)
+            done, _ = await server._race_cancel(
+                pool_future, state, holds_slot=True
+            )
+            assert not done
+            server._release_state(state)
+            # The worker still polls: flag stays set, slot stays out.
+            assert server._cancel_slots[state.slot] == 1
+            assert state.slot not in server._free_slots
+            pool_future.set_result({"outcome": "killed"})
+            await asyncio.sleep(0.01)  # run the done-callback
+            assert server._cancel_slots[state.slot] == 0
+            assert state.slot in server._free_slots
+
+        asyncio.run(scenario())
+
+    def test_kill_frees_the_worker_promptly(self, serve_env):
+        thread = start_server(workers=1)
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            client.discover({"query": "2D_Q91"})  # warm surface + pool
+            status, obj = client.discover(
+                {"query": "2D_Q91", "sleep_s": 8.0, "budget_s": 0.2}
+            )
+            assert status == 200 and obj["outcome"] == "killed"
+            # The detached task must see the still-set kill flag at its
+            # next ~10ms checkpoint and die — not run its full 8s sleep
+            # holding the only worker while the next request queues.
+            start = time.perf_counter()
+            status, obj = client.discover({"query": "2D_Q91"})
+            elapsed = time.perf_counter() - start
+            assert status == 200 and obj["outcome"] == "ok"
+            assert elapsed < 4.0
             client.close()
         finally:
             thread.stop()
