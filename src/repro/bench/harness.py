@@ -359,14 +359,15 @@ def run_wallclock(name="mini4d", row_budget=40_000, seed=11, engine="auto",
 def run_conformance(num_workloads=200, base_seed=0,
                     engines=("loop", "batch", "parallel"), trace_samples=3,
                     jsonl_path=None, use_cache=True, inject=None,
-                    progress=None, ess_mode=None):
+                    progress=None, ess_mode=None, prior=None):
     """Seeded randomized workloads under runtime invariant monitors.
 
     Runs PB/SB/AB across every requested sweep engine on
     ``num_workloads`` seeded random workloads, checking the paper's
     per-execution invariants and the engines' bit-identity (see
     :mod:`repro.conformance.suite`).  ``inject`` corrupts one
-    observation for negative testing.
+    observation for negative testing; ``prior`` re-proves every
+    invariant with the prior-guided scheduler enabled.
 
     Returns a :class:`~repro.conformance.suite.SuiteReport`.
     """
@@ -383,6 +384,7 @@ def run_conformance(num_workloads=200, base_seed=0,
             inject=inject,
             progress=progress,
             ess_mode=ess_mode,
+            prior=prior,
         )
 
 

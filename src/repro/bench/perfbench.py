@@ -103,7 +103,14 @@ def validate_artifact_path(path):
 #: ``ess_build`` per unique surface under >= 32-way concurrency, the
 #: rest coalesced or cache hits), a served-vs-solo bit-identity check
 #: per workload, and a conformance pass over the service path.
-BENCH_SCHEMA_VERSION = 6
+#: v7: adds ``anytime`` — average-case discovery cost under
+#: prior-guided contour scheduling (:func:`bench_anytime`): randomized
+#: conformance workloads discovered at their true locations under the
+#: uniform, sampled and history priors, with per-mode mean/percentile
+#: cost speedups vs uniform, mean sub-optimality, and a conformance
+#: monitor pass over every prior-scheduled run (the MSO machinery must
+#: hold with aggressive scheduling on).
+BENCH_SCHEMA_VERSION = 7
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -560,8 +567,97 @@ def bench_ess_build(name, profile, resolution=None, cells=DEFAULT_ESS_CELLS,
     return {"sweep_identity": identity, "cells": cell_list}
 
 
+#: Default workload count for the anytime prior-scheduling cell.
+ANYTIME_WORKLOADS = 100
+
+
+def bench_anytime(num_workloads=ANYTIME_WORKLOADS, base_seed=0,
+                  algorithms=("pb", "sb", "ab")):
+    """Average-case discovery cost under prior-guided scheduling.
+
+    Every seeded conformance workload is discovered at its *true*
+    location by each algorithm under three priors: ``uniform`` (the
+    guaranteed-inert baseline), ``sampled`` (catalog sampling), and
+    ``history`` (fitted from the uniform runs' recorded outcomes in a
+    throwaway store — the serving-tier repeat-workload scenario, where
+    past discoveries of the same query feed the next one's schedule).
+    Per (workload, algorithm) the speedup is the uniform run's total
+    discovery cost over the prior run's; every prior-scheduled run
+    also passes through a :class:`ConformanceMonitor`, so the artifact
+    proves the MSO machinery held while the scheduler was aggressive.
+    """
+    import tempfile
+
+    from repro.conformance.monitors import ConformanceMonitor
+    from repro.conformance.workloads import build_conformance_instance
+    from repro.prior import HistoryStore, history_key, make_prior
+
+    monitor = ConformanceMonitor()
+    costs = {m: [] for m in ("uniform", "sampled", "history")}
+    subs = {m: [] for m in ("uniform", "sampled", "history")}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = HistoryStore(os.path.join(tmp, "history.jsonl"))
+        for k in range(num_workloads):
+            seed = base_seed + k
+            instance = build_conformance_instance(seed)
+            qa = instance.query.true_location()
+            priors = {"uniform": make_prior("uniform")}
+            with monitor.context(seed=seed, workload=instance.name):
+                for name in algorithms:
+                    algorithm = _ALGORITHMS[name](
+                        instance.ess, instance.contours,
+                        prior=priors["uniform"])
+                    result = algorithm.run(qa, trace=True)
+                    monitor.check_run(result, algorithm, engine="loop")
+                    costs["uniform"].append(float(result.total_cost))
+                    subs["uniform"].append(float(result.suboptimality))
+                store.record(history_key(instance.query, instance.ess),
+                             qa)
+                priors["sampled"] = make_prior(
+                    "sampled", instance.query, instance.ess)
+                priors["history"] = make_prior(
+                    "history", instance.query, instance.ess, store=store)
+                for mode in ("sampled", "history"):
+                    for name in algorithms:
+                        algorithm = _ALGORITHMS[name](
+                            instance.ess, instance.contours,
+                            prior=priors[mode])
+                        result = algorithm.run(qa, trace=True)
+                        monitor.check_run(result, algorithm,
+                                          engine="loop")
+                        costs[mode].append(float(result.total_cost))
+                        subs[mode].append(float(result.suboptimality))
+    uniform = np.asarray(costs["uniform"], dtype=float)
+    modes = {
+        "uniform": {
+            "mean_cost": float(uniform.mean()),
+            "aso_mean": float(np.mean(subs["uniform"])),
+        },
+    }
+    for mode in ("sampled", "history"):
+        cost = np.asarray(costs[mode], dtype=float)
+        speedups = uniform / cost
+        modes[mode] = {
+            "mean_cost": float(cost.mean()),
+            "aso_mean": float(np.mean(subs[mode])),
+            "speedup_mean": float(speedups.mean()),
+            "speedup_p50": float(np.percentile(speedups, 50)),
+            "speedup_p95": float(np.percentile(speedups, 95)),
+            "speedup_min": float(speedups.min()),
+        }
+    return {
+        "workloads": int(num_workloads),
+        "base_seed": int(base_seed),
+        "algorithms": list(algorithms),
+        "runs_per_mode": int(uniform.size),
+        "modes": modes,
+        "violations": int(monitor.counters.get("violations", 0)),
+    }
+
+
 def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
-              resolution=None, ess_mode=None, ess_big_cell=False):
+              resolution=None, ess_mode=None, ess_big_cell=False,
+              anytime_workloads=None):
     """Run the full perf benchmark and (optionally) write the artifact.
 
     Args:
@@ -579,6 +675,8 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
             section always measures both modes explicitly).
         ess_big_cell: also measure :data:`BIG_ESS_CELL` — the 24M-point
             5-epp grid only the lazy surface can build (minutes).
+        anytime_workloads: randomized workloads for the anytime
+            prior-scheduling cell (None: :data:`ANYTIME_WORKLOADS`).
     """
     from repro.ess.lazy import resolve_ess_mode
 
@@ -604,6 +702,9 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
     from repro.serve.loadgen import bench_serving
 
     serving_stats = bench_serving()
+    anytime_stats = bench_anytime(
+        num_workloads=(ANYTIME_WORKLOADS if anytime_workloads is None
+                       else anytime_workloads))
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -621,6 +722,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "tracing": tracing_stats,
         "ess_build": ess_build_stats,
         "serving": serving_stats,
+        "anytime": anytime_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

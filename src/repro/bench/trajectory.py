@@ -1,0 +1,206 @@
+"""Cross-PR perf trajectory: one table over every BENCH artifact.
+
+Each PR's ``repro bench --json BENCH_prN.json`` freezes that PR's
+performance story at its own schema version (v1 parallel sweeps, v2
+batched sweeps, v3 wallclock, v5 tracing + lazy ESS, v6 serving, v7
+anytime priors).  ``repro bench --trajectory`` merges them into a
+single measurement x PR table, so the repo's whole speedup history is
+readable in one place — and a regression between PRs is visible as a
+column-to-column drop instead of being buried in per-PR JSON.
+
+Extractors are deliberately tolerant: every schema reads through
+``.get`` chains, so an old artifact simply leaves its cell blank
+rather than failing the merge, and a future schema only needs a new
+extractor, never a migration of the frozen artifacts.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+
+from repro.bench.report import format_table
+
+#: ``BENCH_pr<N>.json`` — the per-PR artifact naming convention.
+_PR_PATTERN = re.compile(r"^BENCH_pr(\d+)\.json$")
+
+
+def _speedup(value, digits=1):
+    if value is None:
+        return None
+    return float(value), f"{float(value):.{digits}f}x"
+
+
+def _cache(payload):
+    return _speedup(payload.get("cache", {}).get("speedup"))
+
+
+def _best_batched_sweep(payload):
+    """Best batched-vs-loop sweep speedup (v2+; v1 sweeps are parallel)."""
+    if payload.get("schema_version", 0) < 2:
+        return None
+    best = None
+    for algo, stats in payload.get("sweeps", {}).items():
+        value = stats.get("speedup")
+        if value is not None and (best is None or value > best[1]):
+            best = (algo, float(value))
+    if best is None:
+        return None
+    return best[1], f"{best[1]:.1f}x ({best[0]})"
+
+
+def _parallel(payload):
+    if payload.get("schema_version", 0) < 2:
+        # v1 kept the fan-out numbers inside "sweeps".
+        values = [s.get("speedup") for s in payload.get("sweeps", {}).values()
+                  if s.get("speedup") is not None]
+        if not values:
+            return None
+        best = max(float(v) for v in values)
+        return best, f"{best:.2f}x"
+    section = payload.get("parallel", {})
+    for stats in section.values():
+        if stats.get("skipped"):
+            return None, f"skipped ({stats.get('skip_reason', '?')})"
+        value = stats.get("speedup")
+        if value is not None:
+            return float(value), f"{float(value):.2f}x"
+    return None
+
+
+def _wallclock(payload):
+    return _speedup(payload.get("wallclock", {}).get("speedup"))
+
+
+def _tracing(payload):
+    value = payload.get("tracing", {}).get("overhead_pct")
+    if value is None:
+        return None
+    return float(value), f"{float(value):+.1f}%"
+
+
+def _lazy_calls(payload):
+    cells = payload.get("ess_build", {}).get("cells", [])
+    values = [c.get("call_reduction") for c in cells
+              if c.get("call_reduction") is not None]
+    if not values:
+        return None
+    best = max(float(v) for v in values)
+    return best, f"{best:.1f}x fewer calls"
+
+
+def _serving_rps(payload):
+    value = payload.get("serving", {}).get("loadgen", {}).get("rps")
+    if value is None:
+        return None
+    return float(value), f"{float(value):.1f} rps"
+
+
+def _serving_p99(payload):
+    latency = (payload.get("serving", {}).get("loadgen", {})
+               .get("latency_s", {}))
+    value = latency.get("p99")
+    if value is None:
+        return None
+    return float(value), f"{float(value) * 1000:.0f} ms"
+
+
+def _anytime(mode):
+    def extract(payload):
+        stats = payload.get("anytime", {}).get("modes", {}).get(mode, {})
+        return _speedup(stats.get("speedup_mean"), digits=2)
+
+    return extract
+
+
+#: ``(key, table label, extractor)`` — one row per metric the ledger
+#: tracks; an extractor returns ``(raw_value_or_None, display)`` or
+#: None when the artifact's schema predates the metric.
+_METRICS = (
+    ("cache_speedup", "warm ESS load vs cold build", _cache),
+    ("batched_sweep", "batched sweep vs loop (best)", _best_batched_sweep),
+    ("parallel_sweep", "parallel sweep fan-out", _parallel),
+    ("wallclock", "vector vs volcano engine", _wallclock),
+    ("tracing_overhead", "sweep tracing overhead", _tracing),
+    ("lazy_ess_calls", "lazy ESS optimizer calls", _lazy_calls),
+    ("serving_rps", "serving throughput", _serving_rps),
+    ("serving_p99", "serving p99 latency", _serving_p99),
+    ("anytime_sampled", "sampled prior vs uniform", _anytime("sampled")),
+    ("anytime_history", "history prior vs uniform", _anytime("history")),
+)
+
+
+def discover_artifacts(directory=None):
+    """``[(pr_number, path)]`` for every BENCH artifact, PR order."""
+    directory = directory or os.getcwd()
+    found = []
+    for path in glob.glob(os.path.join(directory, "BENCH_pr*.json")):
+        match = _PR_PATTERN.match(os.path.basename(path))
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def build_trajectory(directory=None):
+    """Merge every readable BENCH artifact into the trajectory dict.
+
+    Returns ``{"artifacts": [...], "metrics": [...]}`` — artifacts in
+    PR order with their schema versions, metrics as one entry per
+    ledger row carrying raw values and display strings per PR.
+    Unreadable artifacts are skipped (the merge never fails on one
+    corrupt file); schemas missing a metric leave that cell absent.
+    """
+    artifacts = []
+    for pr, path in discover_artifacts(directory):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        artifacts.append({
+            "pr": pr,
+            "path": os.path.basename(path),
+            "schema_version": payload.get("schema_version"),
+            "payload": payload,
+        })
+    metrics = []
+    for key, label, extract in _METRICS:
+        per_pr = {}
+        for art in artifacts:
+            cell = extract(art["payload"])
+            if cell is not None:
+                per_pr[art["pr"]] = {"value": cell[0], "display": cell[1]}
+        if per_pr:
+            metrics.append({"metric": key, "label": label,
+                            "per_pr": per_pr})
+    return {
+        "artifacts": [{k: a[k] for k in ("pr", "path", "schema_version")}
+                      for a in artifacts],
+        "metrics": metrics,
+    }
+
+
+def trajectory_rows(merged):
+    """``(headers, rows)`` for the trajectory table."""
+    prs = [art["pr"] for art in merged["artifacts"]]
+    headers = ["measurement"] + [f"PR{pr}" for pr in prs]
+    rows = []
+    for entry in merged["metrics"]:
+        row = [entry["label"]]
+        for pr in prs:
+            cell = entry["per_pr"].get(pr)
+            row.append("-" if cell is None else cell["display"])
+        rows.append(row)
+    return headers, rows
+
+
+def render_trajectory(merged):
+    """The trajectory as a printable table."""
+    headers, rows = trajectory_rows(merged)
+    count = len(merged["artifacts"])
+    return format_table(
+        f"perf trajectory across {count} BENCH artifacts",
+        headers, rows,
+    )

@@ -45,12 +45,64 @@ from repro.core.native import NativeOptimizer
 from repro.core.plan_bouquet import PlanBouquet
 from repro.core.spill_bound import SpillBound
 from repro.errors import ReproError
+from repro.prior import PRIOR_KINDS, make_prior
 
 _ALGORITHMS = {
-    "pb": lambda inst: PlanBouquet(inst.ess, inst.contours),
-    "sb": lambda inst: SpillBound(inst.ess, inst.contours),
-    "ab": lambda inst: AlignedBound(inst.ess, inst.contours),
+    "pb": lambda inst, prior=None: PlanBouquet(inst.ess, inst.contours,
+                                               prior=prior),
+    "sb": lambda inst, prior=None: SpillBound(inst.ess, inst.contours,
+                                              prior=prior),
+    "ab": lambda inst, prior=None: AlignedBound(inst.ess, inst.contours,
+                                                prior=prior),
 }
+
+#: ESS surface modes the CLI accepts (validated with source attribution
+#: before anything downstream runs).
+ESS_CHOICES = ("eager", "lazy")
+
+#: Execution engines ``repro wallclock`` accepts.
+ENGINE_CHOICES = ("auto", "vector", "volcano")
+
+
+def resolve_choice(value, flag, env, choices, default=None, what=None):
+    """Resolve a flag/env-configurable choice with source attribution.
+
+    ``value`` is the flag's parsed value (None = flag not given); the
+    environment variable is consulted next, then ``default``.  Invalid
+    values raise :class:`ReproError` naming the source they came from
+    — the flag or the variable — so a stale export never masquerades
+    as a typo on the command line.  The shared spelling for every
+    knob of this shape (``--prior``/``REPRO_PRIOR``,
+    ``--ess``/``REPRO_ESS``, ``--engine``/``REPRO_ENGINE``).
+    """
+    what = what or f"{flag.lstrip('-')} choice"
+    source = flag
+    if value is None:
+        raw = os.environ.get(env, "").strip()
+        if not raw:
+            return default
+        value, source = raw, env
+    value = str(value).strip().lower()
+    if value not in choices:
+        raise ReproError(
+            f"invalid {what} {value!r} (from {source}); "
+            f"choose from {', '.join(choices)}"
+        )
+    return value
+
+
+def _resolve_prior_kind(args):
+    """The run's prior kind from ``--prior`` / ``REPRO_PRIOR``."""
+    return resolve_choice(getattr(args, "prior", None), "--prior",
+                          "REPRO_PRIOR", PRIOR_KINDS, default="uniform",
+                          what="prior")
+
+
+def _resolve_ess_mode(args):
+    """The run's ESS mode from ``--ess`` / ``REPRO_ESS``."""
+    return resolve_choice(getattr(args, "ess", None), "--ess",
+                          "REPRO_ESS", ESS_CHOICES, default="eager",
+                          what="ESS mode")
 
 _EXPERIMENTS = (
     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
@@ -162,14 +214,36 @@ def cmd_build(args):
     return 0
 
 
+def _record_history(instance, qa, prior_kind):
+    """Persist a completed discovery's actual selectivities.
+
+    Feeds the :class:`~repro.prior.HistoryPrior` sidecar so repeated
+    workloads start future ladders near where past queries landed.
+    Recording happens when the run itself used the history prior or
+    when ``REPRO_PRIOR_STORE`` names an explicit store; it is
+    best-effort — a read-only store never fails the discovery.
+    """
+    if prior_kind != "history" and not os.environ.get("REPRO_PRIOR_STORE"):
+        return
+    from repro.prior import HistoryStore, history_key
+
+    try:
+        HistoryStore().record(history_key(instance.query, instance.ess),
+                              tuple(float(v) for v in qa))
+    except OSError:
+        pass
+
+
 def cmd_run(args):
+    prior_kind = _resolve_prior_kind(args)
     instance = workloads.load(args.query, profile=args.profile,
-                              ess_mode=args.ess)
+                              ess_mode=_resolve_ess_mode(args))
     qa = _parse_qa(args.qa) if args.qa else instance.query.true_location()
     if args.algorithm == "native":
         algorithm = NativeOptimizer(instance.ess)
     else:
-        algorithm = _ALGORITHMS[args.algorithm](instance)
+        prior = make_prior(prior_kind, instance.query, instance.ess)
+        algorithm = _ALGORITHMS[args.algorithm](instance, prior=prior)
     with _trace_to(args.trace_out):
         if args.trace_out:
             from repro.obs.runtrace import traced_run
@@ -177,6 +251,8 @@ def cmd_run(args):
             result, _ = traced_run(algorithm, qa, name=args.algorithm)
         else:
             result = algorithm.run(qa, trace=True)
+    if args.algorithm != "native":
+        _record_history(instance, qa, prior_kind)
     print(f"{args.algorithm} on {args.query} at qa={qa}")
     rows = []
     for record in result.executions:
@@ -197,16 +273,19 @@ def cmd_run(args):
 
 
 def cmd_evaluate(args):
+    prior_kind = _resolve_prior_kind(args)
     instance = workloads.load(args.query, profile=args.profile)
+    prior = make_prior(prior_kind, instance.query, instance.ess)
     rows = []
     for key in args.algorithms.split(","):
-        algorithm = _ALGORITHMS[key.strip()](instance)
+        algorithm = _ALGORITHMS[key.strip()](instance, prior=prior)
         evaluation = evaluate_algorithm(algorithm)
         guarantee = algorithm.mso_guarantee()
         rows.append([key.strip(), evaluation.mso, evaluation.aso, guarantee])
     print(format_table(
         f"exhaustive evaluation of {args.query} "
-        f"({instance.ess.grid.num_points} locations)",
+        f"({instance.ess.grid.num_points} locations, "
+        f"{prior_kind} prior)",
         ["algorithm", "MSOe", "ASO", "guarantee"],
         rows,
     ))
@@ -284,12 +363,15 @@ def cmd_experiment(args):
 
 
 def cmd_wallclock(args):
+    engine = resolve_choice(args.engine, "--engine", "REPRO_ENGINE",
+                            ENGINE_CHOICES, default="auto",
+                            what="execution engine")
     with _trace_to(args.trace_out):
         result = harness.run_wallclock(row_budget=args.rows, seed=args.seed,
-                                       engine=args.engine,
+                                       engine=engine,
                                        resolution=args.resolution)
     print(format_table(
-        f"Section 6.3: engine-measured costs ({args.engine})",
+        f"Section 6.3: engine-measured costs ({engine})",
         ["strategy", "cost", "vs oracle"],
         [["oracle", result["oracle_cost"], 1.0],
          ["native", result["native_cost"], result["native_subopt"]],
@@ -308,7 +390,32 @@ def cmd_figures(args):
     return 0
 
 
+def _cmd_bench_trajectory(args):
+    """``repro bench --trajectory``: the cross-PR speedup ledger."""
+    from repro.bench.trajectory import build_trajectory, render_trajectory
+
+    merged = build_trajectory(args.trajectory_dir)
+    if not merged["artifacts"]:
+        print(f"no BENCH_*.json artifacts under "
+              f"{args.trajectory_dir or os.getcwd()}")
+        return 1
+    print(render_trajectory(merged))
+    if args.json:
+        import json as json_module
+
+        from repro.bench.perfbench import validate_artifact_path
+
+        validate_artifact_path(args.json)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_bench(args):
+    if args.trajectory:
+        return _cmd_bench_trajectory(args)
     from repro.bench.perfbench import run_bench
 
     payload = run_bench(
@@ -317,8 +424,9 @@ def cmd_bench(args):
         profile=args.profile,
         workers=args.workers,
         resolution=args.resolution,
-        ess_mode=args.ess,
+        ess_mode=_resolve_ess_mode(args),
         ess_big_cell=args.ess_big_cell,
+        anytime_workloads=args.anytime_workloads,
     )
     cache = payload["cache"]
     rows = [["warm ESS load vs cold build", f"{cache['speedup']:.1f}x",
@@ -396,6 +504,16 @@ def cmd_bench(args):
         "bit-identical" if sv["all_identical"] else "MISMATCH",
         f"{sv['conformance']['violations']} conformance violations",
     ])
+    an = payload["anytime"]
+    for mode in ("sampled", "history"):
+        stats = an["modes"][mode]
+        rows.append([
+            f"anytime {mode} prior vs uniform "
+            f"({an['workloads']} workloads)",
+            f"{stats['speedup_mean']:.2f}x",
+            f"ASO {stats['aso_mean']:.2f}, "
+            f"{an['violations']} violations",
+        ])
     print(format_table(
         f"perf bench on {cache['query']} "
         f"({cache['grid_points']} locations, "
@@ -430,6 +548,7 @@ def cmd_check(args):
                   f"align={outcome.alignment_fraction:.2f} "
                   f"{outcome.engines}")
 
+    prior_kind = _resolve_prior_kind(args)
     report = harness.run_conformance(
         num_workloads=args.workloads,
         base_seed=args.base_seed,
@@ -439,11 +558,13 @@ def cmd_check(args):
         use_cache=not args.no_cache,
         inject=args.inject,
         progress=progress,
-        ess_mode=args.ess,
+        ess_mode=_resolve_ess_mode(args),
+        prior=None if prior_kind == "uniform" else prior_kind,
     )
     summary = report.summary()
     print(format_table(
-        f"conformance suite ({summary['workloads']} workloads x pb/sb/ab)",
+        f"conformance suite ({summary['workloads']} workloads x pb/sb/ab, "
+        f"{prior_kind} prior)",
         ["metric", "value"],
         [[key, value] for key, value in summary.items()],
     ))
@@ -565,6 +686,7 @@ def cmd_serve(args):
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue, tenant_quota=args.quota,
         cache_mb=args.cache_mb, profile=args.profile, ess_mode=args.ess,
+        prior=_resolve_prior_kind(args),
         conformance=args.conformance, drain_timeout_s=args.drain_timeout,
     )
     return asyncio.run(serve_forever(config))
@@ -622,6 +744,17 @@ def cmd_advise(args):
     return 0
 
 
+def _add_prior_arg(parser):
+    """``--prior uniform|sampled|history`` (validated with source
+    attribution by :func:`resolve_choice`, like ``REPRO_PRIOR``)."""
+    parser.add_argument("--prior", default=None, metavar="KIND",
+                        help="selectivity prior guiding contour "
+                        "scheduling: uniform (exact no-op), sampled "
+                        "(catalog sampling) or history (observed "
+                        "outcomes); default from REPRO_PRIOR, else "
+                        "uniform")
+
+
 def _add_ess_arg(parser):
     """``--ess eager|lazy`` (validated downstream so bad values raise
     :class:`ReproError` whether they come from the flag or ``REPRO_ESS``)."""
@@ -662,10 +795,12 @@ def build_parser():
     p.add_argument("--trace-out", default=None,
                    help="write a JSONL span trace of the run to this file")
     _add_ess_arg(p)
+    _add_prior_arg(p)
 
     p = sub.add_parser("evaluate", help="exhaustive MSO/ASO evaluation")
     p.add_argument("query")
     p.add_argument("--algorithms", default="pb,sb,ab")
+    _add_prior_arg(p)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("name", choices=_EXPERIMENTS)
@@ -673,9 +808,10 @@ def build_parser():
     p = sub.add_parser("wallclock", help="the actual-execution experiment")
     p.add_argument("--rows", type=int, default=40_000)
     p.add_argument("--seed", type=int, default=11)
-    p.add_argument("--engine", default="auto",
-                   choices=["auto", "vector", "volcano"],
-                   help="execution engine for every plan run")
+    p.add_argument("--engine", default=None, metavar="ENGINE",
+                   help="execution engine for every plan run: auto, "
+                   "vector or volcano; default from REPRO_ENGINE, "
+                   "else auto")
     p.add_argument("--resolution", type=_resolution_arg, default=None,
                    help="explicit grid resolution for the workload")
     p.add_argument("--trace-out", default=None,
@@ -716,6 +852,16 @@ def build_parser():
     p.add_argument("--ess-big-cell", action="store_true",
                    help="also measure the 24M-point 5-epp build cell "
                    "that only the lazy surface can complete (minutes)")
+    p.add_argument("--anytime-workloads", type=int, default=None,
+                   help="randomized workloads for the anytime "
+                   "prior-scheduling cell (default 100)")
+    p.add_argument("--trajectory", action="store_true",
+                   help="instead of benchmarking, merge every "
+                   "BENCH_pr*.json artifact into the cross-PR "
+                   "speedup trajectory table")
+    p.add_argument("--trajectory-dir", default=None,
+                   help="directory holding the BENCH artifacts "
+                   "(default: current directory)")
     _add_ess_arg(p)
 
     p = sub.add_parser("check", help="guarantee-conformance suite")
@@ -735,6 +881,7 @@ def build_parser():
     p.add_argument("--verbose", action="store_true",
                    help="print one line per workload")
     _add_ess_arg(p)
+    _add_prior_arg(p)
 
     p = sub.add_parser("serve", help="run the concurrent discovery server")
     p.add_argument("--host", default="127.0.0.1")
@@ -755,6 +902,7 @@ def build_parser():
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to wait for in-flight requests on drain")
     _add_ess_arg(p)
+    _add_prior_arg(p)
 
     p = sub.add_parser("loadgen", help="closed-loop load generator "
                        "against a running discovery server")

@@ -53,7 +53,12 @@ Invariant names used in records:
 * ``bit-identity`` — two sweep engines disagree on the sub-optimality
   array (they must be bit-identical, ``np.array_equal``);
 * ``engine-budget`` — an engine execution overspent its kill budget,
-  or re-learnt an epp it had already learnt.
+  or re-learnt an epp it had already learnt;
+* ``ladder-start`` — a prior-scheduled run whose first execution sits
+  above the contour band holding ``qa`` (skipping a rung that was not
+  a guaranteed kill), or below the schedule's own starting contour;
+* ``prior-inert`` — a run/sweep under the uniform prior that is not
+  bit-identical (``np.array_equal``) to the plain no-prior path.
 """
 
 from __future__ import annotations
@@ -311,12 +316,84 @@ class ConformanceMonitor:
         if records is None:
             return
         self._check_sequence(result, records, algorithm, engine)
+        self._check_ladder_start(result, records, algorithm, engine)
         if label == "pb":
             self._check_pb_records(result, records, algorithm, engine)
         else:
             self._check_spill_records(result, records, algorithm, engine)
 
+    def check_prior_inertness(self, reference, uniform_sub, algorithm,
+                              engine="batch"):
+        """A uniform-prior sweep must be bit-identical to the plain one.
+
+        ``UniformPrior`` is documented as an *exact no-op*; any float
+        drift means a scheduling hook leaked into the inert path.
+        """
+        self._count("prior_inert")
+        a = np.asarray(reference, dtype=float)
+        b = np.asarray(uniform_sub, dtype=float)
+        if a.shape == b.shape and np.array_equal(a, b):
+            return True
+        if a.shape != b.shape:
+            self.record("prior-inert",
+                        f"uniform-prior sweep shape {b.shape} != "
+                        f"plain sweep shape {a.shape}",
+                        algorithm, engine)
+            return False
+        bad = np.flatnonzero(a != b)
+        self.record(
+            "prior-inert",
+            f"uniform-prior sweep differs from the plain sweep at "
+            f"{bad.size} location(s)",
+            algorithm, engine,
+            num_mismatches=int(bad.size),
+            first_mismatch=int(bad[0]),
+            max_abs_deviation=float(np.abs(a - b).max()),
+        )
+        return False
+
     # -- per-record helpers --------------------------------------------
+
+    def _check_ladder_start(self, result, records, algorithm, engine):
+        """Ladder validity under a prior-scheduled starting contour.
+
+        Only enforced when the algorithm carries an *active* prior
+        schedule: without one, early contours may legitimately plan no
+        steps (the walk crosses them without records), so a non-unit
+        first contour proves nothing.  With one, the first charged
+        execution must sit in ``[start, band(qa)]`` — above the band
+        the scheduler would have skipped a rung that was not a
+        guaranteed kill, breaking the bound's accounting.
+        """
+        schedule_of = getattr(algorithm, "prior_schedule", None)
+        if schedule_of is None or not records:
+            return
+        schedule = schedule_of()
+        if not schedule.active:
+            return
+        self._count("ladder_start")
+        qa = result.qa_coords
+        flat = algorithm.ess.grid.flat_index(qa)
+        band = schedule.qa_band(flat)
+        start = max(1, min(schedule.start_target, band))
+        first = records[0].contour
+        if first > band:
+            self.record(
+                "ladder-start",
+                f"first execution on contour {first} above qa's band "
+                f"{band} (a skipped rung was not a guaranteed kill)",
+                algorithm, engine, qa=qa,
+                first_contour=int(first), qa_band=int(band),
+                start_target=int(schedule.start_target),
+            )
+        if first < start:
+            self.record(
+                "ladder-start",
+                f"first execution on contour {first} below the "
+                f"schedule's starting contour {start}",
+                algorithm, engine, qa=qa,
+                first_contour=int(first), start_contour=int(start),
+            )
 
     def _check_sequence(self, result, records, algorithm, engine):
         """Algorithm-independent record accounting."""

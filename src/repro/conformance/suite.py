@@ -43,6 +43,7 @@ from repro.core.aligned_bound import AlignedBound, contour_alignment_stats
 from repro.core.mso import evaluate_algorithm
 from repro.core.plan_bouquet import PlanBouquet
 from repro.core.spill_bound import SpillBound
+from repro.prior import UniformPrior
 
 #: Engines the suite can exercise.
 SUITE_ENGINES = ("loop", "batch", "parallel")
@@ -132,22 +133,32 @@ def _forced_parallel_sweep(algorithm):
             os.environ["REPRO_FORCE_PARALLEL"] = previous
 
 
-def _algorithms(instance):
+def _algorithms(instance, prior=None):
+    from repro.prior import make_prior
+
+    built = make_prior(prior, instance.query, instance.ess)
     return {
-        "pb": PlanBouquet(instance.ess, instance.contours),
-        "sb": SpillBound(instance.ess, instance.contours),
-        "ab": AlignedBound(instance.ess, instance.contours),
+        "pb": PlanBouquet(instance.ess, instance.contours, prior=built),
+        "sb": SpillBound(instance.ess, instance.contours, prior=built),
+        "ab": AlignedBound(instance.ess, instance.contours, prior=built),
     }
 
 
 def run_workload(seed, monitor, engines=SUITE_ENGINES, trace_samples=3,
-                 use_cache=True, ess_mode=None):
+                 use_cache=True, ess_mode=None, prior=None):
     """Run one seeded workload through every algorithm and engine.
 
     The monitor is installed for the duration so the sweep-engine hooks
     fire; per-execution invariants come from explicitly traced runs at
     ``trace_samples`` seed-chosen locations (always including the
     grid terminus — the worst-case corner).
+
+    With ``prior`` set (``"sampled"``/``"history"``) every algorithm
+    runs under the prior-guided scheduler, so every invariant — the
+    MSO bound included — is re-proved with aggressive scheduling on.
+    Without it, a uniform-prior twin of each algorithm additionally
+    runs one batched sweep that must be bit-identical to the plain
+    loop reference (the ``prior-inert`` invariant).
 
     Returns a :class:`WorkloadOutcome`.
     """
@@ -181,11 +192,24 @@ def run_workload(seed, monitor, engines=SUITE_ENGINES, trace_samples=3,
             samples.update(int(f) for f in extra)
         previous = install_monitor(monitor)
         try:
-            for label, algorithm in _algorithms(instance).items():
+            for label, algorithm in _algorithms(instance,
+                                                prior=prior).items():
                 per_engine = {}
                 reference = evaluate_algorithm(
                     algorithm, engine="loop").suboptimality
                 per_engine["loop"] = "checked"
+                if prior is None and "batch" in engines:
+                    # The uniform prior must be an exact no-op: a
+                    # uniform-twin batched sweep vs the plain loop
+                    # reference, bit-for-bit.
+                    twin = type(algorithm)(ess, contours,
+                                           prior=UniformPrior())
+                    uniform_sub = evaluate_algorithm(
+                        twin, engine="batch").suboptimality
+                    inert = monitor.check_prior_inertness(
+                        reference, uniform_sub, algorithm)
+                    per_engine["uniform-prior"] = (
+                        "inert" if inert else "mismatch")
                 if "batch" in engines:
                     batch = evaluate_algorithm(
                         algorithm, engine="batch").suboptimality
@@ -245,7 +269,7 @@ def _inject_violation(mode, monitor, instance):
 
 def run_suite(num_workloads=200, base_seed=0, engines=SUITE_ENGINES,
               trace_samples=3, jsonl_path=None, use_cache=True,
-              inject=None, progress=None, ess_mode=None):
+              inject=None, progress=None, ess_mode=None, prior=None):
     """Run the conformance suite over ``num_workloads`` seeds.
 
     Args:
@@ -262,6 +286,10 @@ def run_suite(num_workloads=200, base_seed=0, engines=SUITE_ENGINES,
         inject: ``"mso"`` or ``"learning"`` — corrupt one observation
             (negative testing; the report must come back not-ok).
         progress: optional ``callable(completed, total, outcome)``.
+        prior: ``"sampled"``/``"history"`` runs every algorithm under
+            the prior-guided scheduler (re-proving the invariants with
+            aggressive scheduling on); None additionally checks the
+            uniform prior's bit-exact inertness.
 
     Returns a :class:`SuiteReport`.
     """
@@ -278,7 +306,8 @@ def run_suite(num_workloads=200, base_seed=0, engines=SUITE_ENGINES,
         seed = base_seed + k
         outcome = run_workload(seed, monitor, engines=engines,
                                trace_samples=trace_samples,
-                               use_cache=use_cache, ess_mode=ess_mode)
+                               use_cache=use_cache, ess_mode=ess_mode,
+                               prior=prior)
         outcomes.append(outcome)
         if progress is not None:
             progress(k + 1, num_workloads, outcome)

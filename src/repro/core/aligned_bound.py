@@ -103,8 +103,9 @@ class AlignedBound(SpillBound):
     search.
     """
 
-    def __init__(self, ess, contour_set=None, cost_ratio=DEFAULT_COST_RATIO):
-        super().__init__(ess, contour_set, cost_ratio)
+    def __init__(self, ess, contour_set=None, cost_ratio=DEFAULT_COST_RATIO,
+                 prior=None):
+        super().__init__(ess, contour_set, cost_ratio, prior=prior)
         self._part_cache = {}
         self._partition_cache = {}
         self._spiller_pool_cache = {}
@@ -382,8 +383,15 @@ class AlignedBound(SpillBound):
         return steps
 
     def contour_steps(self, contour_index, learned):
-        """The chosen partition's steps (uniform step interface)."""
-        return self._plan_partition(contour_index, learned)
+        """The chosen partition's steps (uniform step interface).
+
+        Prior-guided schedules reorder the partition (a fresh list, so
+        the cached partition is never mutated); inert schedules return
+        the cached list untouched.
+        """
+        return self.prior_schedule().order_steps(
+            self._plan_partition(contour_index, learned)
+        )
 
     # ------------------------------------------------------------------
     # Discovery (Algorithm 2)
@@ -400,7 +408,8 @@ class AlignedBound(SpillBound):
         num_repeat = 0
         executed_on_contour = set()
         max_penalty = 1.0
-        contour_index = 1
+        # Same prior-guided start as SpillBound: min(target, band(qa)).
+        contour_index = self.prior_schedule().start_for(flat)
 
         while True:
             remaining = [d for d in range(self.num_dims) if d not in learned]

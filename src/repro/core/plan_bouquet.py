@@ -41,11 +41,36 @@ class PlanBouquet:
     """
 
     def __init__(self, ess, contour_set=None, lam=DEFAULT_LAMBDA,
-                 cost_ratio=DEFAULT_COST_RATIO):
+                 cost_ratio=DEFAULT_COST_RATIO, prior=None):
+        from repro.prior import as_prior
+
         self.ess = ess
         self.contours = contour_set or ContourSet(ess, cost_ratio)
         self.reduction = AnorexicReduction(ess, self.contours, lam)
         self.lam = lam
+        self.prior = as_prior(prior)
+        self._prior_schedule = None
+
+    def prior_schedule(self):
+        """The prior discretized onto this surface's ladder (lazy)."""
+        if self._prior_schedule is None:
+            from repro.prior import PriorSchedule
+
+            self._prior_schedule = PriorSchedule(
+                self.prior, self.ess, self.contours
+            )
+        return self._prior_schedule
+
+    def contour_plans(self, rc):
+        """A reduced contour's plans in execution order.
+
+        The uniform hook shared with the batched sweep engine: the
+        reduction's deterministic order when the prior is inert, the
+        prior's descending-mass order (cached inside the schedule)
+        otherwise — a permutation of the same budget-executed set, so
+        the ``4(1+lambda)rho`` accounting is untouched.
+        """
+        return self.prior_schedule().order_plan_ids(rc)
 
     # ------------------------------------------------------------------
     # Guarantees
@@ -83,9 +108,16 @@ class PlanBouquet:
         total = 0.0
         executions = [] if trace else None
         num_exec = 0
+        # Prior-guided start at min(target, band(qa)): qa is itself a
+        # point of the starting band, so the anorexic cover guarantees
+        # a completion there, and the charges are a contiguous suffix
+        # of the ladder sum the 4(1+lambda)rho proof already bounds.
+        start = self.prior_schedule().start_for(flat)
         for rc in self.reduction.reduced:
+            if rc.index < start:
+                continue
             budget = rc.inflated_budget
-            for pid in rc.plan_ids:
+            for pid in self.contour_plans(rc):
                 cost_here = self.ess.plan_cost_at(pid, flat)
                 completed = budget_covers(cost_here, budget)
                 charged = cost_here if completed else budget

@@ -147,13 +147,28 @@ class SpillBound:
         cost_ratio: contour spacing when building contours here.
     """
 
-    def __init__(self, ess, contour_set=None, cost_ratio=DEFAULT_COST_RATIO):
+    def __init__(self, ess, contour_set=None, cost_ratio=DEFAULT_COST_RATIO,
+                 prior=None):
+        from repro.prior import as_prior
+
         self.ess = ess
         self.contours = contour_set or ContourSet(ess, cost_ratio)
+        self.prior = as_prior(prior)
+        self._prior_schedule = None
         self._step_cache = {}
         self._line_cache = {}
         self._effective_cache = {}
         self._cost_surfaces = {}
+
+    def prior_schedule(self):
+        """The prior discretized onto this surface's ladder (lazy)."""
+        if self._prior_schedule is None:
+            from repro.prior import PriorSchedule
+
+            self._prior_schedule = PriorSchedule(
+                self.prior, self.ess, self.contours
+            )
+        return self._prior_schedule
 
     # ------------------------------------------------------------------
     # Guarantees
@@ -290,7 +305,11 @@ class SpillBound:
         this with its partition-cover steps.
         """
         steps = self._plan_steps(contour_index, learned)
-        return [steps[key] for key in sorted(steps)]
+        ordered = [steps[key] for key in sorted(steps)]
+        # Prior-guided within-contour ordering (a permutation of the
+        # same charged set, so the MSO accounting is untouched); inert
+        # schedules return the list unchanged.
+        return self.prior_schedule().order_steps(ordered)
 
     # ------------------------------------------------------------------
     # The 1-D PlanBouquet tail
@@ -372,7 +391,11 @@ class SpillBound:
         num_exec = 0
         num_repeat = 0
         executed_on_contour = set()  # (contour, dim) pairs, for repeats
-        contour_index = 1
+        # Prior-guided starting contour: min(target, band(qa)) — never
+        # above the band holding qa, so only guaranteed kills are
+        # skipped and the ladder accounting above is verbatim (1 when
+        # the prior is inert).
+        contour_index = self.prior_schedule().start_for(flat)
 
         while True:
             remaining = [d for d in range(self.num_dims) if d not in learned]

@@ -85,9 +85,11 @@ def batched_suboptimality(algorithm, points=None):
         if flats.size == 0:
             return np.empty(0, dtype=float)
         unique = np.unique(flats)
+    prior = getattr(algorithm, "prior", None)
     with TIMERS.phase("batched_sweep"):
         with obs_span("sweep.batch", points=int(flats.size),
-                      unique=int(unique.size)):
+                      unique=int(unique.size),
+                      prior="uniform" if prior is None else prior.kind):
             total = engine(algorithm, unique)
     TIMERS.incr("batched_sweeps")
     TIMERS.incr("batched_sweep_points", int(flats.size))
@@ -113,6 +115,21 @@ def _engine_for(algorithm):
     return None
 
 
+def _start_array(algorithm, flats):
+    """Per-location prior starting contours, or None when inert.
+
+    ``None`` keeps the engines on their literal pre-prior code paths —
+    the inert sweep must stay bit-identical, not merely equivalent.
+    """
+    schedule_of = getattr(algorithm, "prior_schedule", None)
+    if schedule_of is None:
+        return None
+    schedule = schedule_of()
+    if not schedule.active:
+        return None
+    return schedule.start_array(flats)
+
+
 # ----------------------------------------------------------------------
 # PlanBouquet: regular-mode contour ascent, one mask per plan
 # ----------------------------------------------------------------------
@@ -128,18 +145,34 @@ def _sweep_bouquet(algorithm, flats):
     total = np.zeros(ess.grid.num_points, dtype=float)
     active = np.zeros(ess.grid.num_points, dtype=bool)
     active[flats] = True
+    # Prior-guided starts: locations stay uncharged (and unexamined)
+    # until the ladder reaches their starting contour.  ``starts`` is
+    # None for inert priors, keeping the original single-mask pass.
+    starts = _start_array(algorithm, flats)
+    start_full = None
+    if starts is not None:
+        start_full = np.zeros(ess.grid.num_points, dtype=np.int64)
+        start_full[flats] = starts
     for rc in algorithm.reduction.reduced:
         if not active.any():
             break
         budget = rc.inflated_budget
-        for pid in rc.plan_ids:
-            if not active.any():
+        if start_full is None:
+            eligible = active
+        else:
+            eligible = active & (start_full <= rc.index)
+            if not eligible.any():
+                continue
+        for pid in algorithm.contour_plans(rc):
+            if not eligible.any():
                 break
             cost = ess.plan_cost_array(pid)
-            completes = active & budget_covers(cost, budget)
+            completes = eligible & budget_covers(cost, budget)
             total[completes] += cost[completes]
             active &= ~completes
-            total[active] += budget
+            if eligible is not active:
+                eligible &= ~completes
+            total[eligible] += budget
     if active.any():
         raise DiscoveryError("PlanBouquet sweep left unfinished locations")
     return total
@@ -177,7 +210,14 @@ def _sweep_frontier(algorithm, flats):
         else:
             bucket.append(group)
 
-    push(1, (), flats)
+    # Prior-guided starts partition the initial frontier by starting
+    # contour; inert priors keep the original single push at contour 1.
+    starts = _start_array(algorithm, flats)
+    if starts is None:
+        push(1, (), flats)
+    else:
+        for start in np.unique(starts):
+            push(int(start), (), flats[starts == start])
     max_penalty = 1.0
     num_states = 0
     while heap:

@@ -174,6 +174,12 @@ def spec_for(algorithm):
     algo_kwargs = {}
     if name == "pb":
         algo_kwargs["lam"] = algorithm.lam
+    prior = getattr(algorithm, "prior", None)
+    if prior is not None and prior.is_active:
+        # Grid-independent parameters only: the worker rebuilds the
+        # prior with prior_from_spec and discretizes to the same pmf,
+        # keeping the fan-out bit-identical to the in-process engines.
+        algo_kwargs["prior"] = prior.spec()
     return SweepSpec(
         kind=provenance["kind"],
         build_kwargs=tuple(sorted(provenance["build_kwargs"].items())),
@@ -215,7 +221,12 @@ def _build_algorithm(spec):
     else:
         raise ValueError(f"unknown sweep spec kind {spec.kind!r}")
     factory = _factories()[spec.algorithm]
-    algorithm = factory(ess, contours, **dict(spec.algo_kwargs))
+    algo_kwargs = dict(spec.algo_kwargs)
+    if "prior" in algo_kwargs:
+        from repro.prior import prior_from_spec
+
+        algo_kwargs["prior"] = prior_from_spec(algo_kwargs["prior"])
+    algorithm = factory(ess, contours, **algo_kwargs)
     _WORKER_ALGORITHMS.clear()  # one live sweep per worker is the norm
     _WORKER_ALGORITHMS[spec] = algorithm
     return algorithm

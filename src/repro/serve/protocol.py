@@ -46,6 +46,10 @@ EVALUATE_ENGINES = ("auto", "batch", "loop")
 #: ESS surface modes (``None`` defers to the server default / REPRO_ESS).
 ESS_MODES = (None, "eager", "lazy")
 
+#: Selectivity priors guiding contour scheduling (``None`` defers to
+#: the server default / REPRO_PRIOR).
+PRIOR_MODES = (None, "uniform", "sampled", "history")
+
 #: Ceiling on the synthetic per-request service time (load shaping).
 MAX_SLEEP_S = 30.0
 
@@ -75,6 +79,8 @@ class DiscoverRequest:
             cooperatively kills the request (outcome ``killed``).
         engine: sweep engine for ``evaluate`` (ignored for ``run``).
         ess_mode: ``eager`` / ``lazy`` surface; ``None`` = server default.
+        prior: ``uniform`` / ``sampled`` / ``history`` contour
+            scheduling prior; ``None`` = server default.
         resolution: optional explicit grid resolution.
         tenant: quota bucket the request is accounted against.
         sleep_s: synthetic extra service time, cooperatively
@@ -91,6 +97,7 @@ class DiscoverRequest:
     budget_s: float = None
     engine: str = "auto"
     ess_mode: str = None
+    prior: str = None
     resolution: int = None
     tenant: str = "default"
     sleep_s: float = 0.0
@@ -143,6 +150,12 @@ def parse_discover(payload):
             f"unknown ess_mode {ess_mode!r}; choose from "
             f"{[m for m in ESS_MODES if m]} or omit for the server default"
         )
+    prior = payload.get("prior")
+    if prior not in PRIOR_MODES:
+        raise ProtocolError(
+            f"unknown prior {prior!r}; choose from "
+            f"{[m for m in PRIOR_MODES if m]} or omit for the server default"
+        )
     qa = payload.get("qa")
     if qa is not None:
         if not isinstance(qa, (list, tuple)) or not qa:
@@ -169,8 +182,8 @@ def parse_discover(payload):
     return DiscoverRequest(
         query=query, algorithm=algorithm, kind=kind, qa=qa,
         budget_s=budget_s, engine=engine, ess_mode=ess_mode,
-        resolution=resolution, tenant=tenant, sleep_s=sleep_s,
-        conformance=conformance,
+        prior=prior, resolution=resolution, tenant=tenant,
+        sleep_s=sleep_s, conformance=conformance,
     )
 
 

@@ -78,12 +78,23 @@ class ServeConfig:
     cache_mb: int = None
     profile: str = None
     ess_mode: str = None
+    prior: str = None
     conformance: bool = False
     drain_timeout_s: float = 10.0
 
     @classmethod
     def from_env(cls, **overrides):
         config = cls(**{k: v for k, v in overrides.items() if v is not None})
+        if config.prior is None:
+            raw = os.environ.get("REPRO_PRIOR", "").strip().lower()
+            config = replace(config, prior=raw or "uniform")
+        from repro.prior import PRIOR_KINDS
+
+        if config.prior not in PRIOR_KINDS:
+            raise ReproError(
+                f"invalid serve prior {config.prior!r}; "
+                f"choose from {', '.join(PRIOR_KINDS)}"
+            )
         if config.workers is None:
             config = replace(config, workers=_env_int(
                 "REPRO_SERVE_WORKERS", min(4, os.cpu_count() or 1) or 1))
@@ -424,10 +435,11 @@ class DiscoveryServer:
         """The post-admission pipeline: surface, dispatch, classify."""
         loop = asyncio.get_running_loop()
         ess_mode = self._resolve_ess_mode(request)
+        prior = request.prior or self.config.prior or "uniform"
         base = {
             "query": request.query, "algorithm": request.algorithm,
             "kind": request.kind, "tenant": request.tenant,
-            "ess_mode": ess_mode,
+            "ess_mode": ess_mode, "prior": prior,
         }
         try:
             fingerprint, num_points = await loop.run_in_executor(
@@ -477,6 +489,7 @@ class DiscoveryServer:
             "profile": self.config.profile,
             "resolution": request.resolution,
             "ess_mode": ess_mode,
+            "prior": prior,
             "sleep_s": request.sleep_s,
             "cancel_slot": state.slot,
             "offer": offer,

@@ -84,14 +84,37 @@ def _bound_memo():
         workloads.clear_cache()
 
 
-def _make_algorithm(name, instance):
+def _make_algorithm(name, instance, prior_kind=None):
+    if name == "native":
+        return NativeOptimizer(instance.ess)
+    from repro.prior import make_prior
+
+    prior = make_prior(prior_kind or "uniform", instance.query,
+                       instance.ess)
     if name == "pb":
-        return PlanBouquet(instance.ess, instance.contours)
+        return PlanBouquet(instance.ess, instance.contours, prior=prior)
     if name == "sb":
-        return SpillBound(instance.ess, instance.contours)
-    if name == "ab":
-        return AlignedBound(instance.ess, instance.contours)
-    return NativeOptimizer(instance.ess)
+        return SpillBound(instance.ess, instance.contours, prior=prior)
+    return AlignedBound(instance.ess, instance.contours, prior=prior)
+
+
+def _record_history(instance, result):
+    """Persist a completed discovery's actual selectivities.
+
+    The serving tier always records — repeated tenant workloads are
+    exactly where the :class:`~repro.prior.HistoryPrior` pays off.
+    Best-effort: a read-only store never fails the request.
+    """
+    from repro.prior import HistoryStore, history_key
+
+    grid = instance.ess.grid
+    try:
+        HistoryStore().record(
+            history_key(instance.query, instance.ess),
+            grid.selectivities_of(grid.flat_index(result.qa_coords)),
+        )
+    except (OSError, ReproError):
+        pass
 
 
 def _load(spec):
@@ -161,7 +184,8 @@ def run_discovery(spec):
         _checkpoint(slot)
         if spec.get("sleep_s"):
             _cooperative_sleep(float(spec["sleep_s"]), slot)
-        algorithm = _make_algorithm(spec.get("algorithm", "sb"), instance)
+        algorithm = _make_algorithm(spec.get("algorithm", "sb"), instance,
+                                    prior_kind=spec.get("prior"))
         run_start = time.time()
         if spec.get("conformance"):
             from repro.conformance.monitors import monitoring
@@ -182,7 +206,9 @@ def run_discovery(spec):
                 }
         else:
             out["result"] = _execute(spec, instance, algorithm)
-        out["result"].pop("_raw", None)
+        raw = out["result"].pop("_raw", None)
+        if raw is not None and spec.get("algorithm", "sb") != "native":
+            _record_history(instance, raw)
         out["run_s"] = time.time() - run_start
     except CancelledByServer:
         out["outcome"] = "killed"

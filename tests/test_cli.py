@@ -72,10 +72,10 @@ class TestErrorPaths:
     on stderr — never a traceback and never a silent success."""
 
     def test_unknown_engine_rejected(self, capsys):
-        with pytest.raises(SystemExit) as excinfo:
-            main(["wallclock", "--engine", "warp"])
-        assert excinfo.value.code == 2
-        assert "--engine" in capsys.readouterr().err
+        code = main(["wallclock", "--engine", "warp"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--engine" in err and "warp" in err
 
     @pytest.mark.parametrize("bad", ["abc", "1", "0", "-3"])
     def test_wallclock_bad_resolution_rejected(self, capsys, bad):

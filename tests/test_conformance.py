@@ -397,7 +397,9 @@ class TestConformanceSuite:
         summary = report.summary()
         assert summary["workloads"] == 2
         assert summary["loop_sweeps"] == 2 * 3
-        assert summary["batch_sweeps"] == 2 * 3
+        # Two batched sweeps per algorithm: the loop/batch identity
+        # check plus the uniform-prior-twin inertness check.
+        assert summary["batch_sweeps"] == 2 * 3 * 2
         assert summary["violations"] == 0
         assert summary["bit_identity_mismatches"] == 0
         assert path.exists() and path.read_text() == ""

@@ -643,3 +643,50 @@ class TestServeCli:
         )
         assert args.command == "loadgen"
         assert args.requests == 8
+
+
+class TestPriorServing:
+    def test_prior_request_ok_and_history_recorded(self, serve_env,
+                                                   tmp_path, monkeypatch):
+        store_path = tmp_path / "serve-history.jsonl"
+        monkeypatch.setenv("REPRO_PRIOR_STORE", str(store_path))
+        thread = start_server()
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            status, uniform = client.discover({"query": "2D_Q91"})
+            assert status == 200 and uniform["outcome"] == "ok"
+            assert uniform["prior"] == "uniform"
+            # The completed run was recorded for future history priors.
+            assert store_path.exists()
+            status, sampled = client.discover(
+                {"query": "2D_Q91", "prior": "sampled"})
+            assert status == 200 and sampled["outcome"] == "ok"
+            assert sampled["prior"] == "sampled"
+            # Never worse at the true location than the uniform run.
+            assert (sampled["result"]["total_cost"]
+                    <= uniform["result"]["total_cost"] * (1 + 1e-9))
+            status, hist = client.discover(
+                {"query": "2D_Q91", "prior": "history"})
+            assert status == 200 and hist["outcome"] == "ok"
+            status, bad = client.discover(
+                {"query": "2D_Q91", "prior": "psychic"})
+            assert status == 400 and bad["outcome"] == "invalid"
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_server_default_prior_applies(self, serve_env, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_PRIOR_STORE",
+                           str(tmp_path / "h.jsonl"))
+        thread = start_server(prior="sampled")
+        try:
+            host, port = thread.address
+            client = ServeClient(host, port)
+            status, served = client.discover({"query": "2D_Q91"})
+            assert status == 200 and served["outcome"] == "ok"
+            assert served["prior"] == "sampled"
+            client.close()
+        finally:
+            thread.stop()
