@@ -27,6 +27,9 @@ every PR can append a comparable data point:
   discovery server: latency percentiles, rps, the single-flight proof
   and a served-vs-solo bit-identity check
   (:func:`repro.serve.loadgen.bench_serving`);
+* **arena** — the head-to-head arena: guaranteed algorithms vs the
+  fixed-plan rivals over shared seeded workloads, MSO/ASO per cell and
+  a conformance verdict (see :mod:`repro.arena.report`);
 * **timers** — the process-global phase profile (ess_build / contour /
   sweep timings, cache hit counters) accumulated while benchmarking.
 
@@ -110,7 +113,14 @@ def validate_artifact_path(path):
 #: cost speedups vs uniform, mean sub-optimality, and a conformance
 #: monitor pass over every prior-scheduled run (the MSO machinery must
 #: hold with aggressive scheduling on).
-BENCH_SCHEMA_VERSION = 7
+#: v8: adds ``arena`` — the head-to-head arena
+#: (:func:`bench_arena`): the guaranteed algorithms and the fixed-plan
+#: rivals (penalty-aware, minmax-regret, sampling) swept over shared
+#: seeded workloads, MSO and ASO per (workload, algorithm) row, with
+#: per-algorithm aggregates and a conformance-monitor violation count
+#: (the guarantees are asserted for pb/sb/ab while the rivals, which
+#: have none, are exempt).
+BENCH_SCHEMA_VERSION = 8
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -655,6 +665,26 @@ def bench_anytime(num_workloads=ANYTIME_WORKLOADS, base_seed=0,
     }
 
 
+#: Default workload count for the arena cell.  Small: the bench wants a
+#: representative head-to-head row set, not the CLI's full 20-workload
+#: sweep.
+ARENA_WORKLOADS = 6
+
+
+def bench_arena(num_workloads=ARENA_WORKLOADS, base_seed=0):
+    """The head-to-head arena as a BENCH section (schema v8).
+
+    Delegates to :func:`repro.arena.report.run_arena` over the shared
+    seeded conformance workloads and returns its payload — per-row MSO
+    and ASO for every (workload, algorithm) cell, per-algorithm
+    aggregates, and the conformance verdict (0 expected).
+    """
+    from repro.arena.report import run_arena
+
+    return run_arena(num_workloads=num_workloads,
+                     base_seed=base_seed).to_payload()
+
+
 def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
               resolution=None, ess_mode=None, ess_big_cell=False,
               anytime_workloads=None):
@@ -705,6 +735,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
     anytime_stats = bench_anytime(
         num_workloads=(ANYTIME_WORKLOADS if anytime_workloads is None
                        else anytime_workloads))
+    arena_stats = bench_arena()
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro bench",
@@ -723,6 +754,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "ess_build": ess_build_stats,
         "serving": serving_stats,
         "anytime": anytime_stats,
+        "arena": arena_stats,
     }
     if json_path:
         TIMERS.write_json(json_path, extra=payload)

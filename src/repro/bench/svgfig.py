@@ -20,6 +20,11 @@ import math
 
 #: Validated categorical slots (light surface), fixed order.
 SERIES_COLORS = ("#2a78d6", "#1baf7a", "#eda100")
+
+#: Extended slots for charts comparing more than three series (the
+#: arena scatter plots six algorithms); the first three match
+#: :data:`SERIES_COLORS` so shared series keep their identity.
+EXTENDED_SERIES_COLORS = SERIES_COLORS + ("#d2495e", "#7a5cd6", "#5f6b76")
 SURFACE = "#fcfcfb"
 GRID = "#e7e6e2"
 AXIS = "#b8b7b2"
@@ -378,6 +383,59 @@ def step_trace_chart(title, waypoints, qa, width=560, height=520,
     canvas.circle(qa_x, qa_y, 5, SERIES_COLORS[2])
     canvas.text(qa_x + 10, qa_y + 4, "qa", size=12, fill=TEXT_PRIMARY)
     canvas.text(points[0][0] + 8, points[0][1] - 8, "origin", size=11)
+    return canvas.render()
+
+
+def scatter_chart(title, series, x_label="", y_label="", width=720,
+                  height=420, subtitle=""):
+    """Multi-series scatter: one marker per observation.
+
+    ``series`` is ``[(name, [(x, y), ...]), ...]`` — e.g. the arena's
+    per-workload (ASO, MSO) pairs, one series per algorithm.  Colors
+    come from :data:`EXTENDED_SERIES_COLORS` so up to six algorithms
+    stay distinguishable.
+    """
+    top = 76 if subtitle else 60
+    left, right, bottom = 64, width - 20, height - 56
+    canvas = _Canvas(width, height, title)
+    canvas.text(left, 26, title, size=15, fill=TEXT_PRIMARY, weight="600")
+    if subtitle:
+        canvas.text(left, 44, subtitle, size=12)
+
+    points = [(x, y) for _, pts in series for x, y in pts]
+    x_peak = max((x for x, _ in points), default=1.0)
+    y_peak = max((y for _, y in points), default=1.0)
+    x_ticks = _nice_ticks(x_peak)
+    y_ticks = _nice_ticks(y_peak)
+    x_span, y_span = x_ticks[-1], y_ticks[-1]
+
+    def x_of(value):
+        return left + (value / x_span) * (right - left)
+
+    def y_of(value):
+        return bottom - (value / y_span) * (bottom - top)
+
+    _frame(canvas, left, top, right, bottom, y_ticks, y_of, y_label)
+    for tick in x_ticks:
+        x = x_of(tick)
+        canvas.line(x, top, x, bottom, GRID, 1)
+        canvas.text(x, bottom + 18, _fmt(tick), size=11, anchor="middle")
+    if x_label:
+        canvas.text((left + right) / 2, bottom + 36, x_label, size=11,
+                    anchor="middle")
+
+    for k, (name, pts) in enumerate(series):
+        color = EXTENDED_SERIES_COLORS[k % len(EXTENDED_SERIES_COLORS)]
+        for x, y in pts:
+            canvas.circle(x_of(x), y_of(y), 4, color)
+
+    x = left
+    y = height - 14
+    for k, (name, _) in enumerate(series):
+        color = EXTENDED_SERIES_COLORS[k % len(EXTENDED_SERIES_COLORS)]
+        canvas.circle(x + 6, y - 4, 5, color, ring=False)
+        canvas.text(x + 18, y + 1, name, size=12, fill=TEXT_PRIMARY)
+        x += 28 + 7 * len(name)
     return canvas.render()
 
 

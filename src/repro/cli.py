@@ -16,6 +16,9 @@ Gives the library's main flows a no-code entry point:
 * ``check`` — the guarantee-conformance suite: seeded randomized
   workloads through every algorithm and sweep engine under runtime
   invariant monitors, exiting nonzero on any violation;
+* ``arena`` — the head-to-head arena: the guaranteed algorithms vs
+  the fixed-plan rivals over shared workloads, MSO and ASO per cell,
+  with an optional MSO-vs-ASO scatter SVG;
 * ``trace`` — one traced discovery run exported as a JSONL span trace
   plus the budget-waterfall HTML viewer;
 * ``stats`` — the metrics registry as Prometheus text exposition;
@@ -278,7 +281,13 @@ def cmd_evaluate(args):
     prior = make_prior(prior_kind, instance.query, instance.ess)
     rows = []
     for key in args.algorithms.split(","):
-        algorithm = _ALGORITHMS[key.strip()](instance, prior=prior)
+        factory = _ALGORITHMS.get(key.strip())
+        if factory is None:
+            raise ReproError(
+                f"unknown algorithm {key.strip()!r}; "
+                f"choose from {', '.join(_ALGORITHMS)}"
+            )
+        algorithm = factory(instance, prior=prior)
         evaluation = evaluate_algorithm(algorithm)
         guarantee = algorithm.mso_guarantee()
         rows.append([key.strip(), evaluation.mso, evaluation.aso, guarantee])
@@ -584,6 +593,74 @@ def cmd_check(args):
     return 0
 
 
+def cmd_arena(args):
+    import json
+
+    from repro.arena.profiles import PROFILE_KINDS, ErrorProfile
+    from repro.arena.report import ARENA_ALGORITHMS, run_arena
+    from repro.conformance.workloads import WORKLOAD_FAMILIES
+
+    if args.family not in WORKLOAD_FAMILIES:
+        print(f"error: unknown workload family {args.family!r}; "
+              f"choose from {WORKLOAD_FAMILIES}", file=sys.stderr)
+        return 2
+    names = None
+    if args.algorithms:
+        names = tuple(a.strip() for a in args.algorithms.split(",")
+                      if a.strip())
+    if args.profile_kind not in PROFILE_KINDS:
+        print(f"error: unknown error-profile kind "
+              f"{args.profile_kind!r}; choose from {PROFILE_KINDS}",
+              file=sys.stderr)
+        return 2
+    profile = ErrorProfile(width=args.profile_width,
+                           spread=args.profile_spread,
+                           kind=args.profile_kind)
+    report = run_arena(
+        num_workloads=args.workloads,
+        base_seed=args.base_seed,
+        family=args.family,
+        algorithms=names,
+        profile=profile,
+        engine=args.engine,
+        use_cache=not args.no_cache,
+    )
+    aggregates = report.by_algorithm()
+    print(format_table(
+        f"arena ({report.num_workloads} {report.family} workloads, "
+        f"profile {profile.spec()})",
+        ["algorithm", "worst MSO", "mean MSO", "mean ASO", "worst ASO"],
+        [[name, agg["worst_mso"], agg["mean_mso"], agg["mean_aso"],
+          agg["worst_aso"]] for name, agg in aggregates.items()],
+    ))
+    guaranteed = [name for name in report.algorithms
+                  if name in ARENA_ALGORITHMS[:3]]
+    if guaranteed:
+        print(f"guaranteed: {', '.join(guaranteed)} "
+              f"(bounds monitored; {report.num_violations} violation(s))")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_payload(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.svg:
+        from repro.bench.svgfig import save_svg, scatter_chart
+
+        save_svg(args.svg, scatter_chart(
+            "MSO vs ASO, head to head",
+            report.scatter_series(),
+            x_label="ASO (mean sub-optimality)",
+            y_label="MSO",
+            subtitle=f"{report.num_workloads} shared {report.family} "
+                     "workloads, one point per (workload, algorithm)",
+        ))
+        print(f"wrote {args.svg}")
+    if report.num_violations:
+        print(f"arena FAILED: {report.num_violations} conformance "
+              "violation(s)")
+        return 1
+    return 0
+
+
 #: ``repro trace`` export formats.
 TRACE_FORMATS = ("all", "jsonl", "html")
 
@@ -883,6 +960,32 @@ def build_parser():
     _add_ess_arg(p)
     _add_prior_arg(p)
 
+    p = sub.add_parser("arena", help="head-to-head algorithm arena "
+                       "(guaranteed algorithms vs fixed-plan rivals)")
+    p.add_argument("--workloads", type=int, default=20,
+                   help="number of shared seeded workloads")
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--family", default="random",
+                   help="workload family: random or adversarial")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated lineup override "
+                   "(pb,sb,ab,penalty,regret,sampling)")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "batch", "parallel", "loop"],
+                   help="sweep engine for the exhaustive evaluations")
+    p.add_argument("--profile-width", type=int, default=2,
+                   help="error-profile half-width in grid steps")
+    p.add_argument("--profile-spread", type=float, default=1.0,
+                   help="error-profile spread (gaussian sigma)")
+    p.add_argument("--profile-kind", default="gaussian",
+                   help="error-profile kind: gaussian or uniform")
+    p.add_argument("--json", default=None,
+                   help="write the arena payload to this path")
+    p.add_argument("--svg", default=None,
+                   help="write the MSO-vs-ASO scatter to this path")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent ESS archive cache")
+
     p = sub.add_parser("serve", help="run the concurrent discovery server")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8642)
@@ -948,6 +1051,7 @@ _HANDLERS = {
     "advise": cmd_advise,
     "bench": cmd_bench,
     "check": cmd_check,
+    "arena": cmd_arena,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
 }

@@ -53,6 +53,12 @@ COST_NOISES = (0.0, 0.0, 0.05, 0.15)
 #: default, so the suite also covers D=4).
 MAX_EPPS = 4
 
+#: Workload families the registry knows how to build.  ``"random"`` is
+#: the seeded randomized generator below; ``"adversarial"`` routes to
+#: the constructive Theorem 4.6 lower-bound family
+#: (:mod:`repro.arena.adversarial`).
+WORKLOAD_FAMILIES = ("random", "adversarial")
+
 #: In-process instance memo (mirrors bench.workloads._CACHE).
 _CACHE = {}
 
@@ -90,7 +96,7 @@ def knobs_for(seed, num_epps):
 
 def build_conformance_instance(seed, resolution=None, cost_ratio=None,
                                cost_noise=None, use_cache=True,
-                               ess_mode=None):
+                               ess_mode=None, family="random"):
     """Build (or fetch) the conformance instance for a seed.
 
     Explicit ``resolution``/``cost_ratio``/``cost_noise`` override the
@@ -103,8 +109,24 @@ def build_conformance_instance(seed, resolution=None, cost_ratio=None,
         use_cache: consult/populate the persistent ESS archive cache.
         ess_mode: ``"eager"``/``"lazy"`` surface construction; default
             from ``REPRO_ESS`` (see :func:`repro.ess.lazy.resolve_ess_mode`).
+        family: workload family (one of :data:`WORKLOAD_FAMILIES`);
+            ``"adversarial"`` builds the constructive Theorem 4.6
+            lower-bound instance instead of a randomized one.
     """
     seed = int(seed)
+    if family not in WORKLOAD_FAMILIES:
+        from repro.errors import ReproError
+
+        raise ReproError(
+            f"unknown workload family {family!r}; "
+            f"choose from {WORKLOAD_FAMILIES}"
+        )
+    if family == "adversarial":
+        # Lazy import: the adversarial module imports ConformanceInstance
+        # from here at module scope.
+        from repro.arena.adversarial import build_adversarial_instance
+
+        return build_adversarial_instance(seed, resolution=resolution)
     ess_mode = resolve_ess_mode(ess_mode)
     query = random_workload(seed, max_epps=MAX_EPPS)
     auto_res, auto_ratio, auto_noise = knobs_for(seed, query.num_epps)

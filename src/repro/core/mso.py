@@ -145,6 +145,16 @@ def evaluate_algorithm(algorithm, points=None, workers=None, engine="auto"):
                 sub = np.asarray(algorithm.evaluate_all(), dtype=float)
                 used = "vectorized"
             else:
+                if not hasattr(algorithm, "run"):
+                    from repro.errors import ReproError
+
+                    raise ReproError(
+                        f"no sweep engine covers "
+                        f"{type(algorithm).__name__} and it has no "
+                        "run() for the reference loop; register a "
+                        "batch engine or algorithm factory, or "
+                        "implement run(qa)"
+                    )
                 sub = np.empty(len(flat_list), dtype=float)
                 for k, flat in enumerate(flat_list):
                     sub[k] = algorithm.run(flat).suboptimality

@@ -100,6 +100,25 @@ def batched_suboptimality(algorithm, points=None):
     return sub
 
 
+#: Registered engines for non-stock algorithm classes (exact type ->
+#: engine), populated by :func:`register_batch_engine` — how the arena
+#: rivals plug into the batched path without this module knowing them.
+_EXTRA_ENGINES = {}
+
+
+def register_batch_engine(cls, engine):
+    """Register a batched sweep engine for an algorithm class.
+
+    ``engine(algorithm, flats)`` must return a full-grid *total
+    charged cost* array filled at the requested flats, exactly like
+    the stock engines; :func:`batched_suboptimality` handles the
+    optimal-cost division and monitor observation.  The gate stays
+    exact-type: subclasses of a registered class fall back to the
+    per-location loop, mirroring the stock classes.
+    """
+    _EXTRA_ENGINES[cls] = engine
+
+
 def _engine_for(algorithm):
     """The batched engine for an algorithm, or None (exact-type gate:
     subclasses override walk behaviour the engine cannot see)."""
@@ -112,7 +131,7 @@ def _engine_for(algorithm):
         return _sweep_bouquet
     if kind in (SpillBound, AlignedBound):
         return _sweep_frontier
-    return None
+    return _EXTRA_ENGINES.get(kind)
 
 
 def _start_array(algorithm, flats):

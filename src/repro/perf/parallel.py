@@ -134,16 +134,39 @@ class SweepSpec:
     algo_kwargs: tuple = field(default_factory=tuple)
 
 
+#: Extra algorithm factories (name -> class) added at runtime, e.g. by
+#: :mod:`repro.arena.rivals`.  Worker processes start with this empty,
+#: so :func:`_factories` also imports the arena module — a spec naming
+#: a rival rebuilds cleanly in a fresh worker.
+_EXTRA_FACTORIES = {}
+
+
+def register_algorithm_factory(name, factory):
+    """Register an algorithm class under a spec name.
+
+    The class must be constructible as ``factory(ess, contours,
+    **algo_kwargs)``; instances may expose ``spec_kwargs()`` returning
+    picklable constructor kwargs for the worker-side rebuild.
+    """
+    _EXTRA_FACTORIES[str(name)] = factory
+
+
 def _factories():
     from repro.core.aligned_bound import AlignedBound
     from repro.core.plan_bouquet import PlanBouquet
     from repro.core.spill_bound import SpillBound
 
-    return {
+    try:
+        import repro.arena.rivals  # noqa: F401  (registers its factories)
+    except ImportError:  # pragma: no cover - arena is part of the tree
+        pass
+    factories = {
         "pb": PlanBouquet,
         "sb": SpillBound,
         "ab": AlignedBound,
     }
+    factories.update(_EXTRA_FACTORIES)
+    return factories
 
 
 def spec_for(algorithm):
@@ -174,6 +197,9 @@ def spec_for(algorithm):
     algo_kwargs = {}
     if name == "pb":
         algo_kwargs["lam"] = algorithm.lam
+    spec_kwargs = getattr(algorithm, "spec_kwargs", None)
+    if spec_kwargs is not None:
+        algo_kwargs.update(spec_kwargs())
     prior = getattr(algorithm, "prior", None)
     if prior is not None and prior.is_active:
         # Grid-independent parameters only: the worker rebuilds the
@@ -218,9 +244,22 @@ def _build_algorithm(spec):
 
         instance = build_conformance_instance(**build_kwargs)
         ess, contours = instance.ess, instance.contours
+    elif spec.kind == "adversarial":
+        from repro.arena.adversarial import build_adversarial_instance
+
+        instance = build_adversarial_instance(**build_kwargs)
+        ess, contours = instance.ess, instance.contours
     else:
         raise ValueError(f"unknown sweep spec kind {spec.kind!r}")
-    factory = _factories()[spec.algorithm]
+    factories = _factories()
+    factory = factories.get(spec.algorithm)
+    if factory is None:
+        from repro.errors import ReproError
+
+        raise ReproError(
+            f"sweep spec names unregistered algorithm "
+            f"{spec.algorithm!r}; registered: {sorted(factories)}"
+        )
     algo_kwargs = dict(spec.algo_kwargs)
     if "prior" in algo_kwargs:
         from repro.prior import prior_from_spec

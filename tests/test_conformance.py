@@ -175,6 +175,71 @@ class TestRunCheck:
         monitor.check_run(result, toy_pb)
         assert "lambda-accounting" in monitor.violations_by_invariant()
 
+    @staticmethod
+    def _first_completed_spill(result):
+        for k, rec in enumerate(result.executions):
+            if rec.mode == "spill" and rec.completed:
+                return k, rec
+        raise AssertionError("run recorded no completed spill")
+
+    def test_duplicate_spill_after_exact_learning_fires(self, toy_sb):
+        # Lemma 3.1: once an epp is learnt exactly, spilling on it again
+        # breaks half-space pruning.
+        monitor = ConformanceMonitor()
+        result = toy_sb.run(0, trace=True)
+        k, rec = self._first_completed_spill(result)
+        result.executions = (list(result.executions[:k + 1]) + [rec]
+                             + list(result.executions[k + 1:]))
+        monitor.check_run(result, toy_sb)
+        assert "halfspace" in monitor.violations_by_invariant()
+
+    def test_bound_above_later_learning_fires(self, toy_sb):
+        # A killed spill's lower bound sitting above a later exact learn
+        # of the same epp breaks learned-bound monotonicity.
+        monitor = ConformanceMonitor()
+        result = toy_sb.run(0, trace=True)
+        k, rec = self._first_completed_spill(result)
+        qa_sel = float(toy_sb.ess.grid.selectivity(
+            rec.spill_dim, result.qa_coords[rec.spill_dim]))
+        fake_kill = dataclasses.replace(
+            rec, completed=False, charged=rec.budget,
+            learned_selectivity=qa_sel * 2.0)
+        result.executions = ([fake_kill] + list(result.executions)
+                             if k == 0 else
+                             list(result.executions[:k]) + [fake_kill]
+                             + list(result.executions[k:]))
+        monitor.check_run(result, toy_sb)
+        assert "learned-monotonic" in monitor.violations_by_invariant()
+
+    def test_tampered_spill_budget_fires(self, toy_sb):
+        monitor = ConformanceMonitor()
+        result = toy_sb.run(0, trace=True)
+        k, rec = self._first_completed_spill(result)
+        result.executions = (
+            list(result.executions[:k])
+            + [dataclasses.replace(rec, budget=rec.budget * 1.5)]
+            + list(result.executions[k + 1:]))
+        monitor.check_run(result, toy_sb)
+        assert "budget-ladder" in monitor.violations_by_invariant()
+
+    def test_tampered_ladder_start_fires(self, toy_ess, toy_contours):
+        from repro.prior import make_prior
+
+        prior = make_prior("sampled", toy_ess.query, toy_ess)
+        scheduled = SpillBound(toy_ess, toy_contours, prior=prior)
+        schedule = scheduled.prior_schedule()
+        assert schedule.active
+        monitor = ConformanceMonitor()
+        result = scheduled.run(0, trace=True)
+        monitor.check_run(result, scheduled)
+        assert monitor.ok, monitor.violations
+        band = schedule.qa_band(0)
+        result.executions = [
+            dataclasses.replace(result.executions[0], contour=band + 3)
+        ] + list(result.executions[1:])
+        monitor.check_run(result, scheduled)
+        assert "ladder-start" in monitor.violations_by_invariant()
+
 
 class TestBitIdentityCheck:
     def test_identical_arrays_pass(self, toy_sb):
@@ -199,6 +264,31 @@ class TestBitIdentityCheck:
         monitor = ConformanceMonitor()
         assert not monitor.check_bit_identity(np.ones(4), np.ones(5), toy_sb)
         assert not monitor.ok
+
+
+class TestPriorInertCheck:
+    def test_identical_sweeps_pass(self, toy_sb):
+        monitor = ConformanceMonitor()
+        a = np.linspace(1.0, 3.0, 9)
+        assert monitor.check_prior_inertness(a, a.copy(), toy_sb)
+        assert monitor.ok
+
+    def test_perturbed_uniform_sweep_fires(self, toy_sb):
+        monitor = ConformanceMonitor()
+        a = np.linspace(1.0, 3.0, 9)
+        b = a.copy()
+        b[2] = np.nextafter(b[2], 4.0)
+        assert not monitor.check_prior_inertness(a, b, toy_sb)
+        violation = monitor.violations[0]
+        assert violation.invariant == "prior-inert"
+        assert violation.details["num_mismatches"] == 1
+        assert violation.details["first_mismatch"] == 2
+
+    def test_shape_mismatch_fires(self, toy_sb):
+        monitor = ConformanceMonitor()
+        assert not monitor.check_prior_inertness(np.ones(4), np.ones(5),
+                                                 toy_sb)
+        assert [v.invariant for v in monitor.violations] == ["prior-inert"]
 
 
 class TestEngineReportCheck:
