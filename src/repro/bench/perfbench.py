@@ -30,6 +30,11 @@ every PR can append a comparable data point:
 * **arena** — the head-to-head arena: guaranteed algorithms vs the
   fixed-plan rivals over shared seeded workloads, MSO/ASO per cell and
   a conformance verdict (see :mod:`repro.arena.report`);
+* **observability** — end-to-end request tracing economics: paired
+  tracing-off/on serving bursts (median p50 overhead, budget < 2%),
+  served bit-identity traced vs untraced vs solo, and the merged
+  multi-process trace proof
+  (:func:`repro.serve.loadgen.bench_observability`);
 * **timers** — the process-global phase profile (ess_build / contour /
   sweep timings, cache hit counters) accumulated while benchmarking.
 
@@ -120,7 +125,16 @@ def validate_artifact_path(path):
 #: per-algorithm aggregates and a conformance-monitor violation count
 #: (the guarantees are asserted for pb/sb/ab while the rivals, which
 #: have none, are exempt).
-BENCH_SCHEMA_VERSION = 8
+#: v9: adds ``observability`` — end-to-end request-tracing economics
+#: against the in-process server
+#: (:func:`repro.serve.loadgen.bench_observability`): paired
+#: tracing-off/tracing-on closed-loop bursts (median relative p50
+#: delta as ``overhead_pct``, budget < 2%), a served bit-identity
+#: check traced vs untraced vs solo, and a structural proof that one
+#: traced request fanning a nested parallel sweep yields a single
+#: merged multi-process trace (front-end, pool-worker and
+#: sweep-worker spans under one trace id, wall-clock ordered).
+BENCH_SCHEMA_VERSION = 9
 
 #: Timing repeats per engine; the minimum is reported (the minimum is
 #: the least noise-contaminated observation of a deterministic
@@ -729,9 +743,10 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
             os.environ["REPRO_ESS"] = previous_env
     ess_build_stats = bench_ess_build(query, profile, resolution=resolution,
                                       big_cell=ess_big_cell)
-    from repro.serve.loadgen import bench_serving
+    from repro.serve.loadgen import bench_observability, bench_serving
 
     serving_stats = bench_serving()
+    observability_stats = bench_observability()
     anytime_stats = bench_anytime(
         num_workloads=(ANYTIME_WORKLOADS if anytime_workloads is None
                        else anytime_workloads))
@@ -753,6 +768,7 @@ def run_bench(json_path=None, query="3D_Q91", profile=None, workers=4,
         "tracing": tracing_stats,
         "ess_build": ess_build_stats,
         "serving": serving_stats,
+        "observability": observability_stats,
         "anytime": anytime_stats,
         "arena": arena_stats,
     }

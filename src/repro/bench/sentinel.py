@@ -1,0 +1,208 @@
+"""Perf-regression sentinel: gate a bench run against the ledger.
+
+``repro bench --sentinel`` compares the *current* bench payload
+against the committed ``BENCH_pr*.json`` baselines (the same artifacts
+the trajectory table merges, through the same
+:data:`repro.bench.trajectory._METRICS` extractors) and produces a
+machine-readable verdict.  A regression makes the CLI exit 1, which is
+what turns the committed artifacts into a CI gate instead of a chart.
+
+Tolerances are deliberately *wide* and direction-aware.  The committed
+baselines were measured on full-resolution profiles on developer
+hardware; CI reruns the bench on the smoke profile inside a container,
+so a 30% delta is weather, not signal.  What the sentinel is built to
+catch is the order-of-magnitude collapse — a cache that stopped
+caching, a batcher that fell back to the loop, a serving tier whose
+p99 exploded — while letting profile and hardware drift through:
+
+* ``higher_better`` (speedups, rps, call reductions): regression when
+  the current value falls below ``threshold`` (a ratio, default 0.25)
+  times the baseline.
+* ``lower_better`` (latencies): regression when the current value
+  exceeds ``threshold`` (default 4.0) times the baseline.
+* ``pct_ceiling`` (overhead percentages, which legitimately hover
+  around zero so ratios are meaningless): regression when the current
+  value exceeds ``threshold`` percentage points outright.
+
+A metric missing from either side is recorded as skipped, never
+failed: old artifacts predate newer schema sections, and a bench run
+with a section disabled should not trip the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench.report import format_table
+from repro.bench.trajectory import _METRICS, discover_artifacts
+from repro.errors import ReproError
+
+#: Verdict schema tag.
+SENTINEL_SCHEMA = "repro.sentinel.v1"
+
+#: ``metric key -> (rule, threshold)``; see the module docstring for
+#: rule semantics.  Keys follow :data:`repro.bench.trajectory._METRICS`.
+DEFAULT_RULES = {
+    "cache_speedup": ("higher_better", 0.25),
+    "batched_sweep": ("higher_better", 0.25),
+    "parallel_sweep": ("higher_better", 0.25),
+    "wallclock": ("higher_better", 0.25),
+    "tracing_overhead": ("pct_ceiling", 10.0),
+    "lazy_ess_calls": ("higher_better", 0.25),
+    "serving_rps": ("higher_better", 0.25),
+    "serving_p99": ("lower_better", 4.0),
+    "anytime_sampled": ("higher_better", 0.25),
+    "anytime_history": ("higher_better", 0.25),
+    "observability_overhead": ("pct_ceiling", 10.0),
+}
+
+
+def load_baselines(directory=None, exclude=None):
+    """Committed baseline payloads, PR order: ``[(pr, name, payload)]``.
+
+    ``exclude`` drops one artifact by path or basename — the artifact
+    the current run just wrote must not serve as its own baseline.
+    """
+    skip = os.path.basename(exclude) if exclude else None
+    baselines = []
+    for pr, path in discover_artifacts(directory):
+        if skip and os.path.basename(path) == skip:
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        baselines.append((pr, os.path.basename(path), payload))
+    return baselines
+
+
+def _latest_value(baselines, extract):
+    """Newest baseline carrying the metric: ``(pr, raw value)``."""
+    for pr, _name, payload in reversed(baselines):
+        cell = extract(payload)
+        if cell is not None and cell[0] is not None:
+            return pr, float(cell[0])
+    return None, None
+
+
+def _apply_rule(rule, threshold, baseline, current):
+    """``(status, limit)`` for one metric under one rule."""
+    if rule == "higher_better":
+        limit = baseline * threshold
+        return ("regression" if current < limit else "ok"), limit
+    if rule == "lower_better":
+        limit = baseline * threshold
+        return ("regression" if current > limit else "ok"), limit
+    if rule == "pct_ceiling":
+        return ("regression" if current > threshold else "ok"), threshold
+    raise ReproError(f"unknown sentinel rule {rule!r}")
+
+
+def evaluate_sentinel(current, baselines, rules=None):
+    """Judge one bench payload against the baselines.
+
+    Args:
+        current: the current bench payload (the dict ``run_bench``
+            returns / ``BENCH_prN.json`` holds).
+        baselines: output of :func:`load_baselines`.
+        rules: optional ``{metric: (rule, threshold)}`` override;
+            defaults to :data:`DEFAULT_RULES`.
+
+    Returns the verdict dict: ``ok`` (no regressions), ``regressions``
+    (count) and one entry per ledger metric under ``checks`` with the
+    baseline provenance, the applied band, and a status of ``ok`` /
+    ``regression`` / ``skipped``.
+    """
+    rules = dict(DEFAULT_RULES if rules is None else rules)
+    checks = []
+    for key, label, extract in _METRICS:
+        entry = {"metric": key, "label": label}
+        rule, threshold = rules.get(key, (None, None))
+        cell = extract(current)
+        value = None if cell is None else cell[0]
+        base_pr, base_value = _latest_value(baselines, extract)
+        if rule is None:
+            entry.update(status="skipped", reason="no rule")
+        elif value is None:
+            entry.update(status="skipped", reason="metric absent from "
+                                                  "current run")
+        elif base_value is None and rule != "pct_ceiling":
+            # pct_ceiling bands are absolute, so they judge even a
+            # brand-new metric with no committed baseline yet.
+            entry.update(status="skipped", reason="no committed baseline")
+        else:
+            status, limit = _apply_rule(rule, threshold, base_value,
+                                        float(value))
+            entry.update(
+                status=status,
+                current=float(value),
+                baseline=base_value,
+                baseline_pr=base_pr,
+                rule=rule,
+                threshold=threshold,
+                limit=limit,
+            )
+        checks.append(entry)
+    regressions = sum(1 for c in checks if c["status"] == "regression")
+    return {
+        "schema": SENTINEL_SCHEMA,
+        "ok": regressions == 0,
+        "regressions": regressions,
+        "checked": sum(1 for c in checks if c["status"] != "skipped"),
+        "baselines": [{"pr": pr, "path": name}
+                      for pr, name, _payload in baselines],
+        "checks": checks,
+    }
+
+
+def run_sentinel(current, directory=None, exclude=None, rules=None):
+    """Load baselines and judge ``current`` (payload dict or path)."""
+    if isinstance(current, str):
+        exclude = exclude or current
+        try:
+            with open(current, encoding="utf-8") as handle:
+                current = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot read bench artifact {current!r}: {exc}"
+            ) from None
+    baselines = load_baselines(directory, exclude=exclude)
+    return evaluate_sentinel(current, baselines, rules=rules)
+
+
+def render_sentinel(verdict):
+    """The verdict as a printable table plus a one-line summary."""
+    rows = []
+    for check in verdict["checks"]:
+        if check["status"] == "skipped":
+            rows.append([check["label"], "skipped",
+                         check.get("reason", ""), "", ""])
+            continue
+        band = (f"> {check['limit']:.3g}" if check["rule"] == "lower_better"
+                else f"> {check['limit']:.3g} pts"
+                if check["rule"] == "pct_ceiling"
+                else f"< {check['limit']:.3g}")
+        base = ("-" if check.get("baseline") is None
+                else f"{check['baseline']:.3g} (PR{check['baseline_pr']})")
+        rows.append([
+            check["label"],
+            check["status"].upper() if check["status"] == "regression"
+            else check["status"],
+            f"{check['current']:.3g}",
+            base,
+            f"regression when {band}",
+        ])
+    table = format_table(
+        "perf-regression sentinel",
+        ["measurement", "status", "current", "baseline", "band"],
+        rows,
+    )
+    summary = (
+        f"sentinel: OK — {verdict['checked']} metrics within tolerance"
+        if verdict["ok"] else
+        f"sentinel: REGRESSION — {verdict['regressions']} of "
+        f"{verdict['checked']} metrics outside tolerance"
+    )
+    return f"{table}\n{summary}"

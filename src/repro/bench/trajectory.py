@@ -3,7 +3,8 @@
 Each PR's ``repro bench --json BENCH_prN.json`` freezes that PR's
 performance story at its own schema version (v1 parallel sweeps, v2
 batched sweeps, v3 wallclock, v5 tracing + lazy ESS, v6 serving, v7
-anytime priors).  ``repro bench --trajectory`` merges them into a
+anytime priors, v8 arena, v9 request observability).  ``repro bench
+--trajectory`` merges them into a
 single measurement x PR table, so the repo's whole speedup history is
 readable in one place — and a regression between PRs is visible as a
 column-to-column drop instead of being buried in per-PR JSON.
@@ -107,6 +108,13 @@ def _serving_p99(payload):
     return float(value), f"{float(value) * 1000:.0f} ms"
 
 
+def _observability_overhead(payload):
+    value = payload.get("observability", {}).get("overhead_pct")
+    if value is None:
+        return None
+    return float(value), f"{float(value):+.1f}%"
+
+
 def _anytime(mode):
     def extract(payload):
         stats = payload.get("anytime", {}).get("modes", {}).get(mode, {})
@@ -129,6 +137,8 @@ _METRICS = (
     ("serving_p99", "serving p99 latency", _serving_p99),
     ("anytime_sampled", "sampled prior vs uniform", _anytime("sampled")),
     ("anytime_history", "history prior vs uniform", _anytime("history")),
+    ("observability_overhead", "request tracing overhead",
+     _observability_overhead),
 )
 
 

@@ -422,9 +422,44 @@ def _cmd_bench_trajectory(args):
     return 0
 
 
+def _run_sentinel_gate(args, payload, exclude):
+    """Judge ``payload`` against the committed baselines; exit status."""
+    from repro.bench.sentinel import (evaluate_sentinel, load_baselines,
+                                      render_sentinel)
+
+    baselines = load_baselines(args.trajectory_dir, exclude=exclude)
+    verdict = evaluate_sentinel(payload, baselines)
+    print(render_sentinel(verdict))
+    if args.sentinel_json:
+        import json as json_module
+
+        from repro.bench.perfbench import validate_artifact_path
+
+        validate_artifact_path(args.sentinel_json)
+        with open(args.sentinel_json, "w", encoding="utf-8") as handle:
+            json_module.dump(verdict, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.sentinel_json}")
+    return 0 if verdict["ok"] else 1
+
+
 def cmd_bench(args):
     if args.trajectory:
         return _cmd_bench_trajectory(args)
+    if args.sentinel and args.sentinel_artifact:
+        # Judge an artifact that already exists — no fresh bench run.
+        import json as json_module
+
+        try:
+            with open(args.sentinel_artifact, encoding="utf-8") as handle:
+                payload = json_module.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot read bench artifact "
+                f"{args.sentinel_artifact!r}: {exc}"
+            ) from None
+        return _run_sentinel_gate(args, payload,
+                                  exclude=args.sentinel_artifact)
     from repro.bench.perfbench import run_bench
 
     payload = run_bench(
@@ -523,6 +558,19 @@ def cmd_bench(args):
             f"ASO {stats['aso_mean']:.2f}, "
             f"{an['violations']} violations",
         ])
+    ob = payload["observability"]
+    merged = ob["merged_trace"]
+    rows.append([
+        "request tracing on vs off",
+        f"{ob['overhead_pct']:+.1f}%",
+        "bit-identical" if ob["all_identical"] else "MISMATCH",
+    ])
+    rows.append([
+        "merged multi-process trace",
+        f"{merged.get('spans', 0)} spans / "
+        f"{len(merged.get('pids', []))} pids",
+        "single tree" if merged.get("ok") else "BROKEN",
+    ])
     print(format_table(
         f"perf bench on {cache['query']} "
         f"({cache['grid_points']} locations, "
@@ -532,6 +580,8 @@ def cmd_bench(args):
     ))
     if args.json:
         print(f"wrote {args.json}")
+    if args.sentinel:
+        return _run_sentinel_gate(args, payload, exclude=args.json)
     return 0
 
 
@@ -668,6 +718,32 @@ TRACE_FORMATS = ("all", "jsonl", "html")
 STATS_FORMATS = ("prom", "json")
 
 
+def _cmd_trace_from_jsonl(args, out):
+    """Render an existing (possibly multi-process) JSONL trace: the
+    merged tree as text, plus the wall-clock timeline HTML."""
+    from repro.obs.export import read_trace_jsonl, render_trace_tree
+    from repro.obs.waterfall import write_trace_html
+
+    try:
+        meta, spans = read_trace_jsonl(args.from_jsonl)
+    except (OSError, ValueError) as exc:
+        raise ReproError(
+            f"cannot read trace {args.from_jsonl!r}: {exc}"
+        ) from None
+    if not spans:
+        raise ReproError(f"trace {args.from_jsonl!r} holds no spans")
+    print(render_trace_tree(meta or {}, spans))
+    if args.format in ("all", "html"):
+        trace_id = (meta or {}).get("trace_id", "trace")
+        path = write_trace_html(
+            os.path.join(out, f"{trace_id}.timeline.html"),
+            meta or {}, spans,
+            title=f"trace {trace_id}",
+        )
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_trace(args):
     from repro.obs.export import write_trace_jsonl
     from repro.obs.runtrace import traced_run
@@ -688,6 +764,11 @@ def cmd_trace(args):
         raise ReproError(
             f"cannot create output directory {out!r}: {exc}"
         ) from None
+    if args.from_jsonl:
+        return _cmd_trace_from_jsonl(args, out)
+    if not args.query:
+        raise ReproError("give --query to trace a run, or --from-jsonl "
+                         "to render an existing trace file")
 
     instance = workloads.load(args.query, profile=args.profile)
     qa = _parse_qa(args.qa) if args.qa else instance.query.true_location()
@@ -765,6 +846,9 @@ def cmd_serve(args):
         cache_mb=args.cache_mb, profile=args.profile, ess_mode=args.ess,
         prior=_resolve_prior_kind(args),
         conformance=args.conformance, drain_timeout_s=args.drain_timeout,
+        trace_every=args.trace_every, trace_dir=args.trace_dir,
+        audit_path=args.audit, audit_threshold_s=args.audit_threshold,
+        audit_every=args.audit_sample,
     )
     return asyncio.run(serve_forever(config))
 
@@ -782,6 +866,7 @@ def cmd_loadgen(args):
         args.host, args.port, queries=queries, total=args.requests,
         concurrency=args.concurrency, algorithm=args.algorithm,
         kind=args.kind, tenants=tenants, sleep_s=args.sleep,
+        trace_every=args.trace_every,
     )
     summary.pop("records", None)
     latency = summary["latency_s"]
@@ -794,6 +879,7 @@ def cmd_loadgen(args):
          ["p90 latency", f"{latency['p90'] * 1000:.1f} ms"],
          ["p99 latency", f"{latency['p99'] * 1000:.1f} ms"],
          ["max latency", f"{latency['max'] * 1000:.1f} ms"],
+         ["traced", str(summary["traced"])],
          ["outcomes", str(summary["outcomes"])],
          ["status codes", str(summary["status_codes"])]],
     ))
@@ -895,8 +981,13 @@ def build_parser():
                    help="write a JSONL span trace of the run to this file")
 
     p = sub.add_parser("trace", help="trace one discovery run "
-                       "(JSONL + budget-waterfall HTML)")
-    p.add_argument("--query", required=True)
+                       "(JSONL + budget-waterfall HTML), or render an "
+                       "existing JSONL trace with --from-jsonl")
+    p.add_argument("--query", default=None)
+    p.add_argument("--from-jsonl", default=None, metavar="PATH",
+                   help="render an existing JSONL trace (e.g. one the "
+                   "server spooled): merged multi-process tree as text "
+                   "plus a wall-clock timeline HTML")
     p.add_argument("--algorithm", default="sb",
                    choices=["pb", "sb", "ab", "native"])
     p.add_argument("--qa", default=None,
@@ -939,6 +1030,16 @@ def build_parser():
     p.add_argument("--trajectory-dir", default=None,
                    help="directory holding the BENCH artifacts "
                    "(default: current directory)")
+    p.add_argument("--sentinel", action="store_true",
+                   help="after benchmarking, judge the run against the "
+                   "committed BENCH_pr*.json baselines and exit 1 on "
+                   "any metric outside its tolerance band")
+    p.add_argument("--sentinel-artifact", default=None, metavar="PATH",
+                   help="with --sentinel: judge this existing artifact "
+                   "instead of running a fresh bench")
+    p.add_argument("--sentinel-json", default=None, metavar="PATH",
+                   help="with --sentinel: write the machine-readable "
+                   "verdict to this path")
     _add_ess_arg(p)
 
     p = sub.add_parser("check", help="guarantee-conformance suite")
@@ -1004,6 +1105,22 @@ def build_parser():
                    help="run every request under the conformance monitor")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to wait for in-flight requests on drain")
+    p.add_argument("--trace-every", type=int, default=None,
+                   help="trace every Nth request (0 disables; default "
+                   "REPRO_SERVE_TRACE); per-request 'trace' fields "
+                   "override the sampling")
+    p.add_argument("--trace-dir", default=None,
+                   help="spool each traced request's merged JSONL trace "
+                   "into this directory (default REPRO_SERVE_TRACE_DIR)")
+    p.add_argument("--audit", default=None, metavar="PATH",
+                   help="append slow/sampled request records to this "
+                   "JSONL audit log (default REPRO_SERVE_AUDIT)")
+    p.add_argument("--audit-threshold", type=float, default=None,
+                   help="seconds beyond which a request is audited as "
+                   "slow (default REPRO_SERVE_AUDIT_THRESHOLD_S, 1.0)")
+    p.add_argument("--audit-sample", type=int, default=None,
+                   help="also audit every Nth request (0 disables; "
+                   "default REPRO_SERVE_AUDIT_SAMPLE)")
     _add_ess_arg(p)
     _add_prior_arg(p)
 
@@ -1024,6 +1141,9 @@ def build_parser():
     p.add_argument("--kind", default="run", choices=["run", "evaluate"])
     p.add_argument("--sleep", type=float, default=0.0,
                    help="synthetic per-request service seconds")
+    p.add_argument("--trace-every", type=int, default=0,
+                   help="force tracing on every Nth request "
+                   "(0: defer to the server's sampling policy)")
     p.add_argument("--json", default=None,
                    help="write the latency summary to this path")
 

@@ -15,8 +15,11 @@ always on (counter bumps are one dict update, the same deal the old
 
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import (
+    TraceContext,
     Tracer,
     active_tracer,
+    child_tracer,
+    current_context,
     enabled,
     install_tracer,
     span,
@@ -25,8 +28,11 @@ from repro.obs.trace import (
 __all__ = [
     "REGISTRY",
     "MetricsRegistry",
+    "TraceContext",
     "Tracer",
     "active_tracer",
+    "child_tracer",
+    "current_context",
     "enabled",
     "install_tracer",
     "span",

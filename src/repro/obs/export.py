@@ -66,8 +66,26 @@ def _fmt_value(value):
     return repr(value)
 
 
-def prometheus_text(registry):
-    """Render a registry's series as Prometheus text exposition."""
+def _render_exemplar(exemplar):
+    """OpenMetrics exemplar suffix: ``# {labels} value timestamp``."""
+    labels = _render_labels(sorted(exemplar.get("labels", {}).items()))
+    ts = exemplar.get("timestamp_s")
+    suffix = f" # {labels or '{}'} {_fmt_value(exemplar['value'])}"
+    if ts is not None:
+        suffix += f" {ts:.3f}"
+    return suffix
+
+
+def prometheus_text(registry, exemplars=False):
+    """Render a registry's series as Prometheus text exposition.
+
+    With ``exemplars=True`` the ``+Inf`` bucket line of any histogram
+    that recorded an exemplar gains an OpenMetrics-style
+    ``# {trace_id="..."} value ts`` suffix.  This is opt-in because
+    plain text-format consumers (including our own loadgen scraper)
+    split sample lines on the last space; the default output stays
+    strict 0.0.4.
+    """
     counters, gauges, histograms, phases = registry.series()
     lines = []
 
@@ -93,10 +111,13 @@ def prometheus_text(registry):
                 f"{_render_labels(labels, [('le', _fmt_value(bound))])} "
                 f"{cumulative}"
             )
-        rows.append(
+        inf_line = (
             f"{metric}_bucket{_render_labels(labels, [('le', '+Inf')])} "
             f"{dump['count']}"
         )
+        if exemplars and dump.get("exemplar"):
+            inf_line += _render_exemplar(dump["exemplar"])
+        rows.append(inf_line)
         rows.append(
             f"{metric}_sum{_render_labels(labels)} "
             f"{_fmt_value(dump['sum'])}"
@@ -168,3 +189,80 @@ def _jsonable(value):
     if hasattr(value, "tolist"):
         return value.tolist()
     return str(value)
+
+
+# -- merged multi-process trace trees ---------------------------------
+
+
+def span_tree(spans):
+    """Arrange span records into parent→children order.
+
+    Accepts the record dicts from :func:`read_trace_jsonl` (or
+    ``Span.to_record()``), possibly spliced from several processes.
+    Children sort by their ``time_unix_ns`` wall-clock anchor — the
+    only clock comparable across processes — falling back to
+    ``start_ns`` for legacy single-process traces.  Returns
+    ``(roots, children)`` where ``children`` maps span_id → ordered
+    child records; spans whose parent never shipped (e.g. dropped by
+    the ring) surface as roots so nothing silently disappears.
+    """
+    by_id = {rec["span_id"]: rec for rec in spans}
+
+    def sort_key(rec):
+        return (rec.get("time_unix_ns") or 0, rec.get("start_ns") or 0)
+
+    children = {}
+    roots = []
+    for rec in spans:
+        parent = rec.get("parent_id") or ""
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(rec)
+        else:
+            roots.append(rec)
+    for kids in children.values():
+        kids.sort(key=sort_key)
+    roots.sort(key=sort_key)
+    return roots, children
+
+
+def render_trace_tree(meta, spans, max_spans=200):
+    """Plain-text rendering of a (possibly multi-process) trace tree.
+
+    One line per span: indent by depth, name, duration, wall-clock
+    offset from the earliest span, and the originating pid when the
+    span carries one.  Used by ``repro trace --from-jsonl`` and the
+    serve-smoke CI step to eyeball merged trees.
+    """
+    roots, children = span_tree(spans)
+    anchors = [r.get("time_unix_ns") or 0 for r in spans]
+    t0 = min((a for a in anchors if a), default=0)
+    lines = []
+    if meta:
+        lines.append(
+            f"trace {meta.get('trace_id', '?')} — {len(spans)} spans, "
+            f"{meta.get('dropped', 0)} dropped"
+        )
+    emitted = 0
+
+    def walk(rec, depth):
+        nonlocal emitted
+        if emitted >= max_spans:
+            return
+        emitted += 1
+        dur_ms = (rec.get("end_ns", 0) - rec.get("start_ns", 0)) / 1e6
+        anchor = rec.get("time_unix_ns") or 0
+        offset_ms = (anchor - t0) / 1e6 if anchor and t0 else 0.0
+        pid = (rec.get("attrs") or {}).get("pid")
+        suffix = f"  [pid {pid}]" if pid is not None else ""
+        lines.append(
+            f"{'  ' * depth}{rec['name']}  {dur_ms:.3f} ms  "
+            f"(+{offset_ms:.3f} ms){suffix}"
+        )
+        for kid in children.get(rec["span_id"], ()):
+            walk(kid, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    if emitted < len(spans):
+        lines.append(f"... {len(spans) - emitted} more spans elided")
+    return "\n".join(lines)

@@ -45,6 +45,23 @@ DEFAULT_BUCKETS = (
 
 
 def _series_key(name, labels):
+    """Canonical storage key for a series.
+
+    Labels are sorted by key so insertion order never creates distinct
+    series, and a brace-flattened name (``spills{epp=e1}`` — the form
+    :func:`_flat_name` produces and ``merge()`` round-trips) is parsed
+    back into (name, labels) rather than treated as an opaque metric
+    family.  Both normalizations matter for exposition determinism:
+    two processes that built the same logical series in different
+    orders must render byte-identical scrapes after ``merge()``.
+    """
+    if "{" in name:
+        base, embedded = _unflatten(name)
+        if embedded:
+            merged = dict(embedded)
+            if labels:
+                merged.update(labels)
+            name, labels = base, merged
     if not labels:
         return (name, ())
     return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
@@ -58,21 +75,33 @@ class Histogram:
     (``count`` minus the last cumulative entry).
     """
 
-    __slots__ = ("buckets", "counts", "total", "count")
+    __slots__ = ("buckets", "counts", "total", "count", "exemplar")
 
     def __init__(self, buckets=DEFAULT_BUCKETS):
         self.buckets = tuple(float(b) for b in buckets)
         self.counts = [0] * len(self.buckets)
         self.total = 0.0
         self.count = 0
+        #: Most recent exemplar: ``{"labels": {...}, "value": float,
+        #: "timestamp_s": float}`` or None.  OpenMetrics-style — links
+        #: one concrete observation (e.g. its ``trace_id``) to the
+        #: aggregate so a scrape can jump from a latency histogram to
+        #: the trace that produced an outlier.
+        self.exemplar = None
 
-    def observe(self, value):
+    def observe(self, value, exemplar=None):
         value = float(value)
         self.total += value
         self.count += 1
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
+        if exemplar:
+            self.exemplar = {
+                "labels": {str(k): str(v) for k, v in exemplar.items()},
+                "value": value,
+                "timestamp_s": time.time(),
+            }
 
     def merge(self, data):
         """Fold a plain-data dump (same bucket layout) into this one."""
@@ -85,14 +114,24 @@ class Histogram:
             self.counts[i] += int(c)
         self.total += float(data["sum"])
         self.count += int(data["count"])
+        incoming = data.get("exemplar")
+        if incoming and (
+            self.exemplar is None
+            or incoming.get("timestamp_s", 0.0)
+            >= self.exemplar.get("timestamp_s", 0.0)
+        ):
+            self.exemplar = dict(incoming)
 
     def dump(self):
-        return {
+        out = {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "sum": self.total,
             "count": self.count,
         }
+        if self.exemplar is not None:
+            out["exemplar"] = dict(self.exemplar)
+        return out
 
 
 class MetricsRegistry:
@@ -126,11 +165,14 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(_series_key(name, labels), default)
 
-    def observe(self, name, value, labels=None, buckets=None):
+    def observe(self, name, value, labels=None, buckets=None, exemplar=None):
         """Record one observation into a fixed-bucket histogram.
 
         The bucket layout is fixed by the series' first observation;
         later ``buckets`` arguments for the same series are ignored.
+        ``exemplar`` optionally attaches a label dict (e.g.
+        ``{"trace_id": ...}``) linking this concrete observation to a
+        trace; the series keeps the most recent one.
         """
         key = _series_key(name, labels)
         with self._lock:
@@ -138,7 +180,7 @@ class MetricsRegistry:
             if hist is None:
                 hist = Histogram(buckets or DEFAULT_BUCKETS)
                 self._histograms[key] = hist
-            hist.observe(value)
+            hist.observe(value, exemplar=exemplar)
 
     def record_phase(self, name, seconds):
         """Add an externally measured duration to a named phase."""

@@ -239,3 +239,165 @@ def write_waterfall_html(path, rows, meta=None, title="budget waterfall"):
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(waterfall_html(rows, meta=meta, title=title))
     return path
+
+
+# -- merged multi-process trace timeline ------------------------------
+
+
+def _flatten_tree(spans):
+    """Depth-first (root-first) rows: ``(record, depth)`` pairs, using
+    the wall-clock ordering from :func:`repro.obs.export.span_tree`."""
+    from repro.obs.export import span_tree
+
+    roots, children = span_tree(spans)
+    rows = []
+
+    def walk(rec, depth):
+        rows.append((rec, depth))
+        for kid in children.get(rec["span_id"], ()):
+            walk(kid, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return rows
+
+
+def trace_timeline_svg(spans, title="trace timeline", subtitle=""):
+    """Gantt-style SVG of a merged multi-process trace.
+
+    One row per span in tree order (indented by depth); bars are
+    positioned on the shared wall-clock axis (``time_unix_ns``) so
+    front-end, pool-worker and sweep-worker spans line up correctly
+    even though their ``perf_counter_ns`` durations come from
+    different processes.  Bar colour identifies the originating pid.
+    """
+    rows = _flatten_tree(spans)[:MAX_ROWS]
+    hidden = max(len(spans) - len(rows), 0)
+    anchors = [r.get("time_unix_ns") or 0 for r, _ in rows]
+    t0 = min((a for a in anchors if a), default=0)
+    ends = [
+        (r.get("time_unix_ns") or 0)
+        + max(r.get("end_ns", 0) - r.get("start_ns", 0), 0)
+        for r, _ in rows
+    ]
+    span_ns = max((e - t0 for e in ends), default=1) or 1
+
+    left, right_pad = 250, 30
+    width = 960
+    right = width - right_pad
+    top = 92 if subtitle else 76
+    bottom = top + max(len(rows), 1) * ROW_HEIGHT
+    height = bottom + 64
+    canvas = _Canvas(width, height, title)
+    canvas.text(left, 26, title, size=15, fill=TEXT_PRIMARY, weight="600")
+    if subtitle:
+        canvas.text(left, 44, subtitle, size=12)
+
+    def x_of(anchor_ns):
+        return left + (anchor_ns - t0) / span_ns * (right - left)
+
+    # Time gridlines: quarters of the total window.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = left + frac * (right - left)
+        canvas.line(x, top - 6, x, bottom, GRID, 1)
+        canvas.text(x, bottom + 16, f"{frac * span_ns / 1e6:.1f} ms",
+                    size=10, anchor="middle")
+    canvas.line(left, bottom, right, bottom, AXIS, 1)
+    canvas.text((left + right) / 2, bottom + 32,
+                "wall clock since first span", size=11, anchor="middle")
+
+    pids = []
+    for rec, _ in rows:
+        pid = (rec.get("attrs") or {}).get("pid")
+        if pid is not None and pid not in pids:
+            pids.append(pid)
+    pid_color = {
+        pid: SERIES_COLORS[i % len(SERIES_COLORS)]
+        for i, pid in enumerate(pids)
+    }
+
+    for i, (rec, depth) in enumerate(rows):
+        y = top + i * ROW_HEIGHT
+        y_bar = y + (ROW_HEIGHT - BAR_THICKNESS) / 2
+        anchor = rec.get("time_unix_ns") or t0
+        dur_ns = max(rec.get("end_ns", 0) - rec.get("start_ns", 0), 0)
+        pid = (rec.get("attrs") or {}).get("pid")
+        color = pid_color.get(pid, TEXT_SECONDARY)
+        label = f"{'· ' * depth}{rec['name']}"
+        canvas.text(left - 8, y + ROW_HEIGHT / 2 + 4, label[:40],
+                    size=10, anchor="end")
+        x = x_of(anchor)
+        bar_w = max(dur_ns / span_ns * (right - left), 2)
+        canvas.parts.append("<g>")
+        canvas.rect(x, y_bar, bar_w, BAR_THICKNESS, color, rounded_top=0)
+        tip = (
+            f"{rec['name']} | {dur_ns / 1e6:.3f} ms | "
+            f"+{(anchor - t0) / 1e6:.3f} ms"
+            + (f" | pid {pid}" if pid is not None else "")
+        )
+        canvas.parts.append(f"<title>{_esc(tip)}</title></g>")
+
+    if hidden > 0:
+        canvas.text(left, bottom + 48, f"... {hidden} more spans not drawn",
+                    size=11)
+
+    # Legend: one swatch per process.
+    x = left
+    y = height - 14
+    for pid in pids[:8]:
+        canvas.rect(x, y - 9, 12, 12, pid_color[pid])
+        canvas.text(x + 16, y + 1, f"pid {pid}", size=11, fill=TEXT_PRIMARY)
+        x += 40 + 7 * len(str(pid))
+    return canvas.render()
+
+
+def trace_timeline_html(meta, spans, title="trace timeline"):
+    """Self-contained HTML wrapper for the merged trace timeline."""
+    meta = dict(meta or {})
+    pids = sorted({
+        (r.get("attrs") or {}).get("pid")
+        for r in spans
+        if (r.get("attrs") or {}).get("pid") is not None
+    })
+    subtitle = (
+        f"trace {meta.get('trace_id', '?')} · {len(spans)} spans · "
+        f"{len(pids) or 1} process(es)"
+    )
+    svg = trace_timeline_svg(spans, title=title, subtitle=subtitle)
+    header_rows = "".join(
+        f"<tr><th>{_esc(key)}</th><td>{_esc(value)}</td></tr>"
+        for key, value in meta.items()
+        if key != "kind"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_esc(title)}</title>
+<style>
+body {{ font-family: -apple-system, 'Segoe UI', Helvetica, Arial,
+        sans-serif; margin: 24px; color: #0b0b0b; background: #fcfcfb; }}
+table {{ border-collapse: collapse; margin-top: 18px; font-size: 13px; }}
+th, td {{ border: 1px solid #e7e6e2; padding: 4px 10px;
+          text-align: left; }}
+th {{ background: #f3f2ef; }}
+caption {{ text-align: left; font-weight: 600; padding: 6px 0; }}
+</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+<table><caption>trace</caption>{header_rows}</table>
+{svg}
+</body>
+</html>
+"""
+
+
+def write_trace_html(path, meta, spans, title="trace timeline"):
+    """Write the merged-trace timeline HTML; creates parent dirs."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_timeline_html(meta, spans, title=title))
+    return path

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import trace as tracing
 from repro.obs.trace import span as obs_span
 from repro.perf.timers import TIMERS
 
@@ -272,25 +273,40 @@ def _build_algorithm(spec):
 
 
 def _evaluate_chunk(task):
-    spec, flats = task
+    spec, flats, trace_wire = task
     # Reset the worker's global profile so this chunk's summary carries
     # exactly its own deltas — the parent merges every chunk summary, so
     # nothing a worker measures is dropped and nothing is double-counted.
     # (Pool workers run only chunks, so the reset clobbers no one.)
     TIMERS.reset()
-    algorithm = _build_algorithm(spec)
-    # Workers chunk *states*, not points: the chunk's locations propagate
-    # as a set through the shared discovery state machine, so the cost of
-    # a chunk scales with the states it touches.
-    from repro.perf.batch import batched_suboptimality
+    # Join the parent's trace when one rides in the task: spans minted
+    # here ship home with the chunk result, exactly like the TIMERS
+    # summary (see repro.obs.trace — cross-process propagation).
+    tracer = tracing.child_tracer(trace_wire)
+    previous = tracing.install_tracer(tracer) if tracer is not None else None
+    try:
+        with tracing.span("sweep.worker", pid=os.getpid(),
+                          points=len(flats)):
+            algorithm = _build_algorithm(spec)
+            # Workers chunk *states*, not points: the chunk's locations
+            # propagate as a set through the shared discovery state
+            # machine, so the cost of a chunk scales with the states it
+            # touches.
+            from repro.perf.batch import batched_suboptimality
 
-    sub = batched_suboptimality(algorithm, flats)
-    if sub is not None:
-        return np.asarray(sub, dtype=float), TIMERS.summary()
-    out = np.empty(len(flats), dtype=float)
-    for i, flat in enumerate(flats):
-        out[i] = algorithm.run(int(flat)).suboptimality
-    return out, TIMERS.summary()
+            sub = batched_suboptimality(algorithm, flats)
+            if sub is not None:
+                out = np.asarray(sub, dtype=float)
+            else:
+                out = np.empty(len(flats), dtype=float)
+                for i, flat in enumerate(flats):
+                    out[i] = algorithm.run(int(flat)).suboptimality
+    finally:
+        if tracer is not None:
+            tracing.install_tracer(previous)
+    spans = [s.to_record() for s in tracer.spans] if tracer is not None \
+        else None
+    return out, TIMERS.summary(), spans
 
 
 # ----------------------------------------------------------------------
@@ -329,10 +345,14 @@ def parallel_suboptimality(spec, flats, workers, ess=None):
         with TIMERS.phase("parallel_sweep"):
             with obs_span("sweep.parallel", workers=workers,
                           points=len(flats), chunks=num_chunks):
+                # Captured inside the sweep.parallel span so worker
+                # spans parent onto it in the merged tree.
+                ctx = tracing.current_context()
+                wire = ctx.to_wire() if ctx is not None else None
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     results = list(
                         pool.map(_evaluate_chunk,
-                                 [(spec, c) for c in chunks])
+                                 [(spec, c, wire) for c in chunks])
                     )
     except Exception:
         TIMERS.incr("parallel_sweep_fallback")
@@ -340,12 +360,16 @@ def parallel_suboptimality(spec, flats, workers, ess=None):
     finally:
         if surface is not None:
             surface.close()
-    parts = [part for part, _ in results]
+    parts = [part for part, _, _ in results]
     # Fold every worker chunk's phase timings and counters back into the
     # parent profile — before this merge, worker measurements vanished
-    # with the pool.
-    for _, worker_summary in results:
+    # with the pool.  Shipped spans splice into the live trace the same
+    # way.
+    active = tracing.active_tracer()
+    for _, worker_summary, worker_spans in results:
         TIMERS.merge(worker_summary)
+        if active is not None and worker_spans:
+            active.splice(worker_spans)
     TIMERS.incr("parallel_sweeps")
     TIMERS.incr("parallel_sweep_points", len(flats))
     TIMERS.incr("parallel_sweep_workers", workers)

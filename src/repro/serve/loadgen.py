@@ -86,10 +86,17 @@ class ServeClient:
     def discover(self, payload):
         return self.request_json("POST", "/v1/discover", payload)
 
-    def metrics_text(self):
-        status, payload = self.request("GET", "/metrics")
+    def metrics_text(self, exemplars=False):
+        path = "/metrics?exemplars=1" if exemplars else "/metrics"
+        status, payload = self.request("GET", path)
         if status != 200:
             raise ReproError(f"/metrics returned HTTP {status}")
+        return payload.decode("utf-8")
+
+    def dashboard_html(self):
+        status, payload = self.request("GET", "/dashboard")
+        if status != 200:
+            raise ReproError(f"/dashboard returned HTTP {status}")
         return payload.decode("utf-8")
 
     def health(self):
@@ -152,13 +159,16 @@ def scrape_counter(text, metric, labels=None):
 
 def run_loadgen(host, port, queries, total=64, concurrency=8,
                 algorithm="sb", kind="run", tenants=("default",),
-                sleep_s=0.0, timeout=120.0, extra=None):
+                sleep_s=0.0, timeout=120.0, extra=None, trace_every=0):
     """Closed-loop burst: ``concurrency`` threads, ``total`` requests.
 
     Requests round-robin over ``queries`` and ``tenants`` by global
-    request index.  Returns the latency/outcome summary (and the raw
-    per-request records under ``"records"`` for callers that aggregate
-    further).
+    request index.  ``trace_every`` > 0 forces ``"trace": true`` on
+    every N-th request (by index) regardless of the server's own
+    sampling policy; traced responses' ``trace_id`` values land on the
+    per-request records and are counted in the summary.  Returns the
+    latency/outcome summary (and the raw per-request records under
+    ``"records"`` for callers that aggregate further).
     """
     queries = list(queries)
     tenants = list(tenants) or ["default"]
@@ -191,6 +201,8 @@ def run_loadgen(host, port, queries, total=64, concurrency=8,
                     payload["sleep_s"] = sleep_s
                 if extra:
                     payload.update(extra)
+                if trace_every and index % trace_every == 0:
+                    payload["trace"] = True
                 start = time.perf_counter()
                 try:
                     status, response = client.discover(payload)
@@ -206,6 +218,8 @@ def run_loadgen(host, port, queries, total=64, concurrency=8,
                     "outcome": outcome,
                     "latency_s": time.perf_counter() - start,
                 }
+                if response.get("trace_id"):
+                    record["trace_id"] = response["trace_id"]
                 if outcome in ("error", "client_error", "invalid"):
                     record["error"] = response.get("error")
                 with lock:
@@ -231,8 +245,10 @@ def run_loadgen(host, port, queries, total=64, concurrency=8,
             statuses.get(str(record["status"]), 0) + 1
         )
     completed = outcomes.get("ok", 0)
+    traced = sum(1 for r in records if r.get("trace_id"))
     return {
         "requests": len(records),
+        "traced": traced,
         "concurrency": concurrency,
         "queries": queries,
         "tenants": tenants,
@@ -437,6 +453,200 @@ def bench_serving(queries=DEFAULT_SERVING_QUERIES, total=64, concurrency=32,
             },
             "health": {key: health.get(key)
                        for key in ("status", "workers", "surfaces")},
+        }
+    finally:
+        if client is not None:
+            client.close()
+        if thread is not None:
+            thread.stop()
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def _await_trace_file(trace_dir, trace_id, timeout=10.0):
+    """The server writes trace JSONL off the event loop; wait for it."""
+    path = os.path.join(trace_dir, f"trace-{trace_id}.jsonl")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            return path
+        time.sleep(0.05)
+    raise ReproError(f"trace file {path} never appeared")
+
+
+def check_merged_trace(meta, spans):
+    """Structural verdict on one merged multi-process trace.
+
+    Proves the acceptance shape: every span under one trace id, a
+    ``serve.request`` root, pool-worker (``serve.worker.*``) and — when
+    the request fanned a nested sweep — ``sweep.worker`` spans from
+    other pids, and children wall-clock ordered by their
+    ``time_unix_ns`` anchors.
+    """
+    from repro.obs.export import span_tree
+
+    trace_ids = {s.get("trace_id") for s in spans}
+    pids = {s.get("attrs", {}).get("pid") for s in spans} - {None}
+    names = [s.get("name") for s in spans]
+    roots, children = span_tree(spans)
+    ordered = True
+    for siblings in list(children.values()) + [roots]:
+        anchors = [s.get("time_unix_ns") or 0 for s in siblings]
+        if anchors != sorted(anchors):
+            ordered = False
+    verdict = {
+        "trace_id": meta.get("trace_id"),
+        "schema": meta.get("schema"),
+        "spans": len(spans),
+        "single_trace_id": trace_ids == {meta.get("trace_id")},
+        "pids": sorted(int(p) for p in pids),
+        "multi_process": len(pids) >= 2,
+        "has_request_root": any(
+            s.get("name") == "serve.request" for s in roots
+        ),
+        "has_pool_worker_spans": any(
+            n and n.startswith("serve.worker.") for n in names
+        ),
+        "has_sweep_worker_spans": "sweep.worker" in names,
+        "wall_ordered": ordered,
+    }
+    verdict["ok"] = all(
+        verdict[key] for key in (
+            "single_trace_id", "multi_process", "has_request_root",
+            "has_pool_worker_spans", "wall_ordered",
+        )
+    )
+    return verdict
+
+
+def bench_observability(queries=DEFAULT_SERVING_QUERIES, total=48,
+                        concurrency=12, profile="smoke", workers=None,
+                        sweep_query="2D_Q91", sleep_s=0.02, pairs=3):
+    """The BENCH v9 ``observability`` section: overhead, identity, trace.
+
+    Three proofs against one in-process server with a throw-away
+    archive cache and a trace spool directory:
+
+    * **overhead** — ``pairs`` alternating closed-loop burst pairs,
+      tracing off then every request traced (``trace_every=1``); the
+      end-to-end overhead is the *median* of the per-pair relative p50
+      deltas, so one noisy burst cannot swing the verdict.  Bursts
+      carry the same deterministic per-request service time the
+      serving bench uses (``sleep_s``), keeping the request cost
+      representative — against the smoke profile's artificially tiny
+      discovery runs, a fixed few-dozen-microsecond tracing cost would
+      otherwise read as a large relative number.
+    * **identity** — the served ``result`` payload for each query is
+      bit-identical (as sorted JSON) with tracing on, with tracing
+      off, and to a solo in-process run: tracing must be a pure
+      observer.
+    * **merged trace** — one traced ``evaluate`` request with
+      ``engine=parallel`` (``REPRO_WORKERS=2`` and
+      ``REPRO_FORCE_PARALLEL=1`` exported before boot so forked pool
+      workers inherit them) must yield a single JSONL trace whose
+      spans cover the front-end, the pool worker, and the nested
+      sweep workers — see :func:`check_merged_trace`.
+    """
+    from repro.obs.export import read_trace_jsonl
+    from repro.serve.server import ServeConfig
+
+    queries = list(queries)
+    unique_queries = list(dict.fromkeys(queries))
+    tmpdir = tempfile.mkdtemp(prefix="repro-obs-bench-")
+    trace_dir = os.path.join(tmpdir, "traces")
+    saved_env = {key: os.environ.get(key)
+                 for key in ("REPRO_CACHE_DIR", "REPRO_CACHE",
+                             "REPRO_WORKERS", "REPRO_FORCE_PARALLEL")}
+    os.environ["REPRO_CACHE_DIR"] = os.path.join(tmpdir, "cache")
+    os.environ["REPRO_CACHE"] = "1"
+    # Exported before boot: the pool forks workers lazily, so these are
+    # inherited and govern the nested sweep inside `engine=parallel`.
+    os.environ["REPRO_WORKERS"] = "2"
+    os.environ["REPRO_FORCE_PARALLEL"] = "1"
+    thread = None
+    client = None
+    try:
+        config = ServeConfig.from_env(
+            profile=profile, workers=workers, ess_mode="eager",
+            trace_dir=trace_dir,
+        )
+        thread = ServerThread(config)
+        host, port = thread.start()
+        client = ServeClient(host, port)
+
+        # Warm every surface (and both code paths) so the off/on bursts
+        # compare steady-state serving, not ESS builds.
+        for query in unique_queries:
+            client.discover({"query": query})
+            client.discover({"query": query, "trace": True})
+
+        deltas = []
+        off = on = None
+        for _ in range(max(1, int(pairs))):
+            off = run_loadgen(host, port, queries=queries, total=total,
+                              concurrency=concurrency, sleep_s=sleep_s,
+                              trace_every=0)
+            on = run_loadgen(host, port, queries=queries, total=total,
+                             concurrency=concurrency, sleep_s=sleep_s,
+                             trace_every=1)
+            off_p50 = off["latency_s"]["p50"]
+            on_p50 = on["latency_s"]["p50"]
+            deltas.append(100.0 * (on_p50 - off_p50) / off_p50
+                          if off_p50 > 0 else 0.0)
+        overhead_pct = sorted(deltas)[len(deltas) // 2]
+
+        identity = []
+        for query in unique_queries:
+            _, untraced = client.discover({"query": query, "trace": False})
+            _, traced = client.discover({"query": query, "trace": True})
+            solo = solo_result(query, profile=profile)
+            canon = lambda payload: json.dumps(  # noqa: E731
+                payload.get("result"), sort_keys=True)
+            identity.append({
+                "query": query,
+                "traced_has_trace_id": bool(traced.get("trace_id")),
+                "identical": (canon(untraced) == canon(traced)
+                              == json.dumps(solo, sort_keys=True)),
+            })
+
+        status, sweep = client.discover({
+            "query": sweep_query, "kind": "evaluate",
+            "engine": "parallel", "trace": True,
+        })
+        merged = {"ok": False, "error": f"evaluate HTTP {status}"}
+        if status == 200 and sweep.get("trace_id"):
+            path = _await_trace_file(trace_dir, sweep["trace_id"])
+            meta, spans = read_trace_jsonl(path)
+            merged = check_merged_trace(meta, spans)
+            merged["sweep_mso"] = sweep.get("result", {}).get("mso")
+
+        dashboard = client.dashboard_html()
+        after = client.metrics_text()
+        return {
+            "config": {
+                "workers": config.workers,
+                "profile": profile,
+                "sweep_workers": 2,
+                "queries": unique_queries,
+            },
+            "tracing_off": {k: v for k, v in off.items()
+                            if k != "records"},
+            "tracing_on": {k: v for k, v in on.items()
+                           if k != "records"},
+            "overhead_pct_pairs": deltas,
+            "overhead_pct": overhead_pct,
+            "overhead_ok": overhead_pct < 2.0,
+            "identity": identity,
+            "all_identical": all(row["identical"] for row in identity),
+            "merged_trace": merged,
+            "spans_dropped": int(scrape_counter(
+                after, "repro_trace_spans_dropped_total")),
+            "dashboard_bytes": len(dashboard),
+            "dashboard_ok": "<svg" in dashboard,
         }
     finally:
         if client is not None:

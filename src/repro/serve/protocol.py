@@ -38,10 +38,13 @@ ALGORITHM_CHOICES = ("pb", "sb", "ab", "native")
 #: MSO/ASO sweep over the whole ESS.
 KIND_CHOICES = ("run", "evaluate")
 
-#: Sweep engines an ``evaluate`` request may pick.  ``parallel`` is
-#: deliberately absent: pool workers must not fan out their own nested
-#: process pools.
-EVALUATE_ENGINES = ("auto", "batch", "loop")
+#: Sweep engines an ``evaluate`` request may pick.  ``parallel`` fans
+#: a nested sweep pool out of the pool worker (the executor's worker
+#: processes are non-daemonic); its width follows ``REPRO_WORKERS`` in
+#: the server's environment, which defaults to serial — nested fan-out
+#: is a deliberate operator opt-in, and the sweep's cost guard still
+#: applies.
+EVALUATE_ENGINES = ("auto", "batch", "loop", "parallel")
 
 #: ESS surface modes (``None`` defers to the server default / REPRO_ESS).
 ESS_MODES = (None, "eager", "lazy")
@@ -88,6 +91,10 @@ class DiscoverRequest:
         conformance: run the request under a
             :class:`~repro.conformance.monitors.ConformanceMonitor` and
             report violations in the response; ``None`` = server default.
+        trace: force tracing on (True) or off (False) for this request;
+            ``None`` defers to the server's sampling policy
+            (``REPRO_SERVE_TRACE``).  Traced responses carry their
+            ``trace_id``.
     """
 
     query: str
@@ -102,6 +109,7 @@ class DiscoverRequest:
     tenant: str = "default"
     sleep_s: float = 0.0
     conformance: bool = None
+    trace: bool = None
     extra: dict = field(default_factory=dict)
 
 
@@ -141,8 +149,7 @@ def parse_discover(payload):
     engine = payload.get("engine", "auto")
     if engine not in EVALUATE_ENGINES:
         raise ProtocolError(
-            f"unknown engine {engine!r}; choose from {EVALUATE_ENGINES} "
-            f"(parallel sweeps cannot nest inside pool workers)"
+            f"unknown engine {engine!r}; choose from {EVALUATE_ENGINES}"
         )
     ess_mode = payload.get("ess_mode")
     if ess_mode not in ESS_MODES:
@@ -179,11 +186,14 @@ def parse_discover(payload):
     conformance = payload.get("conformance")
     if conformance is not None and not isinstance(conformance, bool):
         raise ProtocolError("'conformance' must be a boolean")
+    trace = payload.get("trace")
+    if trace is not None and not isinstance(trace, bool):
+        raise ProtocolError("'trace' must be a boolean")
     return DiscoverRequest(
         query=query, algorithm=algorithm, kind=kind, qa=qa,
         budget_s=budget_s, engine=engine, ess_mode=ess_mode,
         prior=prior, resolution=resolution, tenant=tenant,
-        sleep_s=sleep_s, conformance=conformance,
+        sleep_s=sleep_s, conformance=conformance, trace=trace,
     )
 
 

@@ -31,14 +31,18 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.errors import QueryError, ReproError
-from repro.obs.export import prometheus_text
+from repro.obs.export import prometheus_text, write_trace_jsonl
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import NOOP_SPAN, Tracer
 from repro.serve import protocol, worker
+from repro.serve.dashboard import AuditLog, DashboardState, \
+    render_dashboard_html
 from repro.serve.surfaces import DEFAULT_CACHE_MB, SurfaceTier
 
 #: Histogram buckets for request-latency phases (seconds).
@@ -46,6 +50,10 @@ LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
 )
+
+#: Trace spool flush period: finished traces batch on the loop for at
+#: most this long before the writer thread persists them.
+TRACE_FLUSH_S = 0.25
 
 
 def _env_int(name, default):
@@ -60,6 +68,18 @@ def _env_int(name, default):
         ) from None
 
 
+def _env_float(name, default):
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ReproError(
+            f"{name} must be a number, got {value!r}"
+        ) from None
+
+
 @dataclass
 class ServeConfig:
     """Server knobs (constructor args override the environment).
@@ -67,7 +87,13 @@ class ServeConfig:
     Environment variables: ``REPRO_SERVE_WORKERS`` (pool size),
     ``REPRO_SERVE_QUEUE`` (admitted-but-not-running ceiling),
     ``REPRO_SERVE_QUOTA`` (per-tenant in-flight ceiling),
-    ``REPRO_SERVE_CACHE_MB`` (surface-tier resident bytes).
+    ``REPRO_SERVE_CACHE_MB`` (surface-tier resident bytes),
+    ``REPRO_SERVE_TRACE`` (trace every Nth request; 0 = off, per-request
+    ``trace`` field overrides), ``REPRO_SERVE_TRACE_DIR`` (write each
+    traced request's merged multi-process trace as
+    ``trace-<trace_id>.jsonl`` under this directory),
+    ``REPRO_SERVE_AUDIT`` / ``REPRO_SERVE_AUDIT_THRESHOLD_S`` /
+    ``REPRO_SERVE_AUDIT_SAMPLE`` (slow-request JSONL audit log).
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +107,11 @@ class ServeConfig:
     prior: str = None
     conformance: bool = False
     drain_timeout_s: float = 10.0
+    trace_every: int = None
+    trace_dir: str = None
+    audit_path: str = None
+    audit_threshold_s: float = None
+    audit_every: int = None
 
     @classmethod
     def from_env(cls, **overrides):
@@ -107,10 +138,27 @@ class ServeConfig:
         if config.cache_mb is None:
             config = replace(config, cache_mb=_env_int(
                 "REPRO_SERVE_CACHE_MB", DEFAULT_CACHE_MB))
+        if config.trace_every is None:
+            config = replace(config, trace_every=_env_int(
+                "REPRO_SERVE_TRACE", 0))
+        if config.trace_dir is None:
+            raw = os.environ.get("REPRO_SERVE_TRACE_DIR", "").strip()
+            config = replace(config, trace_dir=raw or None)
+        if config.audit_path is None:
+            raw = os.environ.get("REPRO_SERVE_AUDIT", "").strip()
+            config = replace(config, audit_path=raw or None)
+        if config.audit_threshold_s is None:
+            config = replace(config, audit_threshold_s=_env_float(
+                "REPRO_SERVE_AUDIT_THRESHOLD_S", 1.0))
+        if config.audit_every is None:
+            config = replace(config, audit_every=_env_int(
+                "REPRO_SERVE_AUDIT_SAMPLE", 0))
         if config.workers < 1:
             raise ReproError("serve workers must be >= 1")
         if config.queue_limit < 1 or config.tenant_quota < 1:
             raise ReproError("serve queue and quota must be >= 1")
+        if config.trace_every < 0 or config.audit_every < 0:
+            raise ReproError("serve trace/audit sampling must be >= 0")
         return config
 
 
@@ -146,6 +194,18 @@ class DiscoveryServer:
         self._tenant_inflight = {}
         self._conn_tasks = set()
         self._started_at = None
+        self._seq = 0
+        self.dash = DashboardState()
+        self.audit = (
+            AuditLog(self.config.audit_path,
+                     threshold_s=self.config.audit_threshold_s,
+                     every=self.config.audit_every)
+            if self.config.audit_path else None
+        )
+        self._trace_queue = None
+        self._trace_writer = None
+        self._trace_buffer = []
+        self._trace_flusher = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -204,6 +264,16 @@ class DiscoveryServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._trace_flusher is not None:
+            self._trace_flusher.cancel()
+            self._trace_flusher = None
+        self._flush_traces()
+        if self._trace_writer is not None:
+            # Flush the spool: every accepted trace lands before stop()
+            # returns.
+            self._trace_queue.put(None)
+            self._trace_writer.join(timeout=10.0)
+            self._trace_writer = None
         self.tier.close()
         self._publish_gauges()
 
@@ -332,12 +402,25 @@ class DiscoveryServer:
                 400, {"outcome": "invalid", "error": "malformed request"}
             )
         method, path = parts[0], parts[1]
+        path, _, query_string = path.partition("?")
         if method == "GET" and path == "/metrics":
             self._publish_gauges()
-            text = prometheus_text(REGISTRY)
+            # Exemplars are opt-in (?exemplars=1): the suffix is
+            # OpenMetrics syntax, and strict 0.0.4 consumers (including
+            # our own loadgen scraper) split sample lines on the last
+            # space.
+            text = prometheus_text(
+                REGISTRY, exemplars="exemplars=1" in query_string
+            )
             return 200, protocol.http_payload(
                 200, text.encode("utf-8"),
                 content_type="text/plain; version=0.0.4",
+            )
+        if method == "GET" and path == "/dashboard":
+            html = render_dashboard_html(self.dash, REGISTRY, self.health())
+            return 200, protocol.http_payload(
+                200, html.encode("utf-8"),
+                content_type="text/html; charset=utf-8",
             )
         if method == "GET" and path == "/healthz":
             return 200, protocol.json_payload(200, self.health())
@@ -366,14 +449,23 @@ class DiscoveryServer:
             "surfaces": self.tier.stats(),
         }
 
+    def _should_trace(self, request):
+        """Per-request tracing decision: explicit field beats sampling."""
+        if request.trace is not None:
+            return request.trace
+        every = self.config.trace_every
+        return every > 0 and self._seq % every == 0
+
     async def discover(self, payload):
         """One ``/v1/discover`` request: ``(http_status, response_obj)``."""
         received = time.time()
+        self._seq += 1
         try:
             request = protocol.parse_discover(payload)
         except protocol.ProtocolError as exc:
             REGISTRY.incr("serve_requests",
                           labels={"outcome": "invalid"})
+            self.dash.record(outcome="invalid", total_s=0.0)
             return 400, {"outcome": "invalid", "error": str(exc)}
         rejection = self._admission_error(request)
         if rejection is not None:
@@ -381,6 +473,9 @@ class DiscoveryServer:
             REGISTRY.incr("serve_rejected", labels={"reason": reason})
             REGISTRY.incr("serve_requests",
                           labels={"outcome": "rejected"})
+            self.dash.record(outcome="rejected", reason=reason,
+                             query=request.query, tenant=request.tenant,
+                             total_s=0.0, inflight=self._inflight)
             return status, {
                 "outcome": "rejected", "reason": reason,
                 "query": request.query, "tenant": request.tenant,
@@ -399,8 +494,26 @@ class DiscoveryServer:
             state.timer = asyncio.get_running_loop().call_later(
                 request.budget_s, self._kill, state
             )
+        tracer = None
+        if self._should_trace(request):
+            # Per-request tracer, never installed globally: span stacks
+            # are per-tracer thread-locals, so concurrent coroutines on
+            # the event loop each nest only their own request's spans.
+            tracer = Tracer()
+            REGISTRY.incr("serve_traced")
         try:
-            status, response = await self._admitted(request, state, received)
+            if tracer is not None:
+                with tracer.span("serve.request", pid=os.getpid(),
+                                 query=request.query,
+                                 algorithm=request.algorithm,
+                                 kind=request.kind, tenant=request.tenant):
+                    status, response = await self._admitted(
+                        request, state, received, tracer=tracer
+                    )
+            else:
+                status, response = await self._admitted(
+                    request, state, received
+                )
         except Exception as exc:  # noqa: BLE001 - keep the server alive
             REGISTRY.incr("serve_requests", labels={"outcome": "error"})
             status, response = 500, {
@@ -426,13 +539,108 @@ class DiscoveryServer:
                               "kind": request.kind})
         REGISTRY.incr("serve_tenant_requests",
                       labels={"tenant": request.tenant})
+        exemplar = {"trace_id": tracer.trace_id} if tracer else None
         REGISTRY.observe("serve_latency_seconds", total_s,
                          labels={"phase": "total"},
-                         buckets=LATENCY_BUCKETS)
+                         buckets=LATENCY_BUCKETS, exemplar=exemplar)
+        if tracer is not None:
+            response["trace_id"] = tracer.trace_id
+            if self.config.trace_dir:
+                self._spool_trace(tracer)
+        await self._observe_request(request, response, outcome, total_s,
+                                    tracer)
         return status, response
 
-    async def _admitted(self, request, state, received):
+    def _spool_trace(self, tracer):
+        """Buffer one finished trace for the spool writer.
+
+        The request path pays one ``list.append``.  Anything heavier
+        here is amplified by the whole inflight window: writing the
+        file inline stalls the loop for every queued response, and even
+        a bare ``queue.Queue.put`` per trace costs ~0.25 ms in writer
+        thread wake-up / GIL hand-off — at concurrency 12 that alone
+        shows up as several ms of p50.  A periodic flusher hands the
+        accumulated batch to a single daemon writer thread, so the
+        per-trace cost on the loop is microseconds and the thread wakes
+        once per flush interval, not once per request.  The per-request
+        tracer is complete and immutable by now.
+        """
+        self._trace_buffer.append(tracer)
+        if self._trace_flusher is None:
+            self._trace_flusher = asyncio.get_running_loop().create_task(
+                self._flush_traces_forever()
+            )
+
+    async def _flush_traces_forever(self):
+        while True:
+            await asyncio.sleep(TRACE_FLUSH_S)
+            self._flush_traces()
+
+    def _flush_traces(self):
+        """Hand the buffered batch to the writer thread (lazy start)."""
+        if not self._trace_buffer:
+            return
+        if self._trace_writer is None:
+            import queue
+
+            self._trace_queue = queue.Queue()
+            self._trace_writer = threading.Thread(
+                target=self._drain_traces, daemon=True,
+                name="repro-trace-spool",
+            )
+            self._trace_writer.start()
+        batch, self._trace_buffer = self._trace_buffer, []
+        self._trace_queue.put(batch)
+
+    def _drain_traces(self):
+        """Spool-writer thread body: write batches until the sentinel."""
+        while True:
+            batch = self._trace_queue.get()
+            if batch is None:
+                return
+            for tracer in batch:
+                path = os.path.join(self.config.trace_dir,
+                                    f"trace-{tracer.trace_id}.jsonl")
+                try:
+                    write_trace_jsonl(tracer, path)
+                except OSError:
+                    REGISTRY.incr("serve_trace_write_errors")
+
+    async def _observe_request(self, request, response, outcome, total_s,
+                               tracer):
+        """Feed the dashboard ring and the audit log (request tail)."""
+        timings = response.get("timings", {})
+        conformance = response.get("conformance") or {}
+        event = {
+            "query": request.query,
+            "algorithm": request.algorithm,
+            "kind": request.kind,
+            "tenant": request.tenant,
+            "outcome": outcome,
+            "total_s": total_s,
+            "build_s": timings.get("build_s", 0.0),
+            "queue_s": timings.get("queue_s", 0.0),
+            "run_s": timings.get("run_s", 0.0),
+            "source": response.get("surface", {}).get("source"),
+            "violations": conformance.get("num_violations", 0),
+            "inflight": self._inflight,
+            "trace_id": tracer.trace_id if tracer else None,
+        }
+        self.dash.record(**event)
+        if self.audit is not None:
+            written = await asyncio.get_running_loop().run_in_executor(
+                None, self.audit.maybe_record, event
+            )
+            if written:
+                REGISTRY.incr("serve_audited")
+
+    async def _admitted(self, request, state, received, tracer=None):
         """The post-admission pipeline: surface, dispatch, classify."""
+
+        def _span(name, **attrs):
+            return (tracer.span(name, **attrs) if tracer is not None
+                    else NOOP_SPAN)
+
         loop = asyncio.get_running_loop()
         ess_mode = self._resolve_ess_mode(request)
         prior = request.prior or self.config.prior or "uniform"
@@ -455,13 +663,14 @@ class DiscoveryServer:
         if ess_mode == "eager":
             build_start = time.time()
             try:
-                done, acquired = await self._race_cancel(
-                    self.tier.acquire(
-                        fingerprint,
-                        lambda: self._build_surface(request),
-                    ),
-                    state,
-                )
+                with _span("serve.build", fingerprint=fingerprint):
+                    done, acquired = await self._race_cancel(
+                        self.tier.acquire(
+                            fingerprint,
+                            lambda: self._build_surface(request, tracer),
+                        ),
+                        state,
+                    )
             except Exception as exc:  # build failed for the whole flight
                 return 500, dict(
                     base, outcome="error",
@@ -498,10 +707,20 @@ class DiscoveryServer:
                             else request.conformance),
         }
         dispatched = time.time()
-        done, result = await self._race_cancel(
-            loop.run_in_executor(self._pool, worker.run_discovery, spec),
-            state, holds_slot=True,
-        )
+        with _span("serve.dispatch") as dispatch_span:
+            if tracer is not None:
+                # Captured inside the dispatch span: the worker's child
+                # tracer parents its spans onto it, so the merged tree
+                # reads front-end -> dispatch -> worker.
+                spec["trace"] = tracer.context().to_wire()
+            done, result = await self._race_cancel(
+                loop.run_in_executor(self._pool, worker.run_discovery,
+                                     spec),
+                state, holds_slot=True,
+            )
+            if done and tracer is not None:
+                adopted = tracer.splice(result.get("spans"))
+                dispatch_span.set_attr("worker_spans", adopted)
         if not done:
             # The pool task keeps running until its next checkpoint; the
             # response does not wait for it.
@@ -566,8 +785,13 @@ class DiscoveryServer:
         ).hexdigest()[:16]
         return f"{request.query}-{digest}", num_points
 
-    async def _build_surface(self, request):
-        """Single-flight leader body: build in the pool, adopt the offer."""
+    async def _build_surface(self, request, tracer=None):
+        """Single-flight leader body: build in the pool, adopt the offer.
+
+        The build's worker spans land in the *leader's* trace (coalesced
+        waiters share the surface, not the spans — the build belongs to
+        the request that triggered it).
+        """
         loop = asyncio.get_running_loop()
         spec = {
             "query": request.query,
@@ -575,9 +799,13 @@ class DiscoveryServer:
             "resolution": request.resolution,
             "cancel_slot": None,  # shared builds outlive any one request
         }
+        if tracer is not None:
+            spec["trace"] = tracer.context().to_wire()
         result = await loop.run_in_executor(
             self._pool, worker.build_surface, spec
         )
+        if tracer is not None:
+            tracer.splice(result.get("spans"))
         if result.get("metrics"):
             REGISTRY.merge(result["metrics"])
         if result["outcome"] != "ok":

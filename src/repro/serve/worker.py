@@ -38,6 +38,7 @@ from repro.core.native import NativeOptimizer
 from repro.core.plan_bouquet import PlanBouquet
 from repro.core.spill_bound import SpillBound
 from repro.errors import ReproError
+from repro.obs import trace as tracing
 from repro.perf import shm
 from repro.perf.timers import TIMERS
 
@@ -127,6 +128,32 @@ def _load(spec):
     )
 
 
+def _adopt_trace(spec):
+    """Join the request's trace, if the spec carries a TraceContext.
+
+    Installs a child tracer as this worker process's global tracer for
+    the duration of one task (pool workers run tasks one at a time, so
+    the install/uninstall pair cannot interleave) and returns
+    ``(tracer, previous)`` for :func:`_ship_trace` to undo.
+    """
+    tracer = tracing.child_tracer(spec.get("trace"))
+    if tracer is None:
+        return None, None
+    return tracer, tracing.install_tracer(tracer)
+
+
+def _ship_trace(out, tracer, previous):
+    """Uninstall the task's child tracer and attach its finished spans
+    to the result payload (the worker-to-parent shipping lane — same
+    pattern as the TIMERS summary riding in ``out["metrics"]``)."""
+    if tracer is None:
+        return
+    tracing.install_tracer(previous)
+    out["spans"] = [s.to_record() for s in tracer.spans]
+    if tracer.dropped:
+        out["spans_dropped"] = tracer.dropped
+
+
 # ----------------------------------------------------------------------
 # Tasks
 # ----------------------------------------------------------------------
@@ -145,15 +172,18 @@ def build_surface(spec):
     archive, so discover tasks fall back to a disk load, not a rebuild.
     """
     TIMERS.reset()
+    tracer, previous = _adopt_trace(spec)
     out = {"task": "build", "outcome": "ok", "started_at": time.time(),
            "pid": os.getpid()}
     try:
-        _checkpoint(spec.get("cancel_slot"))
-        instance = _load(dict(spec, ess_mode="eager"))
-        out["num_points"] = int(instance.ess.grid.num_points)
-        out["offer"] = shm.export_for_transfer(
-            instance.ess.provenance["disk_key"], instance.ess
-        )
+        with tracing.span("serve.worker.build", pid=os.getpid(),
+                          query=spec.get("query", "")):
+            _checkpoint(spec.get("cancel_slot"))
+            instance = _load(dict(spec, ess_mode="eager"))
+            out["num_points"] = int(instance.ess.grid.num_points)
+            out["offer"] = shm.export_for_transfer(
+                instance.ess.provenance["disk_key"], instance.ess
+            )
     except CancelledByServer:
         out["outcome"] = "killed"
     except ReproError as exc:
@@ -162,6 +192,7 @@ def build_surface(spec):
     except Exception as exc:  # noqa: BLE001 - must cross the pipe
         out["outcome"] = "error"
         out["error"] = f"{type(exc).__name__}: {exc}"
+    _ship_trace(out, tracer, previous)
     out["metrics"] = TIMERS.summary()
     out["finished_at"] = time.time()
     return out
@@ -170,46 +201,53 @@ def build_surface(spec):
 def run_discovery(spec):
     """One served discovery request: scalar run or exhaustive sweep."""
     TIMERS.reset()
+    tracer, previous = _adopt_trace(spec)
     slot = spec.get("cancel_slot")
     out = {"task": spec.get("kind", "run"), "outcome": "ok",
            "started_at": time.time(), "pid": os.getpid()}
     try:
-        _checkpoint(slot)
-        offer = spec.get("offer")
-        if offer is not None:
-            shm.register_offer(offer)
-        load_start = time.time()
-        instance = _load(spec)
-        out["load_s"] = time.time() - load_start
-        _checkpoint(slot)
-        if spec.get("sleep_s"):
-            _cooperative_sleep(float(spec["sleep_s"]), slot)
-        algorithm = _make_algorithm(spec.get("algorithm", "sb"), instance,
-                                    prior_kind=spec.get("prior"))
-        run_start = time.time()
-        if spec.get("conformance"):
-            from repro.conformance.monitors import monitoring
+        with tracing.span("serve.worker.discover", pid=os.getpid(),
+                          query=spec.get("query", ""),
+                          kind=spec.get("kind", "run"),
+                          algorithm=spec.get("algorithm", "sb")):
+            _checkpoint(slot)
+            offer = spec.get("offer")
+            if offer is not None:
+                shm.register_offer(offer)
+            load_start = time.time()
+            with tracing.span("worker.load", query=spec.get("query", "")):
+                instance = _load(spec)
+            out["load_s"] = time.time() - load_start
+            _checkpoint(slot)
+            if spec.get("sleep_s"):
+                _cooperative_sleep(float(spec["sleep_s"]), slot)
+            algorithm = _make_algorithm(spec.get("algorithm", "sb"),
+                                        instance,
+                                        prior_kind=spec.get("prior"))
+            run_start = time.time()
+            if spec.get("conformance"):
+                from repro.conformance.monitors import monitoring
 
-            with monitoring() as monitor:
+                with monitoring() as monitor:
+                    out["result"] = _execute(spec, instance, algorithm)
+                    if spec.get("kind", "run") == "run" \
+                            and spec.get("algorithm", "sb") != "native":
+                        monitor.check_run(out["result"]["_raw"], algorithm,
+                                          engine="serve")
+                    out["conformance"] = {
+                        "checks": dict(monitor.counters),
+                        "violations": [
+                            {"invariant": v.invariant, "message": v.message}
+                            for v in monitor.violations[:10]
+                        ],
+                        "num_violations": len(monitor.violations),
+                    }
+            else:
                 out["result"] = _execute(spec, instance, algorithm)
-                if spec.get("kind", "run") == "run" \
-                        and spec.get("algorithm", "sb") != "native":
-                    monitor.check_run(out["result"]["_raw"], algorithm,
-                                      engine="serve")
-                out["conformance"] = {
-                    "checks": dict(monitor.counters),
-                    "violations": [
-                        {"invariant": v.invariant, "message": v.message}
-                        for v in monitor.violations[:10]
-                    ],
-                    "num_violations": len(monitor.violations),
-                }
-        else:
-            out["result"] = _execute(spec, instance, algorithm)
-        raw = out["result"].pop("_raw", None)
-        if raw is not None and spec.get("algorithm", "sb") != "native":
-            _record_history(instance, raw)
-        out["run_s"] = time.time() - run_start
+            raw = out["result"].pop("_raw", None)
+            if raw is not None and spec.get("algorithm", "sb") != "native":
+                _record_history(instance, raw)
+            out["run_s"] = time.time() - run_start
     except CancelledByServer:
         out["outcome"] = "killed"
         out.pop("result", None)
@@ -221,6 +259,7 @@ def run_discovery(spec):
         out["outcome"] = "error"
         out["error"] = f"{type(exc).__name__}: {exc}"
         out.pop("result", None)
+    _ship_trace(out, tracer, previous)
     out["metrics"] = TIMERS.summary()
     out["finished_at"] = time.time()
     return out
@@ -228,9 +267,11 @@ def run_discovery(spec):
 
 def _execute(spec, instance, algorithm):
     if spec.get("kind", "run") == "evaluate":
-        evaluation = evaluate_algorithm(
-            algorithm, engine=spec.get("engine", "auto")
-        )
+        with tracing.span("worker.evaluate",
+                          engine=spec.get("engine", "auto")):
+            evaluation = evaluate_algorithm(
+                algorithm, engine=spec.get("engine", "auto")
+            )
         sub = np.ascontiguousarray(evaluation.suboptimality)
         return {
             "mso": float(evaluation.mso),
@@ -241,7 +282,8 @@ def _execute(spec, instance, algorithm):
         }
     qa = spec.get("qa")
     qa = tuple(qa) if qa else instance.query.true_location()
-    result = algorithm.run(qa, trace=True)
+    with tracing.span("worker.run", algorithm=spec.get("algorithm", "sb")):
+        result = algorithm.run(qa, trace=True)
     executions = []
     for rec in result.executions or ():
         executions.append({

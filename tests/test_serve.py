@@ -83,8 +83,9 @@ class TestProtocol:
         {"query": "2D_Q91", "algorithm": "nope"},
         {"query": "2D_Q91", "kind": "nope"},
         {"query": "2D_Q91", "kind": "evaluate", "algorithm": "native"},
-        {"query": "2D_Q91", "engine": "parallel"},
+        {"query": "2D_Q91", "engine": "vector"},
         {"query": "2D_Q91", "ess_mode": "sometimes"},
+        {"query": "2D_Q91", "trace": "yes"},
         {"query": "2D_Q91", "qa": []},
         {"query": "2D_Q91", "qa": ["x"]},
         {"query": "2D_Q91", "qa": [float("nan")]},
@@ -99,6 +100,11 @@ class TestProtocol:
     def test_invalid_requests_raise(self, payload):
         with pytest.raises(protocol.ProtocolError):
             protocol.parse_discover(payload)
+
+    def test_parallel_engine_accepted(self):
+        request = protocol.parse_discover(
+            {"query": "2D_Q91", "kind": "evaluate", "engine": "parallel"})
+        assert request.engine == "parallel"
 
     def test_qa_coerced_to_floats(self):
         request = protocol.parse_discover(
